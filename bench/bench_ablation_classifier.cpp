@@ -1,0 +1,70 @@
+// Ablation: classifier choice and forest size.
+//
+// The paper names Random Forest and Logistic Regression as candidate
+// classifiers (Section II-A3). We compare them on the ISP1 cross-day task,
+// plus a sweep over forest sizes, and report the co-occurrence baseline
+// (Sato et al. [21]) as a floor — it is what the F1 infected-fraction
+// feature achieves on its own.
+#include <cstdio>
+
+#include "baselines/cooccurrence.h"
+#include "bench_common.h"
+#include "graph/labeling.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace seg;
+  bench::print_header("Ablation: classifier choice (ISP1 cross-day)");
+
+  auto& world = bench::bench_world();
+  const auto bundle = bench::make_bundle(world, 0, 2, 0, 15);
+
+  util::TextTable table({"classifier", "AUC", "TPR@0.1%", "TPR@0.5%", "TPR@1%", "fit s"});
+
+  for (const std::size_t trees : {10, 50, 100, 200}) {
+    auto config = bench::bench_config();
+    config.forest.num_trees = trees;
+    const auto result = core::run_cross_day(bundle->inputs, config);
+    const auto roc = result.roc();
+    table.add_row({"random forest, " + std::to_string(trees) + " trees",
+                   util::format_double(roc.auc(), 4),
+                   util::format_double(roc.tpr_at_fpr(0.001), 3),
+                   util::format_double(roc.tpr_at_fpr(0.005), 3),
+                   util::format_double(roc.tpr_at_fpr(0.01), 3),
+                   util::format_double(result.timings.train_fit_seconds, 2)});
+  }
+  {
+    auto config = bench::bench_config();
+    config.classifier = core::ClassifierKind::kLogisticRegression;
+    const auto result = core::run_cross_day(bundle->inputs, config);
+    const auto roc = result.roc();
+    table.add_row({"logistic regression", util::format_double(roc.auc(), 4),
+                   util::format_double(roc.tpr_at_fpr(0.001), 3),
+                   util::format_double(roc.tpr_at_fpr(0.005), 3),
+                   util::format_double(roc.tpr_at_fpr(0.01), 3),
+                   util::format_double(result.timings.train_fit_seconds, 2)});
+  }
+  {
+    // Co-occurrence floor: score test domains by infected-machine fraction
+    // on the hidden-label test graph.
+    const auto config = bench::bench_config();
+    const auto result = core::run_cross_day(bundle->inputs, config);
+    std::vector<int> labels;
+    std::vector<double> scores;
+    for (const auto& outcome : result.outcomes) {
+      labels.push_back(outcome.label);
+      scores.push_back(outcome.features[features::kInfectedFraction]);
+    }
+    const auto roc = ml::RocCurve::compute(labels, scores);
+    table.add_row({"co-occurrence baseline [21]", util::format_double(roc.auc(), 4),
+                   util::format_double(roc.tpr_at_fpr(0.001), 3),
+                   util::format_double(roc.tpr_at_fpr(0.005), 3),
+                   util::format_double(roc.tpr_at_fpr(0.01), 3), "-"});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nexpected shape: forests dominate the linear model at low FP rates;\n"
+              "the single-signal co-occurrence baseline trails both (the paper's\n"
+              "argument for combining F1 with F2/F3).\n");
+  return 0;
+}

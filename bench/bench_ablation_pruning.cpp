@@ -1,0 +1,56 @@
+// Ablation: what the conservative pruning rules buy.
+//
+// DESIGN.md calls out pruning as a design choice worth ablating: the paper
+// prunes to "boost performance and reduce noise". We run the ISP1
+// cross-day experiment with (a) the standard rules, (b) pruning disabled
+// as far as the configuration allows, and (c) aggressive pruning, and
+// report accuracy, graph sizes, and wall time.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace seg;
+  bench::print_header("Ablation: graph pruning (ISP1 cross-day)");
+
+  auto& world = bench::bench_world();
+  const auto bundle = bench::make_bundle(world, 0, 2, 0, 15);
+
+  struct Variant {
+    const char* name;
+    graph::PruningConfig pruning;
+  };
+  Variant variants[3];
+  variants[0] = {"paper rules (scaled)", core::SegugioConfig::scaled_pruning_defaults()};
+  variants[1] = {"minimal pruning", {}};
+  variants[1].pruning.inactive_machine_max_degree = 0;  // R1 off
+  variants[1].pruning.min_domain_machines = 1;          // R3 off
+  variants[1].pruning.proxy_degree_percentile = 1.0;    // R2 as weak as allowed
+  variants[1].pruning.popular_e2ld_fraction = 1.0;      // R4 as weak as allowed
+  variants[2] = {"aggressive", core::SegugioConfig::scaled_pruning_defaults()};
+  variants[2].pruning.inactive_machine_max_degree = 10;
+  variants[2].pruning.min_domain_machines = 3;
+  variants[2].pruning.popular_e2ld_fraction = 0.2;
+
+  util::TextTable table({"variant", "domains", "edges", "AUC", "TPR@0.1%", "TPR@1%",
+                         "train+test s"});
+  for (const auto& variant : variants) {
+    auto config = bench::bench_config();
+    config.pruning = variant.pruning;
+    const auto result = core::run_cross_day(bundle->inputs, config);
+    const auto roc = result.roc();
+    table.add_row({variant.name, util::format_count(result.test_prune.domains_after),
+                   util::format_count(result.test_prune.edges_after),
+                   util::format_double(roc.auc(), 4),
+                   util::format_double(roc.tpr_at_fpr(0.001), 3),
+                   util::format_double(roc.tpr_at_fpr(0.01), 3),
+                   util::format_double(result.train_seconds + result.test_seconds, 2)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nexpected shape: minimal pruning keeps noise nodes and costs time with\n"
+              "no accuracy win; the paper's conservative rules shrink the graph ~25%%\n"
+              "without hurting detection.\n");
+  return 0;
+}

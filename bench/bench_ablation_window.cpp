@@ -1,0 +1,78 @@
+// Ablation: observation-window length.
+//
+// The paper fixes the observation window T to one day ("e.g., one day")
+// and builds one graph per day. The graph builder also supports multi-day
+// windows (traces union; features measured at the window's end), so we
+// quantify what longer training windows buy: denser co-occurrence evidence
+// per domain versus staler behavior.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "graph/labeling.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace seg;
+  bench::print_header("Ablation: training observation window T (test day 15, ISP1)");
+
+  auto& world = bench::bench_world();
+  const auto config = bench::bench_config();
+
+  // Fixed test day.
+  const dns::Day test_day = 15;
+  const auto test_trace = world.generate_day(0, test_day);
+
+  util::TextTable table({"train window", "train domains", "train malware", "AUC",
+                         "TPR@0.1%", "TPR@1%"});
+  for (const int window : {1, 2, 3}) {
+    // Window ends at day 2 + window - 1 (still 12+ days before the test).
+    std::vector<dns::DayTrace> traces;
+    for (int k = 0; k < window; ++k) {
+      traces.push_back(world.generate_day(0, 2 + k));
+    }
+    const dns::Day train_end = 2 + window - 1;
+    const auto blacklist = world.blacklist().as_of(sim::BlacklistKind::kCommercial, train_end);
+
+    graph::GraphBuilder builder(world.psl());
+    for (const auto& trace : traces) {
+      builder.add_trace(trace);
+    }
+    auto train_graph = builder.build();
+    graph::apply_labels(train_graph, blacklist, world.whitelist().all());
+    train_graph = graph::prune(train_graph, config.pruning);
+
+    core::Segugio segugio(config);
+    segugio.train(train_graph, world.activity(), world.pdns());
+
+    // Standard hidden-label evaluation on the test day.
+    auto test_graph = core::Segugio::prepare_graph(
+        test_trace, world.psl(),
+        world.blacklist().as_of(sim::BlacklistKind::kCommercial, test_day),
+        world.whitelist().all(), config.pruning);
+    const features::FeatureExtractor probe(test_graph, world.activity(), world.pdns(),
+                                           config.features);
+    std::vector<int> labels;
+    std::vector<double> scores;
+    for (graph::DomainId d = 0; d < test_graph.domain_count(); ++d) {
+      const auto label = test_graph.domain_label(d);
+      if (label == graph::Label::kUnknown) {
+        continue;
+      }
+      labels.push_back(label == graph::Label::kMalware ? 1 : 0);
+      scores.push_back(segugio.score(probe.extract_hiding_label(d)));
+    }
+    const auto roc = ml::RocCurve::compute(labels, scores);
+    table.add_row({std::to_string(window) + " day(s)",
+                   util::format_count(train_graph.domain_count()),
+                   std::to_string(train_graph.count_domains_with(graph::Label::kMalware)),
+                   util::format_double(roc.auc(), 4),
+                   util::format_double(roc.tpr_at_fpr(0.001), 3),
+                   util::format_double(roc.tpr_at_fpr(0.01), 3)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nexpected shape: one day already suffices (the paper's operating point);\n"
+              "longer windows add labeled malware domains and co-occurrence density\n"
+              "with mild gains, at proportionally higher graph cost.\n");
+  return 0;
+}

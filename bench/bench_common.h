@@ -1,0 +1,51 @@
+// Shared plumbing for the paper-reproduction benchmark binaries.
+//
+// Every bench builds the same deterministic bench-scale world (about 1:400
+// of the paper's ISP populations; see DESIGN.md for the substitution
+// rationale), runs one experiment, and prints the corresponding table or
+// figure side by side with the paper's reported values where the paper
+// gives any.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "ml/metrics.h"
+#include "sim/world.h"
+
+namespace seg::bench {
+
+/// The shared bench-scale world (constructed on first use).
+sim::World& bench_world();
+
+/// Owns the traces an ExperimentInputs points into.
+struct InputBundle {
+  dns::DayTrace train_trace;
+  dns::DayTrace test_trace;
+  core::ExperimentInputs inputs;
+};
+
+/// Generates traces and wires an ExperimentInputs. Blacklist kind applies
+/// to both the train-day and test-day label sets.
+std::unique_ptr<InputBundle> make_bundle(sim::World& world, std::size_t train_isp,
+                                         dns::Day train_day, std::size_t test_isp,
+                                         dns::Day test_day,
+                                         sim::BlacklistKind kind = sim::BlacklistKind::kCommercial);
+
+/// Default experiment configuration for the bench scale.
+core::SegugioConfig bench_config();
+
+/// Prints a section header.
+void print_header(const std::string& title);
+
+/// Prints TPR at the standard FP grid; `paper` (if non-empty, same length
+/// as the grid) is shown alongside.
+void print_roc_operating_points(const std::string& label, const ml::RocCurve& roc,
+                                const std::vector<double>& paper_tprs = {});
+
+/// The standard FP grid used by print_roc_operating_points.
+const std::vector<double>& fpr_grid();
+
+}  // namespace seg::bench

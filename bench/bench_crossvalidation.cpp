@@ -1,0 +1,35 @@
+// In-day cross-validation (referenced in the paper's evaluation summary,
+// Section VII: "including cross-validation, cross-day and cross-network
+// tests").
+//
+// Stratified 5-fold cross-validation over the known domains of a single
+// day of traffic, per ISP. This is the easiest setting (no train/test time
+// gap), so it upper-bounds the cross-day numbers.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace seg;
+  bench::print_header("In-day 5-fold cross-validation");
+
+  auto& world = bench::bench_world();
+  const auto config = bench::bench_config();
+
+  for (std::size_t isp = 0; isp < world.isp_count(); ++isp) {
+    const dns::Day day = 8;
+    const auto trace = world.generate_day(isp, day);
+    const auto folds = core::run_in_day_cross_validation(
+        trace, world.psl(), world.blacklist().as_of(sim::BlacklistKind::kCommercial, day),
+        world.whitelist().all(), world.activity(), world.pdns(), config);
+    const auto merged = core::EvaluationResult::merge(folds);
+    bench::print_roc_operating_points(
+        "ISP" + std::to_string(isp + 1) + " day " + std::to_string(day) +
+            " (pooled over 5 folds)",
+        merged.roc());
+    std::printf("\n");
+  }
+  std::printf("expected shape: at or slightly above the Figure 6 cross-day numbers\n"
+              "(no behavior drift between training and testing).\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Section VI reproduction: quantifying the evasion strategies the paper
+// discusses.
+//
+// Two attacker moves from the Limitations section:
+//   1. hide C&C channels under legitimate / free-registration zones
+//      ("operating a malware-control channel under a legitimate and
+//      popular domain name") — we sweep the fraction of C&C domains
+//      hidden under free-registration zones;
+//   2. query control domains less often than the observation window
+//      ("change their malware C&C domains more frequently than the
+//      observation window" / phone home rarely) — we sweep the bots' mean
+//      daily C&C query count downward.
+// For each setting the cross-day experiment reports how far detection
+// degrades.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace seg;
+
+struct Row {
+  std::string name;
+  double auc;
+  double tpr01;
+  double tpr1;
+};
+
+Row evaluate(const sim::ScenarioConfig& scenario, const std::string& name) {
+  sim::World world{scenario};
+  const auto bundle = bench::make_bundle(world, 0, 2, 0, 15);
+  const auto result = core::run_cross_day(bundle->inputs, bench::bench_config());
+  const auto roc = result.roc();
+  return {name, roc.auc(), roc.tpr_at_fpr(0.001), roc.tpr_at_fpr(0.01)};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Section VI: evasion analysis (ISP1 cross-day)");
+
+  util::TextTable table({"attacker strategy", "AUC", "TPR@0.1%", "TPR@1%"});
+  const auto add = [&table](const Row& row) {
+    table.add_row({row.name, util::format_double(row.auc, 4),
+                   util::format_double(row.tpr01, 3), util::format_double(row.tpr1, 3)});
+  };
+
+  add(evaluate(sim::ScenarioConfig::bench(), "baseline"));
+  for (const double freereg : {0.4, 0.7}) {
+    auto scenario = sim::ScenarioConfig::bench();
+    scenario.cc_freereg_abuse_prob = freereg;
+    add(evaluate(scenario,
+                 "hide " + util::format_double(100.0 * freereg, 0) + "% of C&C under free-reg zones"));
+  }
+  for (const double queries : {2.0, 1.0}) {
+    auto scenario = sim::ScenarioConfig::bench();
+    scenario.cc_queries_mean = queries;
+    add(evaluate(scenario, "bots query only ~" + util::format_double(queries, 0) +
+                               " C&C domains/day"));
+  }
+  {
+    auto scenario = sim::ScenarioConfig::bench();
+    scenario.cc_relocation_prob = 0.45;  // rotate faster than blacklists react
+    add(evaluate(scenario, "rotate domains ~every 2 days"));
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\npaper (Section VI): hiding under popular/legitimate zones is possible\n"
+              "but exposes the channel to takedown; fast rotation weakens blacklists\n"
+              "but Segugio still enumerates the infected machines each day.\n");
+  return 0;
+}

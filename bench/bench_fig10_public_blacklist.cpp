@@ -1,0 +1,104 @@
+// Figure 10 + Section IV-E reproduction: experiments with public
+// blacklists.
+//
+// Part 1 (Figure 10): the cross-day experiment labeled exclusively from
+// public C&C blacklists (4,125 domains in the paper; a lower-coverage,
+// noisier view here). Paper headline: still above 94% TPs at 0.1% FPs.
+//
+// Part 2 (cross-blacklist, in-text): train with the commercial blacklist,
+// then test on the domains that appear only in the public blacklists —
+// "new" malware-control domains the training ground truth never saw. The
+// paper observed (TP=57%, FP=0.1%), (74%, 0.5%), (77%, 0.9%) over 53 such
+// domains, depressed by public-blacklist noise.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "graph/labeling.h"
+
+int main() {
+  using namespace seg;
+  auto& world = bench::bench_world();
+
+  bench::print_header("Figure 10: ISP2 cross-day using only public blacklists");
+  {
+    const auto bundle =
+        bench::make_bundle(world, 1, 2, 1, 20, sim::BlacklistKind::kPublic);
+    const auto result = core::run_cross_day(bundle->inputs, bench::bench_config());
+    bench::print_roc_operating_points("public-blacklist labels",
+                                      result.roc(), {0.92, 0.94, 0.96, 0.98, 0.99});
+    std::printf("paper: > 94%% TPs at 0.1%% FPs\n");
+  }
+
+  bench::print_header("Section IV-E: cross-blacklist test (train commercial, test public-only)");
+  {
+    // Train on day 2 with the commercial blacklist; evaluate on day 20 the
+    // domains listed publicly (by day 20) but never commercially.
+    const auto bundle = bench::make_bundle(world, 1, 2, 1, 20,
+                                           sim::BlacklistKind::kCommercial);
+    const auto public_list = world.blacklist().as_of(sim::BlacklistKind::kPublic, 20);
+    const auto commercial_any = world.blacklist().as_of(sim::BlacklistKind::kCommercial, 120);
+
+    // Build the test graph labeled with the commercial view (day 20): the
+    // public-only domains stay *unknown* and are scored as such.
+    const auto config = bench::bench_config();
+    const auto test_graph = core::Segugio::prepare_graph(
+        *bundle->inputs.test_trace, world.psl(), bundle->inputs.test_blacklist,
+        bundle->inputs.whitelist, config.pruning);
+
+    graph::NameSet public_only;
+    std::size_t overlap = 0;
+    for (const auto& name : public_list) {
+      if (commercial_any.contains(name)) {
+        ++overlap;
+      } else {
+        public_only.insert(name);
+      }
+    }
+    std::printf("public-listed domains: %zu; already in the commercial list: %zu; "
+                "public-only: %zu (paper: 260 / 207 / 53)\n",
+                public_list.size(), overlap, public_only.size());
+
+    const auto train_graph = core::Segugio::prepare_graph(
+        *bundle->inputs.train_trace, world.psl(), bundle->inputs.train_blacklist,
+        bundle->inputs.whitelist, config.pruning);
+    core::Segugio segugio(config);
+    segugio.train(train_graph, world.activity(), world.pdns());
+    const auto report = segugio.classify(test_graph, world.activity(), world.pdns());
+
+    // Positives: public-only domains among the scored unknowns. Negatives:
+    // benign (whitelisted) domains, scored with hidden labels via the
+    // standard protocol on the same graph.
+    std::vector<int> labels;
+    std::vector<double> scores;
+    std::size_t positives_seen = 0;
+    for (const auto& scored : report.scores) {
+      if (public_only.contains(scored.name)) {
+        labels.push_back(1);
+        scores.push_back(scored.score);
+        ++positives_seen;
+      }
+    }
+    const features::FeatureExtractor extractor(test_graph, world.activity(), world.pdns(),
+                                               config.features);
+    for (graph::DomainId d = 0; d < test_graph.domain_count(); ++d) {
+      if (test_graph.domain_label(d) == graph::Label::kBenign) {
+        labels.push_back(0);
+        scores.push_back(segugio.score(extractor.extract_hiding_label(d)));
+      }
+    }
+    std::printf("public-only domains visible in the ISP2 day-20 graph: %zu\n",
+                positives_seen);
+    if (positives_seen == 0) {
+      std::printf("none visible this run; cannot compute TP rates\n");
+      return 0;
+    }
+    const auto roc = ml::RocCurve::compute(labels, scores);
+    std::printf("  TP at 0.1%% FPs: %.2f   (paper: 0.57)\n", roc.tpr_at_fpr(0.001));
+    std::printf("  TP at 0.5%% FPs: %.2f   (paper: 0.74)\n", roc.tpr_at_fpr(0.005));
+    std::printf("  TP at 0.9%% FPs: %.2f   (paper: 0.77)\n", roc.tpr_at_fpr(0.009));
+    std::printf("(the paper attributes the depressed TP to the small test set and to\n"
+                " benign domains mislabeled as C&C in the public lists; our public view\n"
+                " carries the same noise)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Table II + Figure 6 reproduction: cross-day and cross-network tests.
+//
+// Three experiments, as in Section IV-A:
+//   (a) ISP1 cross-day with a 13-day train/test gap;
+//   (b) ISP2 cross-day with an 18-day gap;
+//   (c) cross-network: train on ISP1, test on ISP2, 15-day gap.
+// Headline: consistently above 92% TPs at 0.1% FPs.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace seg;
+  bench::print_header("Table II + Figure 6: cross-day and cross-network tests");
+
+  auto& world = bench::bench_world();
+  const auto config = bench::bench_config();
+
+  struct Spec {
+    const char* name;
+    std::size_t train_isp;
+    dns::Day train_day;
+    std::size_t test_isp;
+    dns::Day test_day;
+    const char* paper_sizes;
+  };
+  const Spec specs[] = {
+      {"(a) ISP1 cross-day (13-day gap)", 0, 2, 0, 15, "9,980 mal / 780,707 ben"},
+      {"(b) ISP2 cross-day (18-day gap)", 1, 2, 1, 20, "6,490 mal / 820,219 ben"},
+      {"(c) ISP1->ISP2 cross-network (15-day gap)", 0, 2, 1, 17, "6,477 mal / 879,328 ben"},
+  };
+  // Paper Figure 6: all three curves sit above 92% TPR at 0.1% FPR and
+  // reach ~1.0 by 1% FPR. Values on our FP grid (read off the curves).
+  const std::vector<double> paper_tprs = {0.90, 0.92, 0.95, 0.97, 0.99};
+
+  util::TextTable sizes({"Test experiment", "malicious", "benign", "paper test sizes"});
+  for (const auto& spec : specs) {
+    const auto bundle = bench::make_bundle(world, spec.train_isp, spec.train_day,
+                                           spec.test_isp, spec.test_day);
+    const auto result = core::run_cross_day(bundle->inputs, config);
+    sizes.add_row({spec.name, std::to_string(result.test_malicious()),
+                   std::to_string(result.test_benign()), spec.paper_sizes});
+    bench::print_roc_operating_points(spec.name, result.roc(), paper_tprs);
+    std::printf("\n");
+  }
+  std::printf("Table II (test set sizes; ours are ~1:400 scale):\n%s", sizes.render().c_str());
+  std::printf("\npaper headline: >= 92%% TPs at 0.1%% FPs in all three experiments\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 7 reproduction: feature-group ablations.
+//
+// Train/test with one of the three feature groups removed at a time:
+//   "No IP"       — without the IP-abuse features (F3);
+//   "No machine"  — without the machine-behavior features (F1);
+//   "No activity" — without the domain-activity features (F2);
+// versus all features. The paper's findings: even without IP-abuse
+// features Segugio exceeds 80% TPs below 0.2% FPs; removing the machine
+// behavior features causes a noticeable TP drop at FP rates below 0.5%;
+// all three groups together are best.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "features/feature_config.h"
+
+int main() {
+  using namespace seg;
+  bench::print_header("Figure 7: feature-group ablation (ISP1 cross-day)");
+
+  auto& world = bench::bench_world();
+  const auto bundle = bench::make_bundle(world, 0, 2, 0, 15);
+
+  struct Variant {
+    const char* name;
+    std::vector<std::size_t> subset;
+  };
+  const Variant variants[] = {
+      {"All features", {}},
+      {"No IP (F3 removed)",
+       features::feature_indices_excluding(features::FeatureGroup::kIpAbuse)},
+      {"No machine (F1 removed)",
+       features::feature_indices_excluding(features::FeatureGroup::kMachineBehavior)},
+      {"No activity (F2 removed)",
+       features::feature_indices_excluding(features::FeatureGroup::kDomainActivity)},
+  };
+
+  double all_auc = 0.0;
+  for (const auto& variant : variants) {
+    auto config = bench::bench_config();
+    config.feature_subset = variant.subset;
+    const auto result = core::run_cross_day(bundle->inputs, config);
+    const auto roc = result.roc();
+    bench::print_roc_operating_points(variant.name, roc);
+    if (variant.subset.empty()) {
+      all_auc = roc.auc();
+    } else if (roc.auc() > all_auc + 1e-9) {
+      std::printf("  note: ablation beat the full model on AUC this run\n");
+    }
+    std::printf("\n");
+  }
+  std::printf("paper: 'No IP' still >80%% TPs below 0.2%% FPs; removing the machine\n"
+              "behavior features causes the largest TP drop at low FP rates; the\n"
+              "combination of all three groups is best.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 8 reproduction: cross-malware-family tests.
+//
+// Blacklisted domains are partitioned into balanced folds *by malware
+// family*; every test domain belongs to a family never used in training.
+// Paper headline: >= 85% TPs at 0.1% FPs — new families are detectable
+// thanks to multi-infections, recent-activity and IP-abuse evidence. The
+// paper also reports that removing the machine-behavior features (F1)
+// makes the cross-family detection rate drop significantly; we rerun the
+// folds without F1 to show the same effect.
+#include <cstdio>
+#include <unordered_map>
+
+#include "bench_common.h"
+#include "features/feature_config.h"
+
+int main() {
+  using namespace seg;
+  bench::print_header("Figure 8: cross-malware-family tests (ISP1)");
+
+  auto& world = bench::bench_world();
+  const auto bundle = bench::make_bundle(world, 0, 2, 0, 15);
+
+  std::unordered_map<std::string, std::uint32_t> family_of;
+  for (const auto& record : world.blacklist().records()) {
+    family_of.emplace(record.name, record.family);
+  }
+  std::printf("families in ground truth: %zu (the paper had >1000 at full scale)\n\n",
+              world.blacklist().family_count());
+
+  core::CrossFamilyOptions options;
+  options.folds = 5;
+
+  {
+    const auto folds = core::run_cross_family(bundle->inputs, bench::bench_config(),
+                                              family_of, options);
+    const auto merged = core::EvaluationResult::merge(folds);
+    bench::print_roc_operating_points("All features (pooled over 5 family folds)",
+                                      merged.roc(), {0.80, 0.85, 0.88, 0.92, 0.96});
+  }
+  std::printf("\n");
+  {
+    auto config = bench::bench_config();
+    config.feature_subset =
+        features::feature_indices_excluding(features::FeatureGroup::kMachineBehavior);
+    const auto folds = core::run_cross_family(bundle->inputs, config, family_of, options);
+    const auto merged = core::EvaluationResult::merge(folds);
+    bench::print_roc_operating_points("No machine-behavior features (F1 removed)",
+                                      merged.roc());
+  }
+  std::printf("\npaper: >= 85%% TPs at 0.1%% FPs with all features; dropping F1 lowers\n"
+              "the detection rate significantly at low FP rates.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Section VI reproduction: infected-machine enumeration.
+//
+// The paper argues that even if attackers rotate C&C domains faster than
+// blacklists react, Segugio "can detect both malware-control domains and
+// the infected machines that query them at the same time", so infections
+// can still be enumerated for remediation. We measure that directly: on a
+// detection day, how many of the ISP's (ground-truth) infected machines
+// does the worklist contain, at what precision — and how many of them a
+// blacklist-only workflow would have missed.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/infection_report.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace seg;
+  bench::print_header("Section VI: infected-machine enumeration (remediation worklist)");
+
+  auto& world = bench::bench_world();
+  const auto config = bench::bench_config();
+
+  util::TextTable table({"ISP/day", "worklist", "true infected on list", "precision",
+                         "recall", "blacklist-only recall", "newly implicated"});
+  for (std::size_t isp = 0; isp < world.isp_count(); ++isp) {
+    const dns::Day train_day = 2;
+    const dns::Day test_day = 15;
+    const auto train_trace = world.generate_day(isp, train_day);
+    const auto test_trace = world.generate_day(isp, test_day);
+    const auto train_graph = core::Segugio::prepare_graph(
+        train_trace, world.psl(),
+        world.blacklist().as_of(sim::BlacklistKind::kCommercial, train_day),
+        world.whitelist().all(), config.pruning);
+    core::Segugio segugio(config);
+    segugio.train(train_graph, world.activity(), world.pdns());
+
+    const auto test_graph = core::Segugio::prepare_graph(
+        test_trace, world.psl(),
+        world.blacklist().as_of(sim::BlacklistKind::kCommercial, test_day),
+        world.whitelist().all(), config.pruning);
+    const auto detections = segugio.classify(test_graph, world.activity(), world.pdns());
+    const double threshold = 0.7;
+    const auto report = core::enumerate_infections(test_graph, detections, threshold);
+
+    std::size_t true_on_list = 0;
+    std::size_t blacklist_only_true = 0;
+    for (const auto& machine : report.machines) {
+      const bool infected = world.is_infected_machine(machine.name);
+      true_on_list += infected ? 1 : 0;
+      if (!machine.known_domains.empty() && infected) {
+        ++blacklist_only_true;
+      }
+    }
+    const auto total_infected = world.infected_machine_count(isp);
+    table.add_row(
+        {"ISP" + std::to_string(isp + 1) + " day " + std::to_string(test_day),
+         std::to_string(report.machines.size()), std::to_string(true_on_list),
+         util::format_double(report.machines.empty()
+                                 ? 0.0
+                                 : 100.0 * static_cast<double>(true_on_list) /
+                                       static_cast<double>(report.machines.size()),
+                             1) + "%",
+         util::format_double(
+             100.0 * static_cast<double>(true_on_list) / static_cast<double>(total_infected),
+             1) + "%",
+         util::format_double(100.0 * static_cast<double>(blacklist_only_true) /
+                                 static_cast<double>(total_infected),
+                             1) + "%",
+         std::to_string(report.newly_implicated)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nreading the table: Segugio's worklist covers more of the truly infected\n"
+              "population than the blacklist alone, and the 'newly implicated' machines\n"
+              "are infections the blacklist workflow would have missed that day.\n");
+  return 0;
+}

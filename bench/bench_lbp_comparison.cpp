@@ -1,0 +1,87 @@
+// Section I (in-text) reproduction: pilot comparison with loopy belief
+// propagation (Manadhata et al. [6] / Polonium-style inference).
+//
+// The paper implemented LBP on GraphLab over the same datasets and found
+// Segugio ~45% more accurate on average, with classification in minutes
+// instead of the tens of hours LBP needed. We run both on the same labeled
+// test graph: LBP scores unknown domains by propagated belief; Segugio by
+// its trained classifier. Accuracy is compared at the paper's low-FP
+// operating points, runtime on the same machine.
+#include <cstdio>
+
+#include "baselines/lbp.h"
+#include "bench_common.h"
+#include "graph/labeling.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace seg;
+  bench::print_header("Pilot comparison: Segugio vs loopy belief propagation");
+
+  auto& world = bench::bench_world();
+  const auto config = bench::bench_config();
+  const auto bundle = bench::make_bundle(world, 0, 2, 0, 15);
+
+  // --- Segugio via the standard protocol.
+  util::Stopwatch watch;
+  const auto result = core::run_cross_day(bundle->inputs, config);
+  const double segugio_seconds = watch.elapsed_seconds();
+  const auto segugio_roc = result.roc();
+
+  // --- LBP on the identical hidden-label test graph: rebuild it the same
+  // way run_cross_day does, then hide the same test domains.
+  const auto test_graph = core::Segugio::prepare_graph(
+      *bundle->inputs.test_trace, world.psl(), bundle->inputs.test_blacklist,
+      bundle->inputs.whitelist, config.pruning);
+  graph::NameSet test_names;
+  for (const auto& outcome : result.outcomes) {
+    test_names.insert(outcome.name);
+  }
+  auto hidden = test_graph;
+  std::vector<std::pair<graph::DomainId, int>> test_rows;
+  for (graph::DomainId d = 0; d < hidden.domain_count(); ++d) {
+    if (test_names.contains(hidden.domain_name(d))) {
+      test_rows.emplace_back(d, hidden.domain_label(d) == graph::Label::kMalware ? 1 : 0);
+      hidden.set_domain_label(d, graph::Label::kUnknown);
+    }
+  }
+  graph::relabel_machines(hidden);
+
+  watch.restart();
+  const auto lbp = baselines::run_loopy_belief_propagation(hidden);
+  const double lbp_seconds = watch.elapsed_seconds();
+
+  std::vector<int> labels;
+  std::vector<double> scores;
+  for (const auto& [d, label] : test_rows) {
+    labels.push_back(label);
+    scores.push_back(lbp.domain_belief[d]);
+  }
+  const auto lbp_roc = ml::RocCurve::compute(labels, scores);
+
+  std::printf("%-28s %-14s %s\n", "metric", "LBP", "Segugio");
+  std::printf("%-28s %-14s %s\n", "AUC", util::format_double(lbp_roc.auc(), 4).c_str(),
+              util::format_double(segugio_roc.auc(), 4).c_str());
+  for (const double fpr : {0.001, 0.005, 0.01, 0.05}) {
+    std::printf("TPR at FPR <= %-14s %-14s %s\n",
+                (util::format_double(100.0 * fpr, 1) + "%").c_str(),
+                util::format_double(lbp_roc.tpr_at_fpr(fpr), 3).c_str(),
+                util::format_double(segugio_roc.tpr_at_fpr(fpr), 3).c_str());
+  }
+  std::printf("%-28s %-14s %s\n", "wall time (s)",
+              util::format_double(lbp_seconds, 2).c_str(),
+              util::format_double(segugio_seconds, 2).c_str());
+  std::printf("  (LBP: %zu iterations, converged=%s)\n", lbp.iterations,
+              lbp.converged ? "yes" : "no");
+
+  const double lbp_acc = lbp_roc.tpr_at_fpr(0.005);
+  const double seg_acc = segugio_roc.tpr_at_fpr(0.005);
+  if (lbp_acc > 0.0) {
+    std::printf("\nSegugio detects %.0f%% more of the test malware at 0.5%% FPs\n",
+                100.0 * (seg_acc - lbp_acc) / lbp_acc);
+  }
+  std::printf("paper: Segugio ~45%% more accurate on average; a day of traffic in\n"
+              "minutes rather than the tens of hours LBP needed at full scale.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Table I reproduction: per-day dataset sizes (before graph pruning).
+//
+// The paper samples four days of April 2013 per ISP and reports, for each,
+// the total/benign/malware domain counts, total/malware machine counts,
+// and edge counts. Our synthetic ISPs run at roughly 1:400 of the paper's
+// machine populations, so the interesting check is the *ratios* (benign
+// share of domains, malware machine share, edges per machine), printed
+// next to the paper's.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "graph/labeling.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+struct PaperRow {
+  const char* source;
+  double domains;  // millions
+  double benign_domains;
+  double malware_domains;  // absolute
+  double machines;         // millions
+  double malware_machines; // absolute
+  double edges;            // millions
+};
+
+// Table I of the paper.
+constexpr PaperRow kPaperRows[] = {
+    {"ISP1 Day1 (Apr.02)", 9.0e6, 1.8e6, 13239, 1.6e6, 50339, 319.9e6},
+    {"ISP1 Day2 (Apr.15)", 9.0e6, 1.9e6, 20277, 1.6e6, 49944, 324.2e6},
+    {"ISP1 Day3 (Apr.23)", 8.2e6, 1.8e6, 18020, 1.6e6, 47506, 310.7e6},
+    {"ISP1 Day4 (Apr.28)", 10.0e6, 1.9e6, 11597, 1.6e6, 44299, 312.3e6},
+    {"ISP2 Day1 (Apr.08)", 10.2e6, 2.0e6, 15706, 4.0e6, 78990, 352.6e6},
+    {"ISP2 Day2 (Apr.20)", 9.8e6, 2.0e6, 14279, 3.9e6, 74098, 347.1e6},
+    {"ISP2 Day3 (Apr.26)", 9.6e6, 2.0e6, 36758, 3.9e6, 69773, 333.7e6},
+    {"ISP2 Day4 (Apr.30)", 10.6e6, 2.2e6, 13467, 4.0e6, 72519, 355.6e6},
+};
+
+}  // namespace
+
+int main() {
+  using namespace seg;
+  bench::print_header("Table I: experiment data (before graph pruning)");
+
+  auto& world = bench::bench_world();
+  // The paper samples four days per ISP across a month; we sample four
+  // days across the horizon.
+  const dns::Day days[4] = {2, 15, 23, 28};
+
+  util::TextTable table({"Traffic Source", "Domains", "Benign", "Malware", "Machines",
+                         "Mal.Machines", "Edges"});
+  std::size_t paper_index = 0;
+  double measured_benign_share = 0.0;
+  double paper_benign_share = 0.0;
+  double measured_malmach_share = 0.0;
+  double paper_malmach_share = 0.0;
+  for (std::size_t isp = 0; isp < world.isp_count(); ++isp) {
+    for (const auto day : days) {
+      const auto trace = world.generate_day(isp, day);
+      graph::GraphBuilder builder(world.psl());
+      builder.add_trace(trace);
+      auto graph = builder.build();
+      graph::apply_labels(graph, world.blacklist().as_of(sim::BlacklistKind::kCommercial, day),
+                          world.whitelist().all());
+      const auto stats = graph::compute_stats(graph);
+      table.add_row({"ISP" + std::to_string(isp + 1) + " Day " + std::to_string(day),
+                     util::format_count(stats.domains), util::format_count(stats.benign_domains),
+                     util::format_count(stats.malware_domains),
+                     util::format_count(stats.machines),
+                     util::format_count(stats.malware_machines),
+                     util::format_count(stats.edges)});
+      const auto& paper = kPaperRows[paper_index++];
+      measured_benign_share +=
+          static_cast<double>(stats.benign_domains) / static_cast<double>(stats.domains);
+      paper_benign_share += paper.benign_domains / paper.domains;
+      measured_malmach_share +=
+          static_cast<double>(stats.malware_machines) / static_cast<double>(stats.machines);
+      paper_malmach_share += paper.malware_machines / paper.machines;
+    }
+  }
+  std::printf("%s", table.render().c_str());
+
+  std::printf("\npaper (Table I), for reference:\n");
+  util::TextTable paper_table({"Traffic Source", "Domains", "Benign", "Malware", "Machines",
+                               "Mal.Machines", "Edges"});
+  for (const auto& row : kPaperRows) {
+    paper_table.add_row({row.source, util::format_count(static_cast<std::uint64_t>(row.domains)),
+                         util::format_count(static_cast<std::uint64_t>(row.benign_domains)),
+                         util::format_count(static_cast<std::uint64_t>(row.malware_domains)),
+                         util::format_count(static_cast<std::uint64_t>(row.machines)),
+                         util::format_count(static_cast<std::uint64_t>(row.malware_machines)),
+                         util::format_count(static_cast<std::uint64_t>(row.edges))});
+  }
+  std::printf("%s", paper_table.render().c_str());
+
+  const double n = static_cast<double>(std::size(kPaperRows));
+  std::printf("\nshape checks (averages over the 8 days):\n");
+  std::printf("  benign share of domains:   measured %.1f%%  paper %.1f%%\n",
+              100.0 * measured_benign_share / n, 100.0 * paper_benign_share / n);
+  std::printf("  malware share of machines: measured %.2f%%  paper %.2f%%\n",
+              100.0 * measured_malmach_share / n, 100.0 * paper_malmach_share / n);
+  std::printf("  (absolute sizes are ~1:400 of the paper's ISPs by design)\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Table III reproduction: analysis of Segugio's false positives.
+//
+// For each of the three Figure 6 experiments, pick the detection threshold
+// that keeps overall FPs at ~0.05% with high TPs, then break the resulting
+// FP domains down as the paper does: distinct FQDs and e2LDs, the share of
+// the top-10 e2LDs, and how many FPs (i) were queried by a machine
+// population >90% known-infected, (ii) resolved into previously abused IP
+// space, (iii) were active <= 3 days, and (iv) were contacted by sandboxed
+// malware — evidence that many "false" positives are real malware pages
+// under free-registration zones (Figure 9).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/fp_analysis.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace seg;
+  bench::print_header("Table III: analysis of Segugio's false positives");
+
+  auto& world = bench::bench_world();
+  const auto config = bench::bench_config();
+
+  struct Spec {
+    const char* name;
+    std::size_t train_isp;
+    dns::Day train_day;
+    std::size_t test_isp;
+    dns::Day test_day;
+  };
+  const Spec specs[] = {
+      {"(a) ISP1 cross-day", 0, 2, 0, 15},
+      {"(b) ISP2 cross-day", 1, 2, 1, 20},
+      {"(c) cross-network", 0, 2, 1, 17},
+  };
+
+  util::TextTable table({"Metric", "(a)", "(b)", "(c)", "paper (a)/(b)/(c)"});
+  std::vector<core::FpBreakdown> breakdowns;
+  std::vector<double> tprs;
+  std::vector<std::string> examples;
+  for (const auto& spec : specs) {
+    const auto bundle = bench::make_bundle(world, spec.train_isp, spec.train_day,
+                                           spec.test_isp, spec.test_day);
+    const auto result = core::run_cross_day(bundle->inputs, config);
+    const auto roc = result.roc();
+    // Paper operating point: <= 0.05% FPs with > 90% TPs. At our scale a
+    // 0.05% budget rounds to ~2 domains, so we widen to 0.5% when needed to
+    // get a measurable FP population, like-for-like across experiments.
+    double budget = 0.0005;
+    if (roc.tpr_at_fpr(budget) < 0.01 ||
+        static_cast<double>(roc.negatives()) * budget < 4.0) {
+      budget = 0.005;
+    }
+    const double threshold = roc.threshold_for_fpr(budget);
+    tprs.push_back(roc.tpr_at_fpr(budget));
+    breakdowns.push_back(core::analyze_false_positives(
+        result, threshold,
+        [&world](std::string_view name) { return world.sandbox().contacted_by_malware(name); }));
+    if (examples.empty()) {
+      examples = breakdowns.back().examples;
+    }
+  }
+
+  const auto row = [&](const char* name, auto getter, const char* paper) {
+    std::vector<std::string> cells{name};
+    for (const auto& b : breakdowns) {
+      cells.push_back(getter(b));
+    }
+    cells.push_back(paper);
+    table.add_row(std::move(cells));
+  };
+  row("False-positive FQDs", [](const core::FpBreakdown& b) {
+        return std::to_string(b.fqdn_count);
+      },
+      "724 / 807 / 786");
+  row("Distinct e2LDs", [](const core::FpBreakdown& b) {
+        return std::to_string(b.e2ld_count);
+      },
+      "401 / 410 / 451");
+  row("Top-10 e2LD share", [](const core::FpBreakdown& b) {
+        return util::format_double(100.0 * b.top10_share, 0) + "%";
+      },
+      "32% / 38% / 31%");
+  row(">90% infected machines", [](const core::FpBreakdown& b) {
+        return util::format_double(100.0 * b.frac_high_infected, 0) + "%";
+      },
+      "73% / 71% / 55%");
+  row("Past abused IPs", [](const core::FpBreakdown& b) {
+        return util::format_double(100.0 * b.frac_past_abused_ips, 0) + "%";
+      },
+      "86% / 85% / 80%");
+  row("Active <= 3 days", [](const core::FpBreakdown& b) {
+        return util::format_double(100.0 * b.frac_short_activity, 0) + "%";
+      },
+      "26% / 20% / 27%");
+  row("Queried by sandboxed malware", [](const core::FpBreakdown& b) {
+        return util::format_double(100.0 * b.frac_sandbox_contacted, 0) + "%";
+      },
+      "21% / 23% / 19%");
+  std::printf("%s", table.render().c_str());
+
+  std::printf("\nTPR at the chosen operating points: %.3f / %.3f / %.3f (paper: > 0.90)\n",
+              tprs[0], tprs[1], tprs[2]);
+  std::printf("\nexample FP domains (cf. Figure 9 — note the free-registration zones):\n");
+  for (const auto& name : examples) {
+    std::printf("  %s\n", name.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+#include "core/diagnostics.h"
+
+#include <sstream>
+
+#include "features/feature_config.h"
+#include "util/require.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace seg::core {
+
+std::string describe_model(const Segugio& segugio) {
+  util::require(segugio.is_trained(), "describe_model: detector not trained");
+  const auto& config = segugio.config();
+  std::ostringstream out;
+
+  out << "Segugio detector\n";
+  out << "  classifier:      "
+      << (config.classifier == ClassifierKind::kRandomForest ? "random forest"
+                                                             : "logistic regression")
+      << "\n";
+  out << "  activity window: " << config.features.activity_window_days << " days (n)\n";
+  out << "  pDNS window:     " << config.features.pdns_window_days << " days (W)\n";
+  out << "  pruning:         R1 <= " << config.pruning.inactive_machine_max_degree
+      << " domains, R2 pct " << util::format_double(config.pruning.proxy_degree_percentile, 4)
+      << ", R3 < " << config.pruning.min_domain_machines << " machines, R4 >= "
+      << util::format_double(config.pruning.popular_e2ld_fraction, 3) << " of machines\n";
+  out << "  prober filter:   " << (config.prober_filter.has_value() ? "on" : "off") << "\n";
+
+  // Active features and (for forests) their importances.
+  const auto& names = features::feature_names();
+  std::vector<std::size_t> active = config.feature_subset;
+  if (active.empty()) {
+    for (std::size_t i = 0; i < features::kNumFeatures; ++i) {
+      active.push_back(i);
+    }
+  }
+  const auto importance = segugio.feature_importance();
+  util::TextTable table(importance.empty()
+                            ? std::vector<std::string>{"feature"}
+                            : std::vector<std::string>{"feature", "importance"});
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    if (importance.empty()) {
+      table.add_row({names[active[i]]});
+    } else {
+      table.add_row({names[active[i]], util::format_double(importance[i], 4)});
+    }
+  }
+  out << table.render();
+  return out.str();
+}
+
+}  // namespace seg::core

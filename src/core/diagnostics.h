@@ -1,0 +1,15 @@
+// Human-readable model diagnostics ("model card") for a trained detector.
+#pragma once
+
+#include <string>
+
+#include "core/segugio.h"
+
+namespace seg::core {
+
+/// Renders a text description of a trained detector: classifier backend,
+/// configured feature set (names), per-feature importances (forest only),
+/// feature windows, and the pruning thresholds that travel with the model.
+std::string describe_model(const Segugio& segugio);
+
+}  // namespace seg::core

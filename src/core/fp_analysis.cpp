@@ -1,0 +1,76 @@
+#include "core/fp_analysis.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "features/feature_config.h"
+
+namespace seg::core {
+
+FpBreakdown analyze_false_positives(
+    const EvaluationResult& result, double threshold,
+    const std::function<bool(std::string_view)>& sandbox_contacted,
+    std::size_t max_examples) {
+  // Collect benign-labeled test domains that scored at or above threshold.
+  std::vector<const TestOutcome*> fps;
+  for (const auto& outcome : result.outcomes) {
+    if (outcome.label == 0 && outcome.score >= threshold) {
+      fps.push_back(&outcome);
+    }
+  }
+  std::sort(fps.begin(), fps.end(), [](const TestOutcome* a, const TestOutcome* b) {
+    return a->score > b->score;
+  });
+
+  FpBreakdown breakdown;
+  breakdown.fqdn_count = fps.size();
+  if (fps.empty()) {
+    return breakdown;
+  }
+
+  std::unordered_map<std::string, std::size_t> per_e2ld;
+  std::size_t high_infected = 0;
+  std::size_t past_abused = 0;
+  std::size_t short_activity = 0;
+  std::size_t in_sandbox = 0;
+  for (const auto* fp : fps) {
+    ++per_e2ld[fp->e2ld];
+    if (fp->features[features::kInfectedFraction] > 0.9) {
+      ++high_infected;
+    }
+    if (fp->features[features::kIpMalwareFraction] > 0.0 ||
+        fp->features[features::kPrefixMalwareFraction] > 0.0) {
+      ++past_abused;
+    }
+    if (fp->features[features::kFqdnActiveDays] <= 3.0) {
+      ++short_activity;
+    }
+    if (sandbox_contacted && sandbox_contacted(fp->name)) {
+      ++in_sandbox;
+    }
+    if (breakdown.examples.size() < max_examples) {
+      breakdown.examples.push_back(fp->name);
+    }
+  }
+  breakdown.e2ld_count = per_e2ld.size();
+
+  std::vector<std::size_t> counts;
+  counts.reserve(per_e2ld.size());
+  for (const auto& [e2ld, count] : per_e2ld) {
+    counts.push_back(count);
+  }
+  std::sort(counts.rbegin(), counts.rend());
+  for (std::size_t i = 0; i < counts.size() && i < 10; ++i) {
+    breakdown.top10_e2ld_fqdns += counts[i];
+  }
+
+  const auto n = static_cast<double>(fps.size());
+  breakdown.top10_share = static_cast<double>(breakdown.top10_e2ld_fqdns) / n;
+  breakdown.frac_high_infected = static_cast<double>(high_infected) / n;
+  breakdown.frac_past_abused_ips = static_cast<double>(past_abused) / n;
+  breakdown.frac_short_activity = static_cast<double>(short_activity) / n;
+  breakdown.frac_sandbox_contacted = static_cast<double>(in_sandbox) / n;
+  return breakdown;
+}
+
+}  // namespace seg::core

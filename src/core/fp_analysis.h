@@ -1,0 +1,41 @@
+// False-positive analysis (Section IV-D, Table III).
+//
+// Given an evaluation result and an operating threshold, breaks the benign
+// test domains that scored above the threshold down the way the paper does:
+// distinct FQDs and e2LDs, the share of the top-10 e2LDs, and per-feature
+// contributions (>90% infected querying machines, previously abused IP
+// space, active for <= 3 days), plus how many FPs a sandbox trace database
+// confirms as actually malware-contacted.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace seg::core {
+
+struct FpBreakdown {
+  std::size_t fqdn_count = 0;            ///< distinct false-positive FQDs
+  std::size_t e2ld_count = 0;            ///< distinct e2LDs among them
+  std::size_t top10_e2ld_fqdns = 0;      ///< FQDs under the 10 biggest e2LDs
+  double top10_share = 0.0;              ///< top10_e2ld_fqdns / fqdn_count
+
+  double frac_high_infected = 0.0;       ///< > 90% infected querying machines
+  double frac_past_abused_ips = 0.0;     ///< resolved to previously abused IPs
+  double frac_short_activity = 0.0;      ///< active <= 3 days
+  double frac_sandbox_contacted = 0.0;   ///< queried by sandboxed malware
+
+  /// Example FP names (most suspicious first), like Figure 9.
+  std::vector<std::string> examples;
+};
+
+/// Analyzes FPs at `threshold`. `sandbox_contacted` answers "was this
+/// domain ever contacted by sandboxed malware" (pass {} to skip that row).
+FpBreakdown analyze_false_positives(
+    const EvaluationResult& result, double threshold,
+    const std::function<bool(std::string_view)>& sandbox_contacted = {},
+    std::size_t max_examples = 12);
+
+}  // namespace seg::core

@@ -1,0 +1,223 @@
+#include "core/segugio.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "graph/labeling.h"
+#include "ml/metrics.h"
+#include "util/require.h"
+#include "util/stopwatch.h"
+
+namespace seg::core {
+
+std::vector<Detection> DetectionReport::detections_at(
+    double threshold, const graph::MachineDomainGraph& graph) const {
+  std::vector<Detection> detections;
+  for (const auto& scored : scores) {
+    if (scored.score < threshold) {
+      continue;
+    }
+    Detection detection;
+    detection.domain = scored;
+    for (const auto m : graph.machines_of(scored.id)) {
+      detection.machines.emplace_back(graph.machine_name(m));
+    }
+    detections.push_back(std::move(detection));
+  }
+  std::sort(detections.begin(), detections.end(), [](const Detection& a, const Detection& b) {
+    return a.domain.score > b.domain.score;
+  });
+  return detections;
+}
+
+Segugio::Segugio(SegugioConfig config) : config_(std::move(config)) {}
+
+graph::MachineDomainGraph Segugio::prepare_graph(const dns::DayTrace& trace,
+                                                 const dns::PublicSuffixList& psl,
+                                                 const graph::NameSet& cc_blacklist,
+                                                 const graph::NameSet& e2ld_whitelist,
+                                                 const graph::PruningConfig& pruning,
+                                                 graph::PruneStats* stats,
+                                                 const graph::ProberFilterConfig* prober_filter) {
+  graph::GraphBuilder builder(psl);
+  builder.add_trace(trace);
+  auto graph = builder.build();
+  graph::apply_labels(graph, cc_blacklist, e2ld_whitelist);
+  if (prober_filter != nullptr) {
+    graph = graph::remove_probers(graph, *prober_filter);
+  }
+  return graph::prune(graph, pruning, stats);
+}
+
+void Segugio::train(const graph::MachineDomainGraph& graph,
+                    const dns::DomainActivityIndex& activity, const dns::PassiveDnsDb& pdns) {
+  util::Stopwatch watch;
+  const features::FeatureExtractor extractor(graph, activity, pdns, config_.features);
+  auto training = features::build_training_set(graph, extractor, config_.training);
+  util::require(training.malware_rows > 0,
+                "Segugio::train: no known malware domains in the training graph");
+  util::require(training.benign_rows > 0,
+                "Segugio::train: no known benign domains in the training graph");
+  timings_.train_feature_seconds = watch.elapsed_seconds();
+
+  watch.restart();
+  ml::Dataset dataset = config_.feature_subset.empty()
+                            ? std::move(training.dataset)
+                            : training.dataset.select_features(config_.feature_subset);
+  if (config_.classifier == ClassifierKind::kRandomForest) {
+    forest_ = std::make_unique<ml::RandomForest>(config_.forest);
+    forest_->train(dataset);
+    logistic_.reset();
+  } else {
+    logistic_ = std::make_unique<ml::LogisticRegression>(config_.logistic);
+    logistic_->train(dataset);
+    forest_.reset();
+  }
+  timings_.train_fit_seconds = watch.elapsed_seconds();
+}
+
+bool Segugio::is_trained() const {
+  return (forest_ != nullptr && forest_->is_trained()) ||
+         (logistic_ != nullptr && logistic_->is_trained());
+}
+
+std::vector<double> Segugio::apply_subset(std::span<const double> features) const {
+  if (config_.feature_subset.empty()) {
+    return {features.begin(), features.end()};
+  }
+  std::vector<double> selected;
+  selected.reserve(config_.feature_subset.size());
+  for (const auto index : config_.feature_subset) {
+    selected.push_back(features[index]);
+  }
+  return selected;
+}
+
+double Segugio::score(const features::FeatureVector& features) const {
+  util::require(is_trained(), "Segugio::score: classifier not trained");
+  const auto selected = apply_subset(features);
+  return forest_ != nullptr ? forest_->predict_proba(selected)
+                            : logistic_->predict_proba(selected);
+}
+
+DetectionReport Segugio::classify(const graph::MachineDomainGraph& graph,
+                                  const dns::DomainActivityIndex& activity,
+                                  const dns::PassiveDnsDb& pdns) const {
+  util::require(is_trained(), "Segugio::classify: classifier not trained");
+  util::Stopwatch watch;
+  const features::FeatureExtractor extractor(graph, activity, pdns, config_.features);
+  auto unknown = features::build_unknown_set(graph, extractor);
+  timings_.classify_feature_seconds = watch.elapsed_seconds();
+
+  watch.restart();
+  DetectionReport report;
+  report.scores.reserve(unknown.domain_ids.size());
+  for (std::size_t row = 0; row < unknown.domain_ids.size(); ++row) {
+    const auto selected = apply_subset(unknown.dataset.row(row));
+    const double malware_score = forest_ != nullptr ? forest_->predict_proba(selected)
+                                                    : logistic_->predict_proba(selected);
+    const auto d = unknown.domain_ids[row];
+    report.scores.push_back({std::string(graph.domain_name(d)), d, malware_score});
+  }
+  timings_.classify_score_seconds = watch.elapsed_seconds();
+  return report;
+}
+
+double Segugio::pick_threshold(const std::vector<int>& labels,
+                               const std::vector<double>& scores, double max_fpr) {
+  const auto roc = ml::RocCurve::compute(labels, scores);
+  return roc.threshold_for_fpr(max_fpr);
+}
+
+std::vector<double> Segugio::feature_importance() const {
+  if (forest_ == nullptr || !forest_->is_trained()) {
+    return {};
+  }
+  return forest_->feature_importance();
+}
+
+void Segugio::save(std::ostream& out) const {
+  util::require(is_trained(), "Segugio::save: classifier not trained");
+  out << "segugio 1\n";
+  out << "activity_window " << config_.features.activity_window_days << "\n";
+  out << "pdns_window " << config_.features.pdns_window_days << "\n";
+  out << "pruning " << config_.pruning.inactive_machine_max_degree << " ";
+  out.precision(17);
+  out << config_.pruning.proxy_degree_percentile << " "
+      << config_.pruning.min_domain_machines << " "
+      << config_.pruning.popular_e2ld_fraction << "\n";
+  out << "subset " << config_.feature_subset.size();
+  for (const auto index : config_.feature_subset) {
+    out << " " << index;
+  }
+  out << "\n";
+  out << "prober " << (config_.prober_filter.has_value() ? 1 : 0);
+  if (config_.prober_filter.has_value()) {
+    out << " " << config_.prober_filter->min_blacklisted_domains << " "
+        << config_.prober_filter->min_blacklisted_ratio;
+  }
+  out << "\n";
+  if (forest_ != nullptr) {
+    out << "classifier forest\n";
+    forest_->save(out);
+  } else {
+    out << "classifier logistic\n";
+    logistic_->save(out);
+  }
+}
+
+Segugio Segugio::load(std::istream& in) {
+  std::string tag;
+  int version = 0;
+  in >> tag >> version;
+  util::require_data(static_cast<bool>(in) && tag == "segugio" && version == 1,
+                     "Segugio::load: malformed header");
+  SegugioConfig config;
+  in >> tag >> config.features.activity_window_days;
+  util::require_data(static_cast<bool>(in) && tag == "activity_window",
+                     "Segugio::load: malformed activity window");
+  in >> tag >> config.features.pdns_window_days;
+  util::require_data(static_cast<bool>(in) && tag == "pdns_window",
+                     "Segugio::load: malformed pDNS window");
+  in >> tag >> config.pruning.inactive_machine_max_degree >>
+      config.pruning.proxy_degree_percentile >> config.pruning.min_domain_machines >>
+      config.pruning.popular_e2ld_fraction;
+  util::require_data(static_cast<bool>(in) && tag == "pruning",
+                     "Segugio::load: malformed pruning block");
+  std::size_t subset_size = 0;
+  in >> tag >> subset_size;
+  util::require_data(static_cast<bool>(in) && tag == "subset",
+                     "Segugio::load: malformed feature subset");
+  config.feature_subset.resize(subset_size);
+  for (auto& index : config.feature_subset) {
+    in >> index;
+  }
+  int prober_enabled = 0;
+  in >> tag >> prober_enabled;
+  util::require_data(static_cast<bool>(in) && tag == "prober",
+                     "Segugio::load: malformed prober block");
+  if (prober_enabled != 0) {
+    graph::ProberFilterConfig filter;
+    in >> filter.min_blacklisted_domains >> filter.min_blacklisted_ratio;
+    config.prober_filter = filter;
+  }
+  std::string kind;
+  in >> tag >> kind;
+  util::require_data(static_cast<bool>(in) && tag == "classifier",
+                     "Segugio::load: malformed classifier block");
+  Segugio segugio(std::move(config));
+  if (kind == "forest") {
+    segugio.config_.classifier = ClassifierKind::kRandomForest;
+    segugio.forest_ = std::make_unique<ml::RandomForest>(ml::RandomForest::load(in));
+  } else if (kind == "logistic") {
+    segugio.config_.classifier = ClassifierKind::kLogisticRegression;
+    segugio.logistic_ =
+        std::make_unique<ml::LogisticRegression>(ml::LogisticRegression::load(in));
+  } else {
+    throw util::ParseError("Segugio::load: unknown classifier kind '" + kind + "'");
+  }
+  return segugio;
+}
+
+}  // namespace seg::core

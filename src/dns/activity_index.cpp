@@ -1,0 +1,108 @@
+#include "dns/activity_index.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/require.h"
+
+namespace seg::dns {
+
+void DomainActivityIndex::mark_active(std::string_view name, Day day) {
+  auto it = days_.find(name);
+  if (it == days_.end()) {
+    it = days_.emplace(std::string(name), std::vector<Day>{}).first;
+  }
+  auto& days = it->second;
+  if (days.empty() || days.back() < day) {
+    days.push_back(day);
+    return;
+  }
+  if (days.back() == day) {
+    return;
+  }
+  const auto pos = std::lower_bound(days.begin(), days.end(), day);
+  if (pos == days.end() || *pos != day) {
+    days.insert(pos, day);
+  }
+}
+
+int DomainActivityIndex::active_days(std::string_view name, Day from, Day to) const {
+  const auto it = days_.find(name);
+  if (it == days_.end()) {
+    return 0;
+  }
+  const auto& days = it->second;
+  const auto lo = std::lower_bound(days.begin(), days.end(), from);
+  const auto hi = std::upper_bound(days.begin(), days.end(), to);
+  return static_cast<int>(hi - lo);
+}
+
+int DomainActivityIndex::consecutive_days_ending(std::string_view name, Day day) const {
+  const auto it = days_.find(name);
+  if (it == days_.end()) {
+    return 0;
+  }
+  const auto& days = it->second;
+  auto pos = std::lower_bound(days.begin(), days.end(), day);
+  if (pos == days.end() || *pos != day) {
+    return 0;
+  }
+  int count = 1;
+  Day expected = day - 1;
+  while (pos != days.begin()) {
+    --pos;
+    if (*pos != expected) {
+      break;
+    }
+    ++count;
+    --expected;
+  }
+  return count;
+}
+
+std::optional<Day> DomainActivityIndex::first_seen(std::string_view name) const {
+  const auto it = days_.find(name);
+  if (it == days_.end() || it->second.empty()) {
+    return std::nullopt;
+  }
+  return it->second.front();
+}
+
+void DomainActivityIndex::save(std::ostream& out) const {
+  out << "activity " << days_.size() << "\n";
+  for (const auto& [name, days] : days_) {
+    out << name;
+    for (const auto day : days) {
+      out << ' ' << day;
+    }
+    out << '\n';
+  }
+}
+
+DomainActivityIndex DomainActivityIndex::load(std::istream& in) {
+  std::string tag;
+  std::size_t count = 0;
+  in >> tag >> count;
+  util::require_data(static_cast<bool>(in) && tag == "activity",
+                     "DomainActivityIndex::load: malformed header");
+  std::string line;
+  std::getline(in, line);  // consume rest of header line
+  DomainActivityIndex index;
+  for (std::size_t i = 0; i < count; ++i) {
+    util::require_data(static_cast<bool>(std::getline(in, line)),
+                       "DomainActivityIndex::load: truncated file");
+    std::istringstream fields(line);
+    std::string name;
+    fields >> name;
+    util::require_data(!name.empty(), "DomainActivityIndex::load: empty name");
+    Day day = 0;
+    while (fields >> day) {
+      index.mark_active(name, day);
+    }
+  }
+  return index;
+}
+
+}  // namespace seg::dns

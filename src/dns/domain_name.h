@@ -1,0 +1,48 @@
+// Validated, normalized DNS domain names.
+//
+// A DomainName holds a lowercase FQDN without a trailing dot. Validation is
+// deliberately RFC-1035-shaped but tolerant of underscore labels (seen in
+// real traffic). All of Segugio's higher layers treat domain names as opaque
+// interned ids; this type is the boundary where raw strings are checked.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seg::dns {
+
+class DomainName {
+ public:
+  /// Normalizes (lowercases, strips one trailing dot) and validates `text`.
+  /// Throws util::ParseError when the name is not a plausible DNS name.
+  static DomainName parse(std::string_view text);
+
+  /// Returns true when `text` would be accepted by parse().
+  static bool is_valid(std::string_view text);
+
+  const std::string& str() const { return name_; }
+
+  /// Labels in left-to-right order: "www.example.com" -> {www, example, com}.
+  std::vector<std::string_view> labels() const;
+
+  std::size_t label_count() const;
+
+  /// Top-level domain (rightmost label).
+  std::string_view tld() const;
+
+  /// Parent domain ("www.example.com" -> "example.com"); empty for a TLD.
+  std::string_view parent() const;
+
+  /// True if this name equals `ancestor` or is a subdomain of it.
+  bool is_subdomain_of(std::string_view ancestor) const;
+
+  friend bool operator==(const DomainName&, const DomainName&) = default;
+
+ private:
+  explicit DomainName(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+};
+
+}  // namespace seg::dns

@@ -1,0 +1,54 @@
+// IPv4 address value type with /24 prefix support.
+//
+// The paper's IP-abuse features (F3) operate on resolved IPv4 addresses and
+// their /24 prefixes; this type keeps both as plain integers so the passive
+// DNS database can index them cheaply.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace seg::dns {
+
+/// An IPv4 address stored as a host-order 32-bit integer.
+class IpV4 {
+ public:
+  constexpr IpV4() = default;
+  constexpr explicit IpV4(std::uint32_t value) : value_(value) {}
+
+  /// Builds from dotted octets.
+  static constexpr IpV4 from_octets(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                                    std::uint8_t d) {
+    return IpV4((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) | (std::uint32_t{c} << 8) |
+                std::uint32_t{d});
+  }
+
+  /// Parses dotted-quad notation; throws util::ParseError on malformed input.
+  static IpV4 parse(std::string_view text);
+
+  constexpr std::uint32_t value() const { return value_; }
+
+  /// The /24 prefix (upper 24 bits; lower octet zeroed).
+  constexpr std::uint32_t prefix24() const { return value_ & 0xffffff00u; }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(IpV4 a, IpV4 b) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace seg::dns
+
+template <>
+struct std::hash<seg::dns::IpV4> {
+  std::size_t operator()(seg::dns::IpV4 ip) const noexcept {
+    // mix to spread sequential addresses across buckets
+    std::uint64_t x = ip.value();
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};

@@ -1,0 +1,63 @@
+// DNS query-log records: the raw input Segugio consumes.
+//
+// Segugio monitors the DNS traffic between ISP customer machines and the
+// ISP's local resolver, keeping only successful authoritative responses that
+// map a queried domain to valid IP addresses (Section II-A1). A record is
+// (day, machine identifier, queried FQDN, resolved IPs). Records can be
+// carried in memory (DayTrace, what the simulator produces) or streamed
+// to/from a TSV file for offline runs.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dns/ip.h"
+#include "dns/types.h"
+
+namespace seg::dns {
+
+/// One resolved DNS query observed at the local resolver.
+struct QueryRecord {
+  Day day = 0;
+  std::string machine;            ///< stable machine identifier (paper §III)
+  std::string qname;              ///< queried fully-qualified domain name
+  std::vector<IpV4> resolved_ips; ///< A-record answers
+
+  friend bool operator==(const QueryRecord&, const QueryRecord&) = default;
+};
+
+/// All query records observed in one observation window T (one day in the
+/// paper's deployments).
+struct DayTrace {
+  Day day = 0;
+  std::vector<QueryRecord> records;
+};
+
+/// Writes a trace as TSV: day \t machine \t qname \t ip1,ip2,...
+/// Throws util::ParseError when the file cannot be created.
+void write_trace(const DayTrace& trace, const std::string& path);
+
+/// Reads a trace previously written by write_trace. Throws util::ParseError
+/// on malformed rows. All records must share one day, which becomes
+/// trace.day (an empty file yields day 0 and no records).
+DayTrace read_trace(const std::string& path);
+
+/// Compact binary form (roughly 3-4x smaller than the TSV): little-endian,
+/// length-prefixed strings, magic header "SEGTRC1". ISP-scale days run to
+/// hundreds of millions of records, where the text format stops being
+/// practical.
+void write_trace_binary(const DayTrace& trace, const std::string& path);
+
+/// Reads a trace written by write_trace_binary. Throws util::ParseError on
+/// bad magic, truncation, or malformed records.
+DayTrace read_trace_binary(const std::string& path);
+
+/// Streams a trace file — text TSV, or SEGTRC1 binary when the path ends
+/// in ".bin" — invoking `callback` once per record without materializing
+/// the whole trace. Returns the trace day (0 for an empty file). Throws
+/// util::ParseError on malformed input.
+Day for_each_record(const std::string& path,
+                    const std::function<void(const QueryRecord&)>& callback);
+
+}  // namespace seg::dns

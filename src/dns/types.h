@@ -1,0 +1,19 @@
+// Shared primitive types for the DNS substrate.
+#pragma once
+
+#include <cstdint>
+
+namespace seg::dns {
+
+/// Day index. Experiments use days relative to an arbitrary epoch (the
+/// simulator's day 0); all windows in the paper (n = 14 days of activity
+/// history, W = 5 months of pDNS history) are expressed in these units.
+using Day = std::int32_t;
+
+/// Number of days in the paper's pDNS history window W (~5 months).
+inline constexpr Day kDefaultPdnsWindowDays = 150;
+
+/// Number of days in the paper's domain-activity window n.
+inline constexpr Day kDefaultActivityWindowDays = 14;
+
+}  // namespace seg::dns

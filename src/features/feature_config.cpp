@@ -1,0 +1,49 @@
+#include "features/feature_config.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace seg::features {
+
+const std::vector<std::string>& feature_names() {
+  static const std::vector<std::string> names = {
+      "f1_infected_fraction",   "f1_unknown_fraction",      "f1_total_machines",
+      "f2_fqdn_active_days",    "f2_fqdn_consecutive_days", "f2_e2ld_active_days",
+      "f2_e2ld_consecutive_days", "f3_ip_malware_fraction", "f3_prefix_malware_fraction",
+      "f3_ip_unknown_count",    "f3_prefix_unknown_count"};
+  return names;
+}
+
+FeatureGroup feature_group(std::size_t index) {
+  util::require(index < kNumFeatures, "feature_group: index out of range");
+  if (index <= kTotalMachines) {
+    return FeatureGroup::kMachineBehavior;
+  }
+  if (index <= kE2ldConsecutiveDays) {
+    return FeatureGroup::kDomainActivity;
+  }
+  return FeatureGroup::kIpAbuse;
+}
+
+std::vector<std::size_t> feature_indices_for(std::initializer_list<FeatureGroup> groups) {
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < kNumFeatures; ++i) {
+    if (std::find(groups.begin(), groups.end(), feature_group(i)) != groups.end()) {
+      indices.push_back(i);
+    }
+  }
+  return indices;
+}
+
+std::vector<std::size_t> feature_indices_excluding(FeatureGroup excluded) {
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < kNumFeatures; ++i) {
+    if (feature_group(i) != excluded) {
+      indices.push_back(i);
+    }
+  }
+  return indices;
+}
+
+}  // namespace seg::features

@@ -1,0 +1,64 @@
+// Configuration and naming for Segugio's 11 statistical features
+// (Section II-A3).
+//
+// Three groups:
+//   F1 machine behavior (3): fraction of known-infected machines querying
+//      the domain, fraction of unknown machines, total querying machines;
+//   F2 domain activity (4): active days and consecutive active days within
+//      the n-day window, for the FQDN and for its effective 2LD;
+//   F3 IP abuse (4): fraction of the domain's resolved IPs (and /24s)
+//      previously pointed to by known malware domains within the W-day pDNS
+//      window, and the counts of resolved IPs (and /24s) used by unknown
+//      domains within W.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dns/types.h"
+
+namespace seg::features {
+
+enum class FeatureGroup : unsigned char { kMachineBehavior, kDomainActivity, kIpAbuse };
+
+inline constexpr std::size_t kNumFeatures = 11;
+
+/// Index layout of the full feature vector.
+enum FeatureIndex : std::size_t {
+  kInfectedFraction = 0,    // F1: |I| / |S|
+  kUnknownFraction = 1,     // F1: |U| / |S|
+  kTotalMachines = 2,       // F1: |S|
+  kFqdnActiveDays = 3,      // F2: days active in window
+  kFqdnConsecutiveDays = 4, // F2: consecutive days ending at t_now
+  kE2ldActiveDays = 5,      // F2: same, effective 2LD
+  kE2ldConsecutiveDays = 6, // F2
+  kIpMalwareFraction = 7,   // F3: fraction of resolved IPs previously abused
+  kPrefixMalwareFraction = 8,  // F3: same over /24 prefixes
+  kIpUnknownCount = 9,      // F3: resolved IPs used by unknown domains in W
+  kPrefixUnknownCount = 10, // F3: same over /24 prefixes
+};
+
+struct FeatureConfig {
+  /// F2 window length n (days), paper default 14.
+  dns::Day activity_window_days = dns::kDefaultActivityWindowDays;
+  /// F3 pDNS history window W (days), paper default ~5 months.
+  dns::Day pdns_window_days = dns::kDefaultPdnsWindowDays;
+};
+
+/// Names of all 11 features, in FeatureIndex order.
+const std::vector<std::string>& feature_names();
+
+/// Group of each feature index.
+FeatureGroup feature_group(std::size_t index);
+
+/// Feature indices belonging to the given groups (for ablation experiments,
+/// Section IV-B). Order follows FeatureIndex.
+std::vector<std::size_t> feature_indices_for(std::initializer_list<FeatureGroup> groups);
+
+/// All indices except those in `excluded` — the "No <group>" curves of
+/// Figure 7.
+std::vector<std::size_t> feature_indices_excluding(FeatureGroup excluded);
+
+}  // namespace seg::features

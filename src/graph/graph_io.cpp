@@ -1,0 +1,166 @@
+#include "graph/graph_io.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "util/require.h"
+
+namespace seg::graph {
+
+namespace {
+
+constexpr char kMagic[] = "SEGGRAPH1";
+constexpr std::size_t kMagicLength = sizeof(kMagic) - 1;
+
+template <typename T>
+void write_le(std::ostream& out, T value) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out.put(static_cast<char>((static_cast<std::uint64_t>(value) >> (8 * i)) & 0xff));
+  }
+}
+
+template <typename T>
+T read_le(std::istream& in) {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    const int byte = in.get();
+    util::require_data(byte != std::char_traits<char>::eof(),
+                       "load_graph: truncated file");
+    value |= static_cast<std::uint64_t>(static_cast<unsigned char>(byte)) << (8 * i);
+  }
+  return static_cast<T>(value);
+}
+
+void write_strings(std::ostream& out, const std::vector<std::string>& strings) {
+  write_le<std::uint64_t>(out, strings.size());
+  for (const auto& text : strings) {
+    write_le<std::uint32_t>(out, static_cast<std::uint32_t>(text.size()));
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  }
+}
+
+std::vector<std::string> read_strings(std::istream& in) {
+  const auto count = read_le<std::uint64_t>(in);
+  std::vector<std::string> strings;
+  strings.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto length = read_le<std::uint32_t>(in);
+    std::string text(length, '\0');
+    in.read(text.data(), length);
+    util::require_data(static_cast<std::size_t>(in.gcount()) == length,
+                       "load_graph: truncated string");
+    strings.push_back(std::move(text));
+  }
+  return strings;
+}
+
+template <typename T>
+void write_pod_vector(std::ostream& out, const std::vector<T>& values) {
+  write_le<std::uint64_t>(out, values.size());
+  for (const auto& value : values) {
+    write_le<std::uint64_t>(out, static_cast<std::uint64_t>(value));
+  }
+}
+
+template <typename T>
+std::vector<T> read_pod_vector(std::istream& in) {
+  const auto count = read_le<std::uint64_t>(in);
+  std::vector<T> values;
+  values.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    values.push_back(static_cast<T>(read_le<std::uint64_t>(in)));
+  }
+  return values;
+}
+
+}  // namespace
+
+void save_graph(const MachineDomainGraph& graph, std::ostream& out) {
+  out.write(kMagic, static_cast<std::streamsize>(kMagicLength));
+  write_le<std::int32_t>(out, graph.day_);
+  write_strings(out, graph.machine_names_);
+  write_strings(out, graph.domain_names_);
+  write_strings(out, graph.e2ld_names_);
+  write_pod_vector(out, graph.domain_e2ld_);
+  write_pod_vector(out, graph.machine_offsets_);
+  write_pod_vector(out, graph.machine_targets_);
+  write_pod_vector(out, graph.domain_offsets_);
+  write_pod_vector(out, graph.domain_targets_);
+  write_pod_vector(out, graph.ip_offsets_);
+  write_le<std::uint64_t>(out, graph.resolved_ips_.size());
+  for (const auto ip : graph.resolved_ips_) {
+    write_le<std::uint32_t>(out, ip.value());
+  }
+  // Labels as raw bytes.
+  write_le<std::uint64_t>(out, graph.machine_labels_.size());
+  for (const auto label : graph.machine_labels_) {
+    out.put(static_cast<char>(label));
+  }
+  write_le<std::uint64_t>(out, graph.domain_labels_.size());
+  for (const auto label : graph.domain_labels_) {
+    out.put(static_cast<char>(label));
+  }
+  util::require_data(static_cast<bool>(out), "save_graph: write failed");
+}
+
+MachineDomainGraph load_graph(std::istream& in) {
+  char magic[kMagicLength];
+  in.read(magic, static_cast<std::streamsize>(kMagicLength));
+  util::require_data(static_cast<std::size_t>(in.gcount()) == kMagicLength &&
+                         std::memcmp(magic, kMagic, kMagicLength) == 0,
+                     "load_graph: bad magic (not a SEGGRAPH1 file)");
+  MachineDomainGraph graph;
+  graph.day_ = read_le<std::int32_t>(in);
+  graph.machine_names_ = read_strings(in);
+  graph.domain_names_ = read_strings(in);
+  graph.e2ld_names_ = read_strings(in);
+  graph.domain_e2ld_ = read_pod_vector<E2ldId>(in);
+  graph.machine_offsets_ = read_pod_vector<std::uint64_t>(in);
+  graph.machine_targets_ = read_pod_vector<DomainId>(in);
+  graph.domain_offsets_ = read_pod_vector<std::uint64_t>(in);
+  graph.domain_targets_ = read_pod_vector<MachineId>(in);
+  graph.ip_offsets_ = read_pod_vector<std::uint64_t>(in);
+  {
+    const auto count = read_le<std::uint64_t>(in);
+    graph.resolved_ips_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      graph.resolved_ips_.push_back(dns::IpV4(read_le<std::uint32_t>(in)));
+    }
+  }
+  const auto read_labels = [&in](std::size_t expected) {
+    const auto count = read_le<std::uint64_t>(in);
+    util::require_data(count == expected, "load_graph: label section size mismatch");
+    std::vector<Label> labels;
+    labels.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const int byte = in.get();
+      util::require_data(byte != std::char_traits<char>::eof() && byte >= 0 && byte <= 2,
+                         "load_graph: malformed label byte");
+      labels.push_back(static_cast<Label>(byte));
+    }
+    return labels;
+  };
+  graph.machine_labels_ = read_labels(graph.machine_names_.size());
+  graph.domain_labels_ = read_labels(graph.domain_names_.size());
+
+  // Structural consistency checks.
+  util::require_data(graph.machine_offsets_.size() == graph.machine_names_.size() + 1 &&
+                         graph.domain_offsets_.size() == graph.domain_names_.size() + 1 &&
+                         graph.ip_offsets_.size() == graph.domain_names_.size() + 1,
+                     "load_graph: offset table size mismatch");
+  util::require_data(graph.machine_targets_.size() == graph.domain_targets_.size(),
+                     "load_graph: edge count mismatch between directions");
+  util::require_data(graph.domain_e2ld_.size() == graph.domain_names_.size(),
+                     "load_graph: e2LD annotation size mismatch");
+  util::require_data(
+      graph.machine_offsets_.empty() ||
+          graph.machine_offsets_.back() == graph.machine_targets_.size(),
+      "load_graph: machine CSR inconsistent");
+  util::require_data(graph.ip_offsets_.empty() ||
+                         graph.ip_offsets_.back() == graph.resolved_ips_.size(),
+                     "load_graph: IP CSR inconsistent");
+  return graph;
+}
+
+}  // namespace seg::graph

@@ -1,0 +1,21 @@
+// Binary serialization of the machine-domain behavior graph.
+//
+// Building and labeling a graph from raw resolver logs dominates the
+// pipeline cost (Section IV-G); persisting the prepared graph lets many
+// experiments (ablations, threshold sweeps, baselines) reuse one build.
+// The format is little-endian, length-prefixed, magic "SEGGRAPH1".
+#pragma once
+
+#include <iosfwd>
+
+#include "graph/graph.h"
+
+namespace seg::graph {
+
+void save_graph(const MachineDomainGraph& graph, std::ostream& out);
+
+/// Throws util::ParseError on bad magic, truncation, or inconsistent
+/// section sizes.
+MachineDomainGraph load_graph(std::istream& in);
+
+}  // namespace seg::graph

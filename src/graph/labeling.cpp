@@ -1,0 +1,62 @@
+#include "graph/labeling.h"
+
+namespace seg::graph {
+
+Label derive_machine_label(std::size_t degree, std::size_t malware_domains,
+                           std::size_t benign_domains) {
+  if (malware_domains > 0) {
+    return Label::kMalware;
+  }
+  if (degree > 0 && benign_domains == degree) {
+    return Label::kBenign;
+  }
+  return Label::kUnknown;
+}
+
+LabelingResult apply_labels(MachineDomainGraph& graph, const NameSet& cc_blacklist,
+                            const NameSet& e2ld_whitelist) {
+  LabelingResult result;
+  for (DomainId d = 0; d < graph.domain_count(); ++d) {
+    Label label = Label::kUnknown;
+    if (cc_blacklist.contains(graph.domain_name(d))) {
+      label = Label::kMalware;
+      ++result.malware_domains;
+    } else if (e2ld_whitelist.contains(graph.e2ld_name(graph.domain_e2ld(d)))) {
+      label = Label::kBenign;
+      ++result.benign_domains;
+    }
+    graph.set_domain_label(d, label);
+  }
+  relabel_machines(graph);
+  for (MachineId m = 0; m < graph.machine_count(); ++m) {
+    if (graph.machine_label(m) == Label::kMalware) {
+      ++result.malware_machines;
+    } else if (graph.machine_label(m) == Label::kBenign) {
+      ++result.benign_machines;
+    }
+  }
+  return result;
+}
+
+void relabel_machines(MachineDomainGraph& graph) {
+  for (MachineId m = 0; m < graph.machine_count(); ++m) {
+    const auto domains = graph.domains_of(m);
+    std::size_t malware = 0;
+    std::size_t benign = 0;
+    for (const auto d : domains) {
+      switch (graph.domain_label(d)) {
+        case Label::kMalware:
+          ++malware;
+          break;
+        case Label::kBenign:
+          ++benign;
+          break;
+        case Label::kUnknown:
+          break;
+      }
+    }
+    graph.set_machine_label(m, derive_machine_label(domains.size(), malware, benign));
+  }
+}
+
+}  // namespace seg::graph

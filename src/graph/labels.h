@@ -1,0 +1,24 @@
+// Node labels for the machine-domain behavior graph.
+#pragma once
+
+#include <string_view>
+
+namespace seg::graph {
+
+/// Ground-truth status of a machine or domain node (Section II-A1).
+/// `kUnknown` nodes are the classification targets.
+enum class Label : unsigned char { kUnknown = 0, kBenign = 1, kMalware = 2 };
+
+constexpr std::string_view label_name(Label label) {
+  switch (label) {
+    case Label::kUnknown:
+      return "unknown";
+    case Label::kBenign:
+      return "benign";
+    case Label::kMalware:
+      return "malware";
+  }
+  return "?";
+}
+
+}  // namespace seg::graph

@@ -1,0 +1,50 @@
+#include "graph/prober_filter.h"
+
+#include "util/require.h"
+
+namespace seg::graph {
+
+// Defined in pruning.cpp; rebuilds a graph from keep masks.
+MachineDomainGraph prune_impl(const MachineDomainGraph& graph,
+                              const std::vector<bool>& keep_machine,
+                              const std::vector<bool>& keep_domain);
+
+std::vector<bool> detect_probers(const MachineDomainGraph& graph,
+                                 const ProberFilterConfig& config) {
+  util::require(config.min_blacklisted_ratio > 0.0 && config.min_blacklisted_ratio <= 1.0,
+                "detect_probers: ratio must be in (0, 1]");
+  std::vector<bool> probers(graph.machine_count(), false);
+  for (MachineId m = 0; m < graph.machine_count(); ++m) {
+    const auto domains = graph.domains_of(m);
+    if (domains.empty()) {
+      continue;
+    }
+    std::uint32_t blacklisted = 0;
+    for (const auto d : domains) {
+      blacklisted += graph.domain_label(d) == Label::kMalware ? 1 : 0;
+    }
+    const double ratio = static_cast<double>(blacklisted) / static_cast<double>(domains.size());
+    probers[m] = blacklisted >= config.min_blacklisted_domains &&
+                 ratio >= config.min_blacklisted_ratio;
+  }
+  return probers;
+}
+
+MachineDomainGraph remove_probers(const MachineDomainGraph& graph,
+                                  const ProberFilterConfig& config,
+                                  ProberFilterStats* stats) {
+  const auto probers = detect_probers(graph, config);
+  std::vector<bool> keep_machine(graph.machine_count());
+  std::size_t removed = 0;
+  for (MachineId m = 0; m < graph.machine_count(); ++m) {
+    keep_machine[m] = !probers[m];
+    removed += probers[m] ? 1 : 0;
+  }
+  if (stats != nullptr) {
+    stats->machines_removed = removed;
+  }
+  const std::vector<bool> keep_domain(graph.domain_count(), true);
+  return prune_impl(graph, keep_machine, keep_domain);
+}
+
+}  // namespace seg::graph

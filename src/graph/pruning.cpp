@@ -1,0 +1,236 @@
+#include "graph/pruning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "util/require.h"
+
+namespace seg::graph {
+
+// Builds the pruned copy given per-node keep masks. Edges survive when both
+// endpoints survive; annotations and labels are carried over; e2LD ids are
+// re-interned so the pruned graph has no orphan e2LD entries.
+MachineDomainGraph prune_impl(const MachineDomainGraph& graph,
+                              const std::vector<bool>& keep_machine,
+                              const std::vector<bool>& keep_domain) {
+  MachineDomainGraph out;
+  out.day_ = graph.day_;
+
+  std::vector<MachineId> machine_map(graph.machine_count(),
+                                     static_cast<MachineId>(graph.machine_count()));
+  std::vector<DomainId> domain_map(graph.domain_count(),
+                                   static_cast<DomainId>(graph.domain_count()));
+
+  for (MachineId m = 0; m < graph.machine_count(); ++m) {
+    if (keep_machine[m]) {
+      machine_map[m] = static_cast<MachineId>(out.machine_names_.size());
+      out.machine_names_.emplace_back(graph.machine_name(m));
+      out.machine_labels_.push_back(graph.machine_label(m));
+    }
+  }
+
+  std::unordered_map<std::string, E2ldId> e2ld_ids;
+  for (DomainId d = 0; d < graph.domain_count(); ++d) {
+    if (!keep_domain[d]) {
+      continue;
+    }
+    domain_map[d] = static_cast<DomainId>(out.domain_names_.size());
+    out.domain_names_.emplace_back(graph.domain_name(d));
+    out.domain_labels_.push_back(graph.domain_label(d));
+    const std::string e2ld(graph.e2ld_name(graph.domain_e2ld(d)));
+    if (const auto it = e2ld_ids.find(e2ld); it != e2ld_ids.end()) {
+      out.domain_e2ld_.push_back(it->second);
+    } else {
+      const auto id = static_cast<E2ldId>(out.e2ld_names_.size());
+      out.e2ld_names_.push_back(e2ld);
+      e2ld_ids.emplace(e2ld, id);
+      out.domain_e2ld_.push_back(id);
+    }
+  }
+
+  // Surviving edges, machine-major (the source CSR is already sorted).
+  const std::size_t nm = out.machine_names_.size();
+  const std::size_t nd = out.domain_names_.size();
+  out.machine_offsets_.assign(nm + 1, 0);
+  out.domain_offsets_.assign(nd + 1, 0);
+  for (MachineId m = 0; m < graph.machine_count(); ++m) {
+    if (!keep_machine[m]) {
+      continue;
+    }
+    for (const auto d : graph.domains_of(m)) {
+      if (keep_domain[d]) {
+        ++out.machine_offsets_[machine_map[m] + 1];
+        ++out.domain_offsets_[domain_map[d] + 1];
+      }
+    }
+  }
+  for (std::size_t i = 1; i <= nm; ++i) {
+    out.machine_offsets_[i] += out.machine_offsets_[i - 1];
+  }
+  for (std::size_t i = 1; i <= nd; ++i) {
+    out.domain_offsets_[i] += out.domain_offsets_[i - 1];
+  }
+  out.machine_targets_.resize(out.machine_offsets_.back());
+  out.domain_targets_.resize(out.domain_offsets_.back());
+  {
+    std::vector<std::uint64_t> mcur(out.machine_offsets_.begin(), out.machine_offsets_.end() - 1);
+    std::vector<std::uint64_t> dcur(out.domain_offsets_.begin(), out.domain_offsets_.end() - 1);
+    for (MachineId m = 0; m < graph.machine_count(); ++m) {
+      if (!keep_machine[m]) {
+        continue;
+      }
+      const auto new_m = machine_map[m];
+      for (const auto d : graph.domains_of(m)) {
+        if (keep_domain[d]) {
+          const auto new_d = domain_map[d];
+          out.machine_targets_[mcur[new_m]++] = new_d;
+          out.domain_targets_[dcur[new_d]++] = new_m;
+        }
+      }
+    }
+  }
+
+  // Resolved-IP annotations.
+  out.ip_offsets_.assign(nd + 1, 0);
+  for (DomainId d = 0; d < graph.domain_count(); ++d) {
+    if (keep_domain[d]) {
+      out.ip_offsets_[domain_map[d] + 1] = graph.resolved_ips(d).size();
+    }
+  }
+  for (std::size_t i = 1; i <= nd; ++i) {
+    out.ip_offsets_[i] += out.ip_offsets_[i - 1];
+  }
+  out.resolved_ips_.reserve(out.ip_offsets_.back());
+  for (DomainId d = 0; d < graph.domain_count(); ++d) {
+    if (keep_domain[d]) {
+      const auto ips = graph.resolved_ips(d);
+      out.resolved_ips_.insert(out.resolved_ips_.end(), ips.begin(), ips.end());
+    }
+  }
+  return out;
+}
+
+MachineDomainGraph prune(const MachineDomainGraph& graph, const PruningConfig& config,
+                         PruneStats* stats) {
+  util::require(config.proxy_degree_percentile > 0.0 && config.proxy_degree_percentile <= 1.0,
+                "prune: proxy_degree_percentile must be in (0, 1]");
+  util::require(config.popular_e2ld_fraction > 0.0 && config.popular_e2ld_fraction <= 1.0,
+                "prune: popular_e2ld_fraction must be in (0, 1]");
+
+  PruneStats local;
+  PruneStats& s = stats != nullptr ? *stats : local;
+  s = PruneStats{};
+  s.machines_before = graph.machine_count();
+  s.domains_before = graph.domain_count();
+  s.edges_before = graph.edge_count();
+
+  // --- R2 threshold: theta_d = percentile of the machine-degree
+  // distribution.
+  std::vector<std::uint64_t> degrees(graph.machine_count());
+  for (MachineId m = 0; m < graph.machine_count(); ++m) {
+    degrees[m] = graph.domains_of(m).size();
+  }
+  std::uint64_t theta_d = std::numeric_limits<std::uint64_t>::max();
+  if (!degrees.empty()) {
+    std::vector<std::uint64_t> sorted = degrees;
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(config.proxy_degree_percentile * static_cast<double>(sorted.size())));
+    const std::size_t index = rank == 0 ? 0 : rank - 1;
+    theta_d = sorted[std::min(index, sorted.size() - 1)];
+    // Guard against degenerate distributions where the percentile lands in
+    // ordinary-degree territory: R2 targets extreme outliers only.
+    theta_d = std::max<std::uint64_t>(theta_d, config.inactive_machine_max_degree + 2);
+  }
+  s.theta_d = theta_d;
+
+  // --- R1 + R2: machine keep mask.
+  std::vector<bool> keep_machine(graph.machine_count(), true);
+  for (MachineId m = 0; m < graph.machine_count(); ++m) {
+    const bool is_malware = graph.machine_label(m) == Label::kMalware;
+    if (degrees[m] <= config.inactive_machine_max_degree) {
+      if (is_malware) {
+        ++s.malware_machines_kept_by_exception;  // R1 exception
+      } else {
+        keep_machine[m] = false;
+        ++s.machines_removed_r1;
+        continue;
+      }
+    }
+    if (degrees[m] > theta_d) {
+      // No exception for R2: proxy-like nodes are noise even when they
+      // touch blacklisted names. (theta_d > inactive_machine_max_degree,
+      // so R1-excepted malware machines can never land here.) The
+      // comparison is strict: theta_d is the largest degree still inside
+      // the percentile, so only outliers beyond it are proxies. This keeps
+      // the rule a no-op on graphs whose degree distribution is flat.
+      keep_machine[m] = false;
+      ++s.machines_removed_r2;
+    }
+  }
+
+  // --- Domain degrees over surviving machines.
+  std::vector<std::uint64_t> domain_degree(graph.domain_count(), 0);
+  for (DomainId d = 0; d < graph.domain_count(); ++d) {
+    for (const auto m : graph.machines_of(d)) {
+      domain_degree[d] += keep_machine[m] ? 1 : 0;
+    }
+  }
+
+  // --- R4 threshold and per-e2LD distinct machine counts.
+  const auto theta_m = static_cast<std::uint64_t>(
+      std::ceil(config.popular_e2ld_fraction * static_cast<double>(graph.machine_count())));
+  s.theta_m = theta_m;
+
+  // Group domains by e2LD, then count distinct surviving machines per group
+  // using a last-seen stamp per machine (O(edges) overall).
+  std::vector<std::vector<DomainId>> by_e2ld(graph.e2ld_count());
+  for (DomainId d = 0; d < graph.domain_count(); ++d) {
+    by_e2ld[graph.domain_e2ld(d)].push_back(d);
+  }
+  std::vector<std::uint64_t> e2ld_machines(graph.e2ld_count(), 0);
+  {
+    std::vector<std::uint32_t> stamp(graph.machine_count(), 0xffffffffu);
+    for (E2ldId e = 0; e < graph.e2ld_count(); ++e) {
+      std::uint64_t count = 0;
+      for (const auto d : by_e2ld[e]) {
+        for (const auto m : graph.machines_of(d)) {
+          if (keep_machine[m] && stamp[m] != e) {
+            stamp[m] = e;
+            ++count;
+          }
+        }
+      }
+      e2ld_machines[e] = count;
+    }
+  }
+
+  // --- R3 + R4: domain keep mask.
+  std::vector<bool> keep_domain(graph.domain_count(), true);
+  for (DomainId d = 0; d < graph.domain_count(); ++d) {
+    const bool is_malware = graph.domain_label(d) == Label::kMalware;
+    if (e2ld_machines[graph.domain_e2ld(d)] >= theta_m) {
+      keep_domain[d] = false;  // R4: no exception
+      ++s.domains_removed_r4;
+      continue;
+    }
+    if (domain_degree[d] < config.min_domain_machines) {
+      if (is_malware && domain_degree[d] > 0) {
+        ++s.malware_domains_kept_by_exception;  // R3 exception
+      } else {
+        keep_domain[d] = false;
+        ++s.domains_removed_r3;
+      }
+    }
+  }
+
+  MachineDomainGraph out = prune_impl(graph, keep_machine, keep_domain);
+  s.machines_after = out.machine_count();
+  s.domains_after = out.domain_count();
+  s.edges_after = out.edge_count();
+  return out;
+}
+
+}  // namespace seg::graph

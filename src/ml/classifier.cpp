@@ -1,0 +1,14 @@
+#include "ml/classifier.h"
+
+namespace seg::ml {
+
+std::vector<double> Classifier::score_all(const Dataset& dataset) const {
+  std::vector<double> scores;
+  scores.reserve(dataset.num_rows());
+  for (std::size_t i = 0; i < dataset.num_rows(); ++i) {
+    scores.push_back(predict_proba(dataset.row(i)));
+  }
+  return scores;
+}
+
+}  // namespace seg::ml

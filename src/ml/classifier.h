@@ -1,0 +1,34 @@
+// Common interface for Segugio's binary classifiers.
+//
+// The paper trains a statistical classifier (Random Forest or Logistic
+// Regression, Section II-A3) mapping an 11-dimensional feature vector to a
+// "malware score" in [0, 1]. The detection threshold is then tuned for the
+// desired TP/FP trade-off.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace seg::ml {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on the dataset. Requires at least one row of each class.
+  virtual void train(const Dataset& dataset) = 0;
+
+  /// Malware score in [0, 1] for one feature vector. Requires train().
+  virtual double predict_proba(std::span<const double> features) const = 0;
+
+  /// True once train() has completed.
+  virtual bool is_trained() const = 0;
+
+  /// Scores every row of `dataset` (labels ignored).
+  std::vector<double> score_all(const Dataset& dataset) const;
+};
+
+}  // namespace seg::ml

@@ -1,0 +1,201 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <numeric>
+#include <ostream>
+
+#include "util/require.h"
+
+namespace seg::ml {
+
+namespace {
+
+double gini(std::size_t pos, std::size_t n) {
+  if (n == 0) {
+    return 0.0;
+  }
+  const double p = static_cast<double>(pos) / static_cast<double>(n);
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+void DecisionTree::train(const Dataset& dataset) {
+  std::vector<std::size_t> indices(dataset.num_rows());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  train_on(dataset, indices);
+}
+
+void DecisionTree::train_on(const Dataset& dataset, std::span<const std::size_t> indices) {
+  util::require(!indices.empty(), "DecisionTree::train_on: empty training set");
+  nodes_.clear();
+  num_features_ = dataset.num_features();
+  std::vector<std::size_t> work(indices.begin(), indices.end());
+  util::Rng rng(config_.seed);
+  build_node(dataset, work, 0, work.size(), 0, rng);
+}
+
+std::int32_t DecisionTree::build_node(const Dataset& dataset, std::vector<std::size_t>& indices,
+                                      std::size_t begin, std::size_t end, std::size_t depth,
+                                      util::Rng& rng) {
+  const std::size_t n = end - begin;
+  std::size_t pos = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    pos += static_cast<std::size_t>(dataset.label(indices[i]));
+  }
+
+  const auto node_index = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_index].prob = static_cast<double>(pos) / static_cast<double>(n);
+
+  const bool pure = pos == 0 || pos == n;
+  if (pure || depth >= config_.max_depth || n < config_.min_samples_split) {
+    return node_index;  // leaf
+  }
+
+  // Candidate features for this split.
+  const std::size_t d = dataset.num_features();
+  const std::size_t mtry = config_.mtry == 0 ? d : std::min(config_.mtry, d);
+  std::vector<std::size_t> candidates = rng.sample_without_replacement(d, mtry);
+
+  const double parent_gini = gini(pos, n);
+  double best_gain = 1e-12;  // require a strictly positive gain
+  std::size_t best_feature = d;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, std::int8_t>> values;
+  values.reserve(n);
+  for (const auto f : candidates) {
+    values.clear();
+    for (std::size_t i = begin; i < end; ++i) {
+      values.emplace_back(dataset.value(indices[i], f),
+                          static_cast<std::int8_t>(dataset.label(indices[i])));
+    }
+    std::sort(values.begin(), values.end());
+    if (values.front().first == values.back().first) {
+      continue;  // constant feature in this node
+    }
+    std::size_t left_pos = 0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      left_pos += static_cast<std::size_t>(values[i].second);
+      if (values[i].first == values[i + 1].first) {
+        continue;  // can only split between distinct values
+      }
+      const std::size_t left_n = i + 1;
+      const std::size_t right_n = n - left_n;
+      if (left_n < config_.min_samples_leaf || right_n < config_.min_samples_leaf) {
+        continue;
+      }
+      const double child_gini =
+          (static_cast<double>(left_n) * gini(left_pos, left_n) +
+           static_cast<double>(right_n) * gini(pos - left_pos, right_n)) /
+          static_cast<double>(n);
+      const double gain = parent_gini - child_gini;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = values[i].first + (values[i + 1].first - values[i].first) / 2.0;
+      }
+    }
+  }
+
+  if (best_feature == d) {
+    return node_index;  // no useful split among the sampled features
+  }
+
+  // Partition [begin, end) by the chosen split.
+  const auto mid_it = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t row) { return dataset.value(row, best_feature) <= best_threshold; });
+  const auto mid = static_cast<std::size_t>(mid_it - indices.begin());
+  // The threshold lies strictly between two observed values, so neither side
+  // can be empty; guard anyway against pathological float behavior.
+  if (mid == begin || mid == end) {
+    return node_index;
+  }
+
+  nodes_[node_index].feature = static_cast<std::int32_t>(best_feature);
+  nodes_[node_index].threshold = best_threshold;
+  nodes_[node_index].importance = best_gain * static_cast<double>(n);
+
+  const auto left = build_node(dataset, indices, begin, mid, depth + 1, rng);
+  const auto right = build_node(dataset, indices, mid, end, depth + 1, rng);
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+double DecisionTree::predict_proba(std::span<const double> features) const {
+  util::require(is_trained(), "DecisionTree::predict_proba: not trained");
+  util::require(features.size() == num_features_,
+                "DecisionTree::predict_proba: feature arity mismatch");
+  std::int32_t node = 0;
+  while (nodes_[node].feature >= 0) {
+    node = features[static_cast<std::size_t>(nodes_[node].feature)] <= nodes_[node].threshold
+               ? nodes_[node].left
+               : nodes_[node].right;
+  }
+  return nodes_[node].prob;
+}
+
+std::size_t DecisionTree::depth() const {
+  if (nodes_.empty()) {
+    return 0;
+  }
+  // Iterative depth computation over the implicit tree.
+  std::vector<std::pair<std::int32_t, std::size_t>> stack{{0, 1}};
+  std::size_t max_depth = 0;
+  while (!stack.empty()) {
+    const auto [node, depth] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, depth);
+    if (nodes_[node].feature >= 0) {
+      stack.emplace_back(nodes_[node].left, depth + 1);
+      stack.emplace_back(nodes_[node].right, depth + 1);
+    }
+  }
+  return max_depth;
+}
+
+void DecisionTree::add_feature_importance(std::span<double> importance) const {
+  util::require(importance.size() == num_features_,
+                "DecisionTree::add_feature_importance: arity mismatch");
+  for (const auto& node : nodes_) {
+    if (node.feature >= 0) {
+      importance[static_cast<std::size_t>(node.feature)] += node.importance;
+    }
+  }
+}
+
+void DecisionTree::save(std::ostream& out) const {
+  out << "tree " << num_features_ << " " << nodes_.size() << "\n";
+  out.precision(17);
+  for (const auto& node : nodes_) {
+    out << node.feature << " " << node.threshold << " " << node.left << " " << node.right
+        << " " << node.prob << " " << node.importance << "\n";
+  }
+}
+
+DecisionTree DecisionTree::load(std::istream& in) {
+  std::string tag;
+  std::size_t num_features = 0;
+  std::size_t num_nodes = 0;
+  in >> tag >> num_features >> num_nodes;
+  util::require_data(static_cast<bool>(in) && tag == "tree",
+                     "DecisionTree::load: malformed header");
+  DecisionTree tree;
+  tree.num_features_ = num_features;
+  tree.nodes_.resize(num_nodes);
+  for (auto& node : tree.nodes_) {
+    in >> node.feature >> node.threshold >> node.left >> node.right >> node.prob >>
+        node.importance;
+  }
+  util::require_data(static_cast<bool>(in), "DecisionTree::load: truncated node list");
+  return tree;
+}
+
+}  // namespace seg::ml

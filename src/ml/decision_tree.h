@@ -1,0 +1,71 @@
+// CART-style binary classification tree.
+//
+// Splits minimize weighted Gini impurity; leaves store the positive-class
+// fraction of their training samples. Supports per-split feature
+// subsampling (mtry) so it can serve as the base learner of the random
+// forest (Breiman 2001, the paper's reference [9]).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+#include "util/rng.h"
+
+namespace seg::ml {
+
+struct DecisionTreeConfig {
+  std::size_t max_depth = 30;
+  std::size_t min_samples_split = 2;
+  std::size_t min_samples_leaf = 1;
+  /// Number of candidate features per split; 0 means all features.
+  std::size_t mtry = 0;
+  std::uint64_t seed = 1;
+};
+
+class DecisionTree final : public Classifier {
+ public:
+  explicit DecisionTree(DecisionTreeConfig config = {}) : config_(config) {}
+
+  void train(const Dataset& dataset) override;
+
+  /// Trains on a subset of rows (duplicates allowed — bootstrap samples).
+  void train_on(const Dataset& dataset, std::span<const std::size_t> indices);
+
+  double predict_proba(std::span<const double> features) const override;
+  bool is_trained() const override { return !nodes_.empty(); }
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t depth() const;
+
+  /// Accumulates this tree's impurity-decrease importance per feature into
+  /// `importance` (size num_features).
+  void add_feature_importance(std::span<double> importance) const;
+
+  void save(std::ostream& out) const;
+  static DecisionTree load(std::istream& in);
+
+ private:
+  struct Node {
+    // Internal node: feature >= 0; leaf: feature == -1 and prob valid.
+    std::int32_t feature = -1;
+    double threshold = 0.0;
+    std::int32_t left = -1;   // index of the <= threshold child
+    std::int32_t right = -1;  // index of the > threshold child
+    double prob = 0.0;        // leaf: positive fraction
+    double importance = 0.0;  // internal: impurity decrease * sample weight
+  };
+
+  std::int32_t build_node(const Dataset& dataset, std::vector<std::size_t>& indices,
+                          std::size_t begin, std::size_t end, std::size_t depth,
+                          util::Rng& rng);
+
+  DecisionTreeConfig config_;
+  std::vector<Node> nodes_;
+  std::size_t num_features_ = 0;
+};
+
+}  // namespace seg::ml

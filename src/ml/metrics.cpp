@@ -1,0 +1,144 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/require.h"
+
+namespace seg::ml {
+
+RocCurve RocCurve::compute(std::span<const int> labels, std::span<const double> scores) {
+  util::require(labels.size() == scores.size(), "RocCurve: labels/scores size mismatch");
+  util::require(!labels.empty(), "RocCurve: empty input");
+
+  RocCurve curve;
+  for (const auto label : labels) {
+    util::require(label == 0 || label == 1, "RocCurve: labels must be 0/1");
+    ++(label == 1 ? curve.positives_ : curve.negatives_);
+  }
+  util::require(curve.positives_ > 0 && curve.negatives_ > 0,
+                "RocCurve: need both classes to compute a curve");
+
+  std::vector<std::size_t> order(labels.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+
+  curve.points_.push_back({0.0, 0.0, std::numeric_limits<double>::infinity()});
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const double score = scores[order[i]];
+    // Consume the whole tie group at this score.
+    while (i < order.size() && scores[order[i]] == score) {
+      ++(labels[order[i]] == 1 ? tp : fp);
+      ++i;
+    }
+    curve.points_.push_back({static_cast<double>(fp) / static_cast<double>(curve.negatives_),
+                             static_cast<double>(tp) / static_cast<double>(curve.positives_),
+                             score});
+  }
+  return curve;
+}
+
+double RocCurve::auc() const {
+  double area = 0.0;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const auto& a = points_[i - 1];
+    const auto& b = points_[i];
+    area += (b.fpr - a.fpr) * (a.tpr + b.tpr) / 2.0;
+  }
+  return area;
+}
+
+double RocCurve::tpr_at_fpr(double max_fpr) const {
+  double best = 0.0;
+  for (const auto& point : points_) {
+    if (point.fpr <= max_fpr) {
+      best = std::max(best, point.tpr);
+    }
+  }
+  return best;
+}
+
+double RocCurve::threshold_for_fpr(double max_fpr) const {
+  double best_threshold = std::numeric_limits<double>::infinity();
+  double best_tpr = -1.0;
+  for (const auto& point : points_) {
+    if (point.fpr <= max_fpr && point.tpr > best_tpr) {
+      best_tpr = point.tpr;
+      best_threshold = point.threshold;
+    }
+  }
+  return best_threshold;
+}
+
+PrCurve PrCurve::compute(std::span<const int> labels, std::span<const double> scores) {
+  util::require(labels.size() == scores.size(), "PrCurve: labels/scores size mismatch");
+  util::require(!labels.empty(), "PrCurve: empty input");
+  std::size_t positives = 0;
+  for (const auto label : labels) {
+    util::require(label == 0 || label == 1, "PrCurve: labels must be 0/1");
+    positives += label == 1 ? 1 : 0;
+  }
+  util::require(positives > 0, "PrCurve: need at least one positive");
+
+  std::vector<std::size_t> order(labels.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+
+  PrCurve curve;
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const double score = scores[order[i]];
+    while (i < order.size() && scores[order[i]] == score) {
+      ++(labels[order[i]] == 1 ? tp : fp);
+      ++i;
+    }
+    curve.points_.push_back({static_cast<double>(tp) / static_cast<double>(positives),
+                             static_cast<double>(tp) / static_cast<double>(tp + fp), score});
+  }
+  return curve;
+}
+
+double PrCurve::average_precision() const {
+  double area = 0.0;
+  double previous_recall = 0.0;
+  for (const auto& point : points_) {
+    area += (point.recall - previous_recall) * point.precision;
+    previous_recall = point.recall;
+  }
+  return area;
+}
+
+double PrCurve::precision_at_recall(double min_recall) const {
+  double best = 0.0;
+  for (const auto& point : points_) {
+    if (point.recall >= min_recall) {
+      best = std::max(best, point.precision);
+    }
+  }
+  return best;
+}
+
+Confusion confusion_at(std::span<const int> labels, std::span<const double> scores,
+                       double threshold) {
+  util::require(labels.size() == scores.size(), "confusion_at: size mismatch");
+  Confusion c;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const bool predicted = scores[i] >= threshold;
+    if (labels[i] == 1) {
+      ++(predicted ? c.tp : c.fn);
+    } else {
+      ++(predicted ? c.fp : c.tn);
+    }
+  }
+  return c;
+}
+
+}  // namespace seg::ml

@@ -1,0 +1,96 @@
+// Detection metrics: ROC curves, AUC, and the TP@FP operating points the
+// paper reports ("94% TPs at less than 0.1% FPs").
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace seg::ml {
+
+/// One point of an ROC curve, with the score threshold that produces it
+/// (predict positive when score >= threshold).
+struct RocPoint {
+  double fpr = 0.0;
+  double tpr = 0.0;
+  double threshold = 0.0;
+};
+
+class RocCurve {
+ public:
+  /// Builds the curve from binary labels and scores. Ties in score collapse
+  /// to a single point (both counts move together), so the curve is exact.
+  static RocCurve compute(std::span<const int> labels, std::span<const double> scores);
+
+  const std::vector<RocPoint>& points() const { return points_; }
+
+  /// Area under the curve, trapezoidal.
+  double auc() const;
+
+  /// Highest TPR achievable with FPR <= max_fpr (step interpolation; this is
+  /// what "X% TPs at Y% FPs" means in the paper).
+  double tpr_at_fpr(double max_fpr) const;
+
+  /// Smallest threshold whose FPR stays <= max_fpr (i.e. the most sensitive
+  /// operating point within the FP budget). Returns +inf when even the
+  /// strictest threshold exceeds the budget.
+  double threshold_for_fpr(double max_fpr) const;
+
+  std::size_t positives() const { return positives_; }
+  std::size_t negatives() const { return negatives_; }
+
+ private:
+  std::vector<RocPoint> points_;  // ascending fpr
+  std::size_t positives_ = 0;
+  std::size_t negatives_ = 0;
+};
+
+/// Binary confusion counts at a fixed threshold (score >= threshold ->
+/// positive).
+struct Confusion {
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t tn = 0;
+  std::size_t fn = 0;
+
+  double tpr() const { return tp + fn == 0 ? 0.0 : static_cast<double>(tp) / (tp + fn); }
+  double fpr() const { return fp + tn == 0 ? 0.0 : static_cast<double>(fp) / (fp + tn); }
+  double precision() const {
+    return tp + fp == 0 ? 0.0 : static_cast<double>(tp) / (tp + fp);
+  }
+  double accuracy() const {
+    const auto total = tp + fp + tn + fn;
+    return total == 0 ? 0.0 : static_cast<double>(tp + tn) / static_cast<double>(total);
+  }
+};
+
+Confusion confusion_at(std::span<const int> labels, std::span<const double> scores,
+                       double threshold);
+
+/// One point of a precision-recall curve.
+struct PrPoint {
+  double recall = 0.0;
+  double precision = 1.0;
+  double threshold = 0.0;
+};
+
+/// Precision-recall curve; the complementary view for heavily imbalanced
+/// detection problems (a 0.1% FPR can still mean most alerts are noise
+/// when positives are rare).
+class PrCurve {
+ public:
+  static PrCurve compute(std::span<const int> labels, std::span<const double> scores);
+
+  const std::vector<PrPoint>& points() const { return points_; }
+
+  /// Average precision (area under the PR curve, step interpolation).
+  double average_precision() const;
+
+  /// Highest precision achievable with recall >= min_recall (0 when the
+  /// recall floor is unreachable).
+  double precision_at_recall(double min_recall) const;
+
+ private:
+  std::vector<PrPoint> points_;  // ascending recall
+};
+
+}  // namespace seg::ml

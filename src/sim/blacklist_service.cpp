@@ -1,0 +1,58 @@
+#include "sim/blacklist_service.h"
+
+#include <algorithm>
+
+namespace seg::sim {
+
+BlacklistService::BlacklistService(std::vector<MalwareDomainInfo> domains,
+                                   std::vector<std::string> public_noise)
+    : records_(std::move(domains)), public_noise_(std::move(public_noise)) {
+  index_.reserve(records_.size());
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    index_.emplace(records_[i].name, i);
+    family_count_ = std::max<std::size_t>(family_count_, records_[i].family + 1);
+  }
+}
+
+graph::NameSet BlacklistService::as_of(BlacklistKind kind, dns::Day day) const {
+  graph::NameSet set;
+  for (const auto& record : records_) {
+    const bool listed = kind == BlacklistKind::kCommercial ? record.commercial_listed
+                                                           : record.public_listed;
+    const dns::Day listed_day =
+        kind == BlacklistKind::kCommercial ? record.commercial_day : record.public_day;
+    if (listed && listed_day <= day) {
+      set.insert(record.name);
+    }
+  }
+  if (kind == BlacklistKind::kPublic) {
+    for (const auto& noise : public_noise_) {
+      set.insert(noise);
+    }
+  }
+  return set;
+}
+
+std::optional<FamilyId> BlacklistService::family_of(std::string_view domain) const {
+  const auto it = index_.find(domain);
+  if (it == index_.end()) {
+    return std::nullopt;
+  }
+  return records_[it->second].family;
+}
+
+std::optional<dns::Day> BlacklistService::listed_day(std::string_view domain,
+                                                     BlacklistKind kind) const {
+  const auto it = index_.find(domain);
+  if (it == index_.end()) {
+    return std::nullopt;
+  }
+  const auto& record = records_[it->second];
+  if (kind == BlacklistKind::kCommercial) {
+    return record.commercial_listed ? std::optional<dns::Day>(record.commercial_day)
+                                    : std::nullopt;
+  }
+  return record.public_listed ? std::optional<dns::Day>(record.public_day) : std::nullopt;
+}
+
+}  // namespace seg::sim

@@ -1,0 +1,32 @@
+#include "sim/config.h"
+
+namespace seg::sim {
+
+ScenarioConfig ScenarioConfig::small() {
+  ScenarioConfig config;
+  config.popular_e2lds = 300;
+  config.freereg_zones = 4;
+  config.freereg_subdomains = 10;
+  config.families = 6;
+  config.cc_domains_per_family = 6;
+  config.cc_relocation_prob = 0.08;
+  config.commercial_lag_mean = 1.5;
+  config.abused_prefixes = 8;
+  config.isp_machines = {400, 600};
+  config.infected_fraction = 0.06;
+  config.multi_infection_prob = 0.35;
+  config.cc_queries_mean = 3.0;
+  config.mean_e2lds_per_day = 15.0;
+  config.tail_domains_per_day = 0.5;
+  config.unpopular_pool_size = 2000;
+  config.unpopular_visits_per_day = 2.0;
+  config.proxy_domains_per_day = 300;
+  config.warmup_days = 40;
+  return config;
+}
+
+ScenarioConfig ScenarioConfig::bench() {
+  return ScenarioConfig{};  // the defaults are the bench scale
+}
+
+}  // namespace seg::sim

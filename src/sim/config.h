@@ -1,0 +1,144 @@
+// Scenario configuration for the synthetic ISP traffic model.
+//
+// The real evaluation data (two regional ISPs' resolver traffic, a
+// commercial C&C blacklist, an Alexa archive, a passive DNS database) is
+// unobtainable; this generator substitutes synthetic equivalents that
+// exercise the same code paths and preserve the structural properties
+// Segugio's features key on. See DESIGN.md ("Data gates and substitutions")
+// for the full rationale.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dns/types.h"
+
+namespace seg::sim {
+
+struct ScenarioConfig {
+  std::uint64_t seed = 20150622;  // DSN'15 presentation date, arbitrary
+
+  // --- Benign domain catalog -------------------------------------------
+  /// Number of popular registrable domains (e2LDs). Popularity over them is
+  /// Zipf(zipf_exponent).
+  std::size_t popular_e2lds = 5000;
+  /// Maximum FQDNs (www, mail, cdn, apex, ...) under each popular e2LD.
+  std::size_t max_fqdns_per_e2ld = 4;
+  double zipf_exponent = 1.0;
+  /// "Free registration" zones (egloos.com-style). They are popular enough
+  /// to be whitelisted but are NOT in the public suffix list — exactly the
+  /// whitelist noise the paper's FP analysis traces (Section IV-D).
+  std::size_t freereg_zones = 12;
+  /// Benign subdomains browsed under each free-registration zone.
+  std::size_t freereg_subdomains = 40;
+
+  // --- Malware families -------------------------------------------------
+  std::size_t families = 40;
+  /// Active C&C domains per family at any time.
+  std::size_t cc_domains_per_family = 8;
+  /// Daily probability that an active C&C domain relocates (retire + mint),
+  /// the paper's "network agility" (intuition 1).
+  double cc_relocation_prob = 0.10;
+  /// Probability a newly minted C&C domain hides under a free-registration
+  /// zone instead of a dedicated registration.
+  double cc_freereg_abuse_prob = 0.15;
+  /// Probability a C&C domain points into the shared "bulletproof" abused
+  /// IP pools (reused across families) rather than fresh space.
+  double cc_abused_ip_prob = 0.7;
+  /// Number of /24s in the shared abused pool.
+  std::size_t abused_prefixes = 25;
+  /// Probability a popular benign site also has an address in "dirty"
+  /// shared hosting space (the abused pool). Reputation-only systems
+  /// mislabel such domains (Table IV's Notos FP breakdown); Segugio's
+  /// machine-behavior features keep them clean.
+  double dirty_hosting_prob = 0.08;
+
+  /// Fraction of families that are "stealthy": they rotate control domains
+  /// faster, evade blacklists more often, and prefer fresh IP space. Their
+  /// domains are the hard cases that keep the TP rate below 100% at low
+  /// FP budgets, as in the paper's ROC curves.
+  double stealthy_family_fraction = 0.3;
+  double stealth_relocation_multiplier = 2.5;
+  double stealth_coverage_multiplier = 0.4;
+  double stealth_abused_ip_multiplier = 0.25;
+
+  /// Probability a C&C domain was registered early and kept lightly
+  /// "dormant" before weaponization (Section II-A3 motivates the activity
+  /// features with exactly this case): its name shows sporadic background
+  /// activity for the weeks before first_active.
+  double cc_dormant_prob = 0.45;
+  dns::Day cc_dormant_days = 30;
+  double cc_dormant_activity_prob = 0.4;
+
+  /// Fraction of benign free-registration subdomains that are born during
+  /// the simulated period rather than existing since the beginning (new
+  /// blogs appear all the time); a newborn benign blog under an old zone
+  /// is the classic false-positive shape.
+  double freereg_sub_young_fraction = 0.5;
+
+  // --- Machine populations (one entry per simulated ISP) ----------------
+  std::vector<std::size_t> isp_machines = {8000, 16000};
+  double infected_fraction = 0.05;
+  /// Zipf exponent of family prevalence across infected machines (0 would
+  /// be uniform; higher concentrates infections in a few big botnets).
+  double family_prevalence_exponent = 0.45;
+  /// Probability an infected machine carries a second (and, squared, a
+  /// third) family — the multi-infection effect behind the cross-family
+  /// result (Section IV-C).
+  double multi_infection_prob = 0.3;
+  double proxy_fraction = 0.0008;
+  /// Fraction of machines that query <= 5 domains per day (R1 fodder).
+  double inactive_fraction = 0.13;
+  /// Fraction of machines running security "probers" that continuously
+  /// query large lists of known malware domains (Section VI noise). Off by
+  /// default; bench_probing_noise turns it on.
+  double prober_fraction = 0.0;
+  /// Known-malware domains a prober checks per day.
+  std::size_t prober_blacklist_queries = 120;
+
+  // --- Daily browsing behaviour -----------------------------------------
+  /// Mean distinct e2LDs visited per active machine per day.
+  double mean_e2lds_per_day = 22.0;
+  /// Mean one-off "tail" domains (queried by a single machine, R3 fodder)
+  /// per machine per day.
+  double tail_domains_per_day = 0.25;
+  /// Pool of unpopular-but-real domains visited by a few machines each;
+  /// most survive pruning as *unknown* nodes (the classification load).
+  /// Keeps the pruned-domain share near the paper's ~26%.
+  std::size_t unpopular_pool_size = 18000;
+  double unpopular_zipf_exponent = 0.8;
+  double unpopular_visits_per_day = 5.0;
+  /// Mean queries an infected machine makes to its families' C&C sets per
+  /// day (drives Figure 3's distribution).
+  double cc_queries_mean = 4.0;
+  /// Proxy nodes query this many distinct domains per day.
+  std::size_t proxy_domains_per_day = 1500;
+
+  // --- Ground-truth services ---------------------------------------------
+  /// Commercial blacklist: coverage of true C&C domains and mean discovery
+  /// lag in days (geometric-ish tail up to several weeks, Figure 11).
+  double commercial_coverage = 0.85;
+  double commercial_lag_mean = 2.5;
+  /// Public blacklists: lower coverage, slower, slightly noisy (IV-E).
+  double public_coverage = 0.35;
+  double public_lag_mean = 8.0;
+  std::size_t public_noise_domains = 4;
+  /// Whitelist: fraction of popular e2LDs that made the stable top list.
+  double whitelist_coverage = 0.9;
+  /// Sandbox trace DB: fraction of true C&C domains ever seen in sandbox
+  /// runs, plus a few popular benign names (malware queries those too).
+  double sandbox_coverage = 0.25;
+
+  // --- History -----------------------------------------------------------
+  /// Days of pre-history simulated for the activity index and the pDNS
+  /// database before day 0 (paper: W ~ 5 months).
+  dns::Day warmup_days = 150;
+
+  /// Small scenario for unit tests (hundreds of machines, fast).
+  static ScenarioConfig small();
+
+  /// Default benchmark scale (about 1:400 of the paper's ISPs; one core).
+  static ScenarioConfig bench();
+};
+
+}  // namespace seg::sim

@@ -1,0 +1,31 @@
+// Ground-truth records shared by the simulator's oracle services.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dns/ip.h"
+#include "dns/types.h"
+
+namespace seg::sim {
+
+/// Identifier of a malware family (dense, assigned by the world).
+using FamilyId = std::uint32_t;
+
+/// Everything the world knows about one true malware-control domain.
+struct MalwareDomainInfo {
+  std::string name;
+  FamilyId family = 0;
+  dns::Day first_active = 0;         ///< day the domain went live
+  dns::Day retired = -1;             ///< day it stopped being used (-1: still active)
+  std::vector<dns::IpV4> ips;        ///< control server addresses
+  bool under_freereg_zone = false;   ///< hosted under a free-registration zone
+
+  bool commercial_listed = false;    ///< ever discovered by the commercial list
+  dns::Day commercial_day = 0;       ///< day it enters the commercial list
+  bool public_listed = false;
+  dns::Day public_day = 0;
+  bool in_sandbox_db = false;        ///< observed in sandbox malware runs
+};
+
+}  // namespace seg::sim

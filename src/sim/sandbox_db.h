@@ -1,0 +1,31 @@
+// Sandbox network-trace database.
+//
+// The paper uses "a separate large database of malware network traces
+// obtained by executing malware samples in a sandbox" to vet false
+// positives (Table III) and to explain Notos's FPs (Table IV). This store
+// answers one question: was this domain ever contacted by a sandboxed
+// malware sample?
+#pragma once
+
+#include <string_view>
+
+#include "graph/labeling.h"
+
+namespace seg::sim {
+
+class SandboxTraceDb {
+ public:
+  SandboxTraceDb() = default;
+  explicit SandboxTraceDb(graph::NameSet contacted) : contacted_(std::move(contacted)) {}
+
+  bool contacted_by_malware(std::string_view domain) const {
+    return contacted_.contains(domain);
+  }
+
+  std::size_t size() const { return contacted_.size(); }
+
+ private:
+  graph::NameSet contacted_;
+};
+
+}  // namespace seg::sim

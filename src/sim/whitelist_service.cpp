@@ -1,0 +1,28 @@
+#include "sim/whitelist_service.h"
+
+#include <algorithm>
+
+namespace seg::sim {
+
+WhitelistService::WhitelistService(std::vector<std::string> stable,
+                                   std::vector<std::string> freereg_noise)
+    : stable_(std::move(stable)) {
+  for (const auto& name : stable_) {
+    all_.insert(name);
+  }
+  for (const auto& name : freereg_noise) {
+    all_.insert(name);
+    noise_.insert(name);
+  }
+}
+
+graph::NameSet WhitelistService::top(std::size_t k) const {
+  graph::NameSet set;
+  const std::size_t n = std::min(k, stable_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    set.insert(stable_[i]);
+  }
+  return set;
+}
+
+}  // namespace seg::sim

@@ -1,0 +1,42 @@
+// Whitelist oracle: "consistently popular" effective 2LDs.
+//
+// Mirrors the paper's one-year Alexa archive filtering (Section III): a
+// large list of stable popular e2LDs, *including* — as deliberate noise —
+// the free-registration zones the authors failed to filter out, which is
+// the dominant source of their measured false positives (Section IV-D).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/labeling.h"
+
+namespace seg::sim {
+
+class WhitelistService {
+ public:
+  /// `stable` are ordinary popular e2LDs in decreasing popularity order;
+  /// `freereg_noise` are free-registration zone e2LDs that slipped in.
+  WhitelistService(std::vector<std::string> stable, std::vector<std::string> freereg_noise);
+
+  /// The full whitelist (stable + noise), as used to label benign domains.
+  const graph::NameSet& all() const { return all_; }
+
+  /// The most popular `k` stable e2LDs (no noise) — the "top 100K Alexa"
+  /// style subset used to train Notos and Segugio in Section V.
+  graph::NameSet top(std::size_t k) const;
+
+  std::size_t size() const { return all_.size(); }
+
+  /// True when the e2LD is one of the noisy free-registration zones.
+  bool is_freereg_noise(std::string_view e2ld) const { return noise_.contains(e2ld); }
+
+  const std::vector<std::string>& stable_entries() const { return stable_; }
+
+ private:
+  std::vector<std::string> stable_;
+  graph::NameSet all_;
+  graph::NameSet noise_;
+};
+
+}  // namespace seg::sim

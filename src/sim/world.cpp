@@ -1,0 +1,635 @@
+#include "sim/world.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.h"
+#include "util/require.h"
+
+namespace seg::sim {
+
+namespace {
+
+// Distinct stream ids for forked RNGs, so every phase and every (isp, day)
+// pair draws from an independent deterministic stream.
+constexpr std::uint64_t kStreamCatalog = 1;
+constexpr std::uint64_t kStreamFamilies = 2;
+constexpr std::uint64_t kStreamMachines = 3;
+constexpr std::uint64_t kStreamOracles = 4;
+constexpr std::uint64_t kStreamDormancy = 5;
+constexpr std::uint64_t kStreamBackgroundBase = 1000;
+constexpr std::uint64_t kStreamTrafficBase = 1'000'000;
+
+const char* const kTlds[] = {"com", "net", "org", "biz", "info"};
+
+}  // namespace
+
+World::World(ScenarioConfig config)
+    : config_(std::move(config)),
+      psl_(dns::PublicSuffixList::with_default_rules()),
+      master_(config_.seed) {
+  util::require(!config_.isp_machines.empty(), "World: need at least one ISP");
+  util::require(config_.families > 0, "World: need at least one malware family");
+  util::require(config_.warmup_days > 0, "World: warmup must be positive");
+
+  {
+    util::Rng rng = master_.fork(kStreamCatalog);
+    build_catalog(rng);
+  }
+  {
+    util::Rng rng = master_.fork(kStreamFamilies);
+    evolve_families(rng);
+  }
+  {
+    util::Rng rng = master_.fork(kStreamMachines);
+    build_machines(rng);
+  }
+  {
+    util::Rng rng = master_.fork(kStreamOracles);
+    build_oracles(rng);
+  }
+  // Dormancy: some C&C names show sporadic activity for weeks before they
+  // go live, so their activity features do not trivially give them away.
+  {
+    util::Rng rng = master_.fork(kStreamDormancy);
+    for (const auto& record : malware_) {
+      if (!rng.next_bool(config_.cc_dormant_prob)) {
+        continue;
+      }
+      const auto e2ld = std::string(psl_.e2ld_or_self(record.name));
+      for (dns::Day day = record.first_active - config_.cc_dormant_days;
+           day < record.first_active; ++day) {
+        if (rng.next_bool(config_.cc_dormant_activity_prob)) {
+          activity_.mark_active(record.name, day);
+          activity_.mark_active(e2ld, day);
+        }
+      }
+    }
+  }
+
+  // Pre-day-0 history for the activity index and the pDNS database.
+  replay_background(-config_.warmup_days, -1);
+  background_cursor_ = 0;
+}
+
+std::string World::random_label(util::Rng& rng, std::size_t length) {
+  static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::string label;
+  label.reserve(length);
+  label.push_back(static_cast<char>('a' + rng.next_below(26)));
+  for (std::size_t i = 1; i < length; ++i) {
+    label.push_back(kAlphabet[rng.next_below(sizeof(kAlphabet) - 1)]);
+  }
+  return label;
+}
+
+dns::IpV4 World::random_fresh_ip(util::Rng& rng) {
+  // "Fresh" space: rented VPSes in the same cheap shared-hosting region the
+  // unpopular long tail lives in (25.x), so a never-abused address is not
+  // by itself a fingerprint — its /24 usually hosts unknown domains too.
+  return dns::IpV4(0x19000000u | static_cast<std::uint32_t>(rng.next_below(1u << 22)));
+}
+
+dns::IpV4 World::random_abused_ip(util::Rng& rng) const {
+  const auto prefix = abused_prefixes_[rng.next_below(abused_prefixes_.size())];
+  return dns::IpV4(prefix | static_cast<std::uint32_t>(1 + rng.next_below(254)));
+}
+
+dns::IpV4 World::freereg_zone_ip(std::size_t zone, util::Rng& rng) {
+  // Shared hosting /24 per zone in the 24.0.z.0/24 region.
+  return dns::IpV4(0x18000000u | (static_cast<std::uint32_t>(zone & 0xffff) << 8) |
+                   static_cast<std::uint32_t>(1 + rng.next_below(254)));
+}
+
+void World::build_catalog(util::Rng& rng) {
+  popular_.reserve(config_.popular_e2lds);
+  for (std::size_t i = 0; i < config_.popular_e2lds; ++i) {
+    Site site;
+    site.e2ld = random_label(rng, 4 + rng.next_below(8)) + "." +
+                kTlds[rng.next_below(std::size(kTlds))];
+    site.fqdns.push_back(site.e2ld);  // apex
+    static constexpr const char* kSubs[] = {"www", "mail", "cdn", "api", "img"};
+    const std::size_t extra = rng.next_below(config_.max_fqdns_per_e2ld);
+    for (std::size_t s = 0; s < extra; ++s) {
+      site.fqdns.push_back(std::string(kSubs[s % std::size(kSubs)]) + "." + site.e2ld);
+    }
+    // Dedicated benign /24 per site (23.x.y.0/24 region).
+    const std::uint32_t prefix =
+        0x17000000u | (static_cast<std::uint32_t>(i % (1u << 16)) << 8);
+    const std::size_t ip_count = 1 + rng.next_below(3);
+    for (std::size_t k = 0; k < ip_count; ++k) {
+      site.ips.push_back(dns::IpV4(prefix | static_cast<std::uint32_t>(1 + rng.next_below(254))));
+    }
+    popular_.push_back(std::move(site));
+    // "Dirty hosting": some popular sites also resolve into the shared
+    // pool that bulletproof C&C hosting reuses. Handled after the abused
+    // pool exists (see below).
+  }
+  popularity_ = std::make_unique<util::ZipfSampler>(popular_.size(), config_.zipf_exponent);
+
+  // Free-registration zones and the benign subdomains browsed under them.
+  // NOTE: the zones are deliberately NOT added to the public suffix list —
+  // they model the zones the paper's filtering missed (Section IV-D).
+  for (std::size_t z = 0; z < config_.freereg_zones; ++z) {
+    freereg_zone_names_.push_back(random_label(rng, 5 + rng.next_below(4)) + "host.com");
+  }
+  for (std::size_t z = 0; z < config_.freereg_zones; ++z) {
+    for (std::size_t s = 0; s < config_.freereg_subdomains; ++s) {
+      Site site;
+      site.e2ld = freereg_zone_names_[z];
+      site.fqdns.push_back(random_label(rng, 4 + rng.next_below(6)) + "." +
+                           freereg_zone_names_[z]);
+      // Every subdomain of a zone is served from the zone's shared /24
+      // (24.0.z.0/24): benign blogs and abused pages alike.
+      site.ips.push_back(freereg_zone_ip(z, rng));
+      // New blogs keep appearing: a fraction of the subdomains are born
+      // during the simulated period instead of predating it.
+      if (rng.next_bool(config_.freereg_sub_young_fraction)) {
+        site.born = -config_.warmup_days +
+                    static_cast<dns::Day>(rng.next_below(
+                        static_cast<std::uint64_t>(config_.warmup_days) + kHorizonDays));
+      }
+      freereg_benign_.push_back(std::move(site));
+    }
+  }
+
+  // Bulletproof hosting pool: /24 prefixes reused by C&C domains across
+  // families (185.x region).
+  abused_prefixes_.reserve(config_.abused_prefixes);
+  for (std::size_t p = 0; p < config_.abused_prefixes; ++p) {
+    abused_prefixes_.push_back(0xB9000000u |
+                               (static_cast<std::uint32_t>(rng.next_below(1u << 16)) << 8));
+  }
+
+  // Dirty hosting: a fraction of popular sites also resolve into the
+  // shared pool, which reputation-only baselines mistake for abuse.
+  for (auto& site : popular_) {
+    if (rng.next_bool(config_.dirty_hosting_prob)) {
+      site.ips.push_back(random_abused_ip(rng));
+    }
+  }
+
+  // Unpopular-but-real domains: the long tail of the web. Each is visited
+  // by a handful of machines; pruning keeps most of them as the *unknown*
+  // classification load.
+  unpopular_.reserve(config_.unpopular_pool_size);
+  for (std::size_t i = 0; i < config_.unpopular_pool_size; ++i) {
+    Site site;
+    site.e2ld = random_label(rng, 6 + rng.next_below(8)) + "." +
+                kTlds[rng.next_below(std::size(kTlds))];
+    site.fqdns.push_back(site.e2ld);
+    // Cheap shared hosting (25.x region).
+    site.ips.push_back(dns::IpV4(0x19000000u |
+                                 static_cast<std::uint32_t>(rng.next_below(1u << 22))));
+    unpopular_.push_back(std::move(site));
+  }
+  if (!unpopular_.empty()) {
+    unpopularity_ = std::make_unique<util::ZipfSampler>(unpopular_.size(),
+                                                        config_.unpopular_zipf_exponent);
+  }
+}
+
+void World::evolve_families(util::Rng& rng) {
+  const dns::Day first_day = -config_.warmup_days;
+  const std::size_t total_days = static_cast<std::size_t>(config_.warmup_days) + kHorizonDays + 1;
+  family_active_.assign(total_days, {});
+
+  // Stealthy families rotate faster, evade blacklists more often, and
+  // avoid recycled bulletproof IP space — the hard tail of the problem.
+  std::vector<bool> stealthy(config_.families);
+  for (std::size_t f = 0; f < config_.families; ++f) {
+    stealthy[f] = rng.next_bool(config_.stealthy_family_fraction);
+  }
+
+  const auto mint = [&](FamilyId f, dns::Day day) {
+    const double coverage_mult = stealthy[f] ? config_.stealth_coverage_multiplier : 1.0;
+    const double abused_mult = stealthy[f] ? config_.stealth_abused_ip_multiplier : 1.0;
+    MalwareDomainInfo info;
+    info.family = f;
+    info.first_active = day;
+    if (rng.next_bool(config_.cc_freereg_abuse_prob) && !freereg_zone_names_.empty()) {
+      // Control page hidden under a free-registration zone: the name lives
+      // under the zone and is served from the zone's shared hosting /24 —
+      // indistinguishable from a benign blog except for who queries it.
+      info.under_freereg_zone = true;
+      const auto zone = rng.next_below(freereg_zone_names_.size());
+      info.name = random_label(rng, 5 + rng.next_below(5)) + "." + freereg_zone_names_[zone];
+      info.ips.push_back(freereg_zone_ip(zone, rng));
+    } else {
+      info.name = random_label(rng, 6 + rng.next_below(7)) + "." +
+                  kTlds[rng.next_below(std::size(kTlds))];
+      if (rng.next_bool(0.3)) {
+        info.name = random_label(rng, 3 + rng.next_below(4)) + "." + info.name;
+      }
+      const std::size_t ip_count = 1 + rng.next_below(2);
+      for (std::size_t k = 0; k < ip_count; ++k) {
+        info.ips.push_back(rng.next_bool(config_.cc_abused_ip_prob * abused_mult)
+                               ? random_abused_ip(rng)
+                               : random_fresh_ip(rng));
+      }
+    }
+    // Blacklist discovery draws, made at mint time (lag counted from the
+    // first active day).
+    if (rng.next_bool(config_.commercial_coverage * coverage_mult)) {
+      info.commercial_listed = true;
+      // Mostly prompt vetting, with a heavy tail: some domains take weeks
+      // to be confirmed (the long bars of Figure 11).
+      const auto lag = rng.next_bool(0.8)
+                           ? rng.next_poisson(config_.commercial_lag_mean)
+                           : 7 + rng.next_poisson(4.0 * config_.commercial_lag_mean);
+      info.commercial_day = day + 1 + static_cast<dns::Day>(lag);
+    }
+    if (rng.next_bool(config_.public_coverage * coverage_mult)) {
+      info.public_listed = true;
+      info.public_day =
+          day + 1 + static_cast<dns::Day>(rng.next_poisson(config_.public_lag_mean));
+    }
+    info.in_sandbox_db = rng.next_bool(config_.sandbox_coverage);
+    malware_.push_back(std::move(info));
+    return malware_.size() - 1;
+  };
+
+  // Day -warmup: every family starts with a full active set.
+  auto& day0 = family_active_[0];
+  day0.resize(config_.families);
+  for (FamilyId f = 0; f < config_.families; ++f) {
+    for (std::size_t k = 0; k < config_.cc_domains_per_family; ++k) {
+      day0[f].push_back(mint(f, first_day));
+    }
+  }
+
+  // Subsequent days: per-domain relocation.
+  for (std::size_t di = 1; di < total_days; ++di) {
+    const dns::Day day = first_day + static_cast<dns::Day>(di);
+    auto& today = family_active_[di];
+    today.resize(config_.families);
+    for (FamilyId f = 0; f < config_.families; ++f) {
+      const double relocation = std::min(
+          0.9, config_.cc_relocation_prob *
+                   (stealthy[f] ? config_.stealth_relocation_multiplier : 1.0));
+      for (const auto domain_index : family_active_[di - 1][f]) {
+        if (rng.next_bool(relocation)) {
+          malware_[domain_index].retired = day;
+          today[f].push_back(mint(f, day));
+        } else {
+          today[f].push_back(domain_index);
+        }
+      }
+    }
+  }
+}
+
+void World::build_machines(util::Rng& rng) {
+  // Family prevalence is skewed: a few large families, a long tail.
+  util::ZipfSampler family_popularity(config_.families,
+                                      config_.family_prevalence_exponent);
+
+  machines_.resize(config_.isp_machines.size());
+  for (std::size_t isp = 0; isp < config_.isp_machines.size(); ++isp) {
+    const std::size_t n = config_.isp_machines[isp];
+    auto& machines = machines_[isp];
+    machines.reserve(n);
+    const auto n_proxy = static_cast<std::size_t>(config_.proxy_fraction * n) + 1;
+    const auto n_prober = static_cast<std::size_t>(config_.prober_fraction * n);
+    const auto n_inactive = static_cast<std::size_t>(config_.inactive_fraction * n);
+    const auto n_infected = static_cast<std::size_t>(config_.infected_fraction * n);
+    for (std::size_t j = 0; j < n; ++j) {
+      Machine machine;
+      machine.name = "isp" + std::to_string(isp + 1) + "-m" + std::to_string(j);
+      if (j < n_proxy) {
+        machine.kind = MachineKind::kProxy;
+      } else if (j < n_proxy + n_prober) {
+        machine.kind = MachineKind::kProber;
+      } else if (j < n_proxy + n_prober + n_inactive) {
+        machine.kind = MachineKind::kInactive;
+      } else if (j < n_proxy + n_prober + n_inactive + n_infected) {
+        machine.kind = MachineKind::kInfected;
+        machine.families.push_back(
+            static_cast<FamilyId>(family_popularity.sample(rng)));
+        double p = config_.multi_infection_prob;
+        while (rng.next_bool(p) && machine.families.size() < 4) {
+          const auto extra = static_cast<FamilyId>(family_popularity.sample(rng));
+          if (std::find(machine.families.begin(), machine.families.end(), extra) ==
+              machine.families.end()) {
+            machine.families.push_back(extra);
+          }
+          p *= p;  // third/fourth infections increasingly unlikely
+        }
+      }
+      const double base = std::max(2.0, config_.mean_e2lds_per_day - 8.0);
+      machine.browse_budget = 8.0 + static_cast<double>(rng.next_poisson(base));
+      machines.push_back(std::move(machine));
+    }
+  }
+}
+
+void World::build_oracles(util::Rng& rng) {
+  // Whitelist: popular e2LDs that stayed in the "top list" all year
+  // (a random whitelist_coverage fraction of the catalog), plus the
+  // free-registration zones as deliberate noise.
+  std::vector<std::string> stable;
+  stable.reserve(popular_.size());
+  for (const auto& site : popular_) {
+    if (rng.next_bool(config_.whitelist_coverage)) {
+      stable.push_back(site.e2ld);
+    }
+  }
+  whitelist_ = std::make_unique<WhitelistService>(stable, freereg_zone_names_);
+
+  // Public blacklist noise: a few benign names mislabeled as C&C — obscure
+  // ones, like the paper's recsports.uga.edu example (Section IV-E).
+  std::vector<std::string> public_noise;
+  if (popular_.size() > 1000) {
+    for (std::size_t i = 0; i < config_.public_noise_domains; ++i) {
+      const auto& site =
+          popular_[1000 + rng.next_below(popular_.size() - 1000)];
+      public_noise.push_back(site.fqdns[rng.next_below(site.fqdns.size())]);
+    }
+  }
+  blacklist_ = std::make_unique<BlacklistService>(malware_, std::move(public_noise));
+
+  // Sandbox DB: flagged C&C domains plus popular benign domains that
+  // sandboxed malware also touches (connectivity checks etc.).
+  graph::NameSet contacted;
+  for (const auto& record : malware_) {
+    if (record.in_sandbox_db) {
+      contacted.insert(record.name);
+    }
+  }
+  for (std::size_t i = 0; i < 20 && i < popular_.size(); ++i) {
+    contacted.insert(popular_[i].fqdns.front());
+  }
+  sandbox_ = SandboxTraceDb(std::move(contacted));
+}
+
+const std::vector<std::size_t>& World::family_active(FamilyId f, dns::Day day) const {
+  const auto index = static_cast<std::size_t>(day + config_.warmup_days);
+  return family_active_[index][f];
+}
+
+void World::replay_background(dns::Day from, dns::Day to) {
+  for (dns::Day day = from; day <= to; ++day) {
+    util::Rng rng = master_.fork(kStreamBackgroundBase +
+                                 static_cast<std::uint64_t>(day + config_.warmup_days));
+    // Popular sites: the apex is active nearly every day (rare monitoring
+    // gaps keep the activity features from becoming exact indicators);
+    // extra FQDNs most days.
+    for (const auto& site : popular_) {
+      // Any FQDN query necessarily implies an e2LD query, so the e2LD is
+      // marked whenever any name under it is.
+      if (rng.next_bool(0.97)) {
+        activity_.mark_active(site.fqdns.front(), day);
+        activity_.mark_active(site.e2ld, day);
+      }
+      pdns_.add_observation(day, site.ips.front(), dns::PdnsAssociation::kBenign);
+      for (std::size_t s = 1; s < site.fqdns.size(); ++s) {
+        if (rng.next_bool(0.6)) {
+          activity_.mark_active(site.fqdns[s], day);
+          activity_.mark_active(site.e2ld, day);
+        }
+      }
+      // Shared-hosting noise: occasionally an unknown domain uses this IP.
+      if (rng.next_bool(0.05)) {
+        pdns_.add_observation(day, site.ips.front(), dns::PdnsAssociation::kUnknown);
+      }
+    }
+    // Unpopular tail domains: real sites, active most days somewhere on
+    // the net even if few local machines visit them.
+    for (const auto& site : unpopular_) {
+      if (rng.next_bool(0.9)) {
+        activity_.mark_active(site.fqdns.front(), day);
+        activity_.mark_active(site.e2ld, day);
+        pdns_.add_observation(day, site.ips.front(), dns::PdnsAssociation::kUnknown);
+      }
+    }
+    // Free-registration benign subdomains (only the ones already born).
+    for (const auto& site : freereg_benign_) {
+      if (site.born <= day && rng.next_bool(0.5)) {
+        activity_.mark_active(site.fqdns.front(), day);
+        activity_.mark_active(site.e2ld, day);
+        pdns_.add_observation(day, site.ips.front(), dns::PdnsAssociation::kUnknown);
+      }
+    }
+    // Active C&C domains: queried somewhere most days; pDNS association
+    // reflects what was *known* on that day (unknown until blacklisted).
+    const auto day_index = static_cast<std::size_t>(day + config_.warmup_days);
+    for (const auto& per_family : family_active_[day_index]) {
+      for (const auto domain_index : per_family) {
+        const auto& record = malware_[domain_index];
+        // Bots do not necessarily resolve every control domain every day;
+        // the cadence matches casual blog traffic so activity streaks are
+        // not a fingerprint on their own.
+        if (!rng.next_bool(0.55)) {
+          continue;
+        }
+        activity_.mark_active(record.name, day);
+        activity_.mark_active(psl_.e2ld_or_self(record.name), day);
+        const bool known = record.commercial_listed && record.commercial_day <= day;
+        pdns_.add_resolution(day, record.ips,
+                             known ? dns::PdnsAssociation::kMalware
+                                   : dns::PdnsAssociation::kUnknown);
+      }
+    }
+  }
+}
+
+dns::DayTrace World::generate_day(std::size_t isp, dns::Day day) {
+  util::require(isp < machines_.size(), "World::generate_day: ISP index out of range");
+  util::require(day >= 0 && day <= kHorizonDays,
+                "World::generate_day: day outside the simulated horizon");
+  if (day >= background_cursor_) {
+    replay_background(background_cursor_, day);
+    background_cursor_ = day + 1;
+  }
+
+  util::Rng rng = master_.fork(kStreamTrafficBase +
+                               static_cast<std::uint64_t>(isp) * (kHorizonDays + 1) +
+                               static_cast<std::uint64_t>(day));
+
+  dns::DayTrace trace;
+  trace.day = day;
+
+  const auto emit = [&](const std::string& machine, const std::string& qname,
+                        const std::vector<dns::IpV4>& ips) {
+    trace.records.push_back({day, machine, qname, ips});
+    activity_.mark_active(qname, day);
+    activity_.mark_active(psl_.e2ld_or_self(qname), day);
+  };
+
+  const auto emit_popular_visit = [&](const std::string& machine) {
+    const auto& site = popular_[popularity_->sample(rng)];
+    const std::size_t fqdn =
+        site.fqdns.size() == 1 || rng.next_bool(0.6) ? 0 : 1 + rng.next_below(site.fqdns.size() - 1);
+    emit(machine, site.fqdns[fqdn], site.ips);
+  };
+
+  // Malware records a prober would scan: blacklist dumps propagate to
+  // third-party tools with delay, so probers work from week-old entries.
+  std::vector<std::size_t> listed_today;
+  if (config_.prober_fraction > 0.0) {
+    for (std::size_t i = 0; i < malware_.size(); ++i) {
+      if (malware_[i].commercial_listed && malware_[i].commercial_day <= day - 7) {
+        listed_today.push_back(i);
+      }
+    }
+  }
+
+  for (const auto& machine : machines_[isp]) {
+    switch (machine.kind) {
+      case MachineKind::kProxy: {
+        for (std::size_t k = 0; k < config_.proxy_domains_per_day; ++k) {
+          emit_popular_visit(machine.name);
+        }
+        // Proxies also forward one-off junk from behind the NAT.
+        const auto junk = rng.next_poisson(20.0);
+        for (std::uint64_t k = 0; k < junk; ++k) {
+          emit(machine.name,
+               random_label(rng, 10) + "." + random_label(rng, 7) + ".net",
+               {random_fresh_ip(rng)});
+        }
+        break;
+      }
+      case MachineKind::kInactive: {
+        const std::size_t k = 1 + rng.next_below(5);
+        for (std::size_t i = 0; i < k; ++i) {
+          emit_popular_visit(machine.name);
+        }
+        break;
+      }
+      case MachineKind::kProber: {
+        // A security tool probing the blacklist: hundreds of known-malware
+        // queries plus a little ordinary browsing for cover.
+        for (std::size_t i = 0; i < 15; ++i) {
+          emit_popular_visit(machine.name);
+        }
+        const std::size_t k =
+            std::min(config_.prober_blacklist_queries, listed_today.size());
+        if (k > 0) {
+          const auto chosen = rng.sample_without_replacement(listed_today.size(), k);
+          for (const auto pick : chosen) {
+            const auto& record = malware_[listed_today[pick]];
+            emit(machine.name, record.name, record.ips);
+          }
+        }
+        // Scanners also probe whatever merely *looks* suspicious: obscure
+        // sites and free-registration blogs. This is the noise the paper
+        // warns about — it plants "infected machine" evidence on benign
+        // domains.
+        for (std::size_t i = 0; i < config_.prober_blacklist_queries / 3; ++i) {
+          if (!freereg_benign_.empty() && rng.next_bool(0.5)) {
+            const auto& site = freereg_benign_[rng.next_below(freereg_benign_.size())];
+            if (site.born <= day) {
+              emit(machine.name, site.fqdns.front(), site.ips);
+            }
+          } else if (!unpopular_.empty()) {
+            const auto& site = unpopular_[rng.next_below(unpopular_.size())];
+            emit(machine.name, site.fqdns.front(), site.ips);
+          }
+        }
+        break;
+      }
+      case MachineKind::kBenign:
+      case MachineKind::kInfected: {
+        const auto visits =
+            std::max<std::uint64_t>(6, rng.next_poisson(machine.browse_budget));
+        for (std::uint64_t i = 0; i < visits; ++i) {
+          emit_popular_visit(machine.name);
+        }
+        // Free-registration zone browsing (skip not-yet-born blogs).
+        // Users whose machines end up infected browse riskier corners of
+        // the web more often — which also puts benign blogs in front of
+        // infected machines and stresses the machine-behavior features.
+        const double freereg_visit_prob =
+            machine.kind == MachineKind::kInfected ? 0.4 : 0.15;
+        if (!freereg_benign_.empty() && rng.next_bool(freereg_visit_prob)) {
+          const auto& site = freereg_benign_[rng.next_below(freereg_benign_.size())];
+          if (site.born <= day) {
+            emit(machine.name, site.fqdns.front(), site.ips);
+          }
+        }
+        // Long-tail browsing: a few visits to unpopular-but-real domains.
+        if (unpopularity_ != nullptr) {
+          const auto visits_to_tail = rng.next_poisson(config_.unpopular_visits_per_day);
+          for (std::uint64_t t = 0; t < visits_to_tail; ++t) {
+            const auto& site = unpopular_[unpopularity_->sample(rng)];
+            emit(machine.name, site.fqdns.front(), site.ips);
+          }
+        }
+        // One-off tail domains (single-machine noise; R3 fodder).
+        const auto tails = rng.next_poisson(config_.tail_domains_per_day);
+        for (std::uint64_t t = 0; t < tails; ++t) {
+          const auto name = random_label(rng, 10) + "." + random_label(rng, 7) + ".net";
+          const auto ip = random_fresh_ip(rng);
+          emit(machine.name, name, {ip});
+          pdns_.add_observation(day, ip, dns::PdnsAssociation::kUnknown);
+        }
+        // Malware C&C traffic.
+        if (machine.kind == MachineKind::kInfected) {
+          for (const auto family : machine.families) {
+            const auto& active = family_active(family, day);
+            if (active.empty()) {
+              continue;
+            }
+            // ~1/5 of infections phone a single domain; the rest spread
+            // over several, with the configured mean (drives Figure 3).
+            // Means below 2 model deliberately quiet bots.
+            std::uint64_t q;
+            if (config_.cc_queries_mean <= 2.0) {
+              q = 1 + rng.next_poisson(std::max(0.0, config_.cc_queries_mean - 1.0));
+            } else {
+              q = rng.next_bool(0.22) ? 1 : 2 + rng.next_poisson(config_.cc_queries_mean - 2.0);
+            }
+            q = std::min<std::uint64_t>(q, active.size());
+            const auto chosen =
+                rng.sample_without_replacement(active.size(), static_cast<std::size_t>(q));
+            for (const auto pick : chosen) {
+              const auto& record = malware_[active[pick]];
+              emit(machine.name, record.name, record.ips);
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+  return trace;
+}
+
+bool World::is_true_malware(std::string_view domain) const {
+  return blacklist_->family_of(domain).has_value();
+}
+
+bool World::is_infected_machine(std::string_view machine) const {
+  for (const auto& machines : machines_) {
+    for (const auto& entry : machines) {
+      if (entry.name == machine) {
+        return entry.kind == MachineKind::kInfected;
+      }
+    }
+  }
+  return false;
+}
+
+std::size_t World::infected_machine_count(std::size_t isp) const {
+  util::require(isp < machines_.size(), "infected_machine_count: ISP index out of range");
+  std::size_t count = 0;
+  for (const auto& entry : machines_[isp]) {
+    count += entry.kind == MachineKind::kInfected ? 1 : 0;
+  }
+  return count;
+}
+
+std::vector<std::string> World::active_malware_domains(dns::Day day) const {
+  util::require(day >= -config_.warmup_days && day <= kHorizonDays,
+                "World::active_malware_domains: day outside horizon");
+  std::vector<std::string> names;
+  const auto index = static_cast<std::size_t>(day + config_.warmup_days);
+  for (const auto& per_family : family_active_[index]) {
+    for (const auto domain_index : per_family) {
+      names.push_back(malware_[domain_index].name);
+    }
+  }
+  return names;
+}
+
+}  // namespace seg::sim

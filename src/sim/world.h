@@ -1,0 +1,141 @@
+// The synthetic ISP world: machines, domains, malware families, and the
+// oracle services derived from them.
+//
+// The world is fully deterministic given the scenario seed. At
+// construction it:
+//   1. builds the benign domain catalog (popular sites with Zipf
+//      popularity, free-registration zones, hosting IPs);
+//   2. evolves every malware family day-by-day from -warmup_days through
+//      +horizon_days, recording each control domain's lifetime, hosting
+//      IPs, and (lagged) discovery by the commercial and public blacklists;
+//   3. replays the warmup period into the domain-activity index and the
+//      passive DNS database, so day-0 graphs see a realistic history;
+//   4. materializes the blacklist/whitelist/sandbox oracles.
+//
+// Afterwards, generate_day(isp, day) produces one day of query-log records
+// for one ISP. Per-(isp, day) RNG forking makes traces independent of call
+// order, and background state (activity, pDNS) is advanced for *all* days
+// up to the requested one, so sparse sampling of days (the paper's
+// cross-day gaps) still sees a continuous history.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dns/activity_index.h"
+#include "dns/pdns.h"
+#include "dns/public_suffix_list.h"
+#include "dns/query_log.h"
+#include "sim/blacklist_service.h"
+#include "sim/config.h"
+#include "sim/ground_truth.h"
+#include "sim/sandbox_db.h"
+#include "sim/whitelist_service.h"
+#include "util/rng.h"
+
+namespace seg::sim {
+
+class World {
+ public:
+  /// Simulation horizon: generate_day accepts days in [0, kHorizonDays].
+  static constexpr dns::Day kHorizonDays = 120;
+
+  explicit World(ScenarioConfig config);
+
+  std::size_t isp_count() const { return machines_.size(); }
+
+  /// One day of DNS traffic for one ISP. `day` in [0, kHorizonDays].
+  /// Deterministic per (isp, day); independent of call order.
+  dns::DayTrace generate_day(std::size_t isp, dns::Day day);
+
+  const ScenarioConfig& config() const { return config_; }
+  const dns::PublicSuffixList& psl() const { return psl_; }
+  const dns::DomainActivityIndex& activity() const { return activity_; }
+  const dns::PassiveDnsDb& pdns() const { return pdns_; }
+  const BlacklistService& blacklist() const { return *blacklist_; }
+  const WhitelistService& whitelist() const { return *whitelist_; }
+  const SandboxTraceDb& sandbox() const { return sandbox_; }
+
+  /// Ground truth: true iff `domain` is a real malware-control domain
+  /// (regardless of whether any blacklist discovered it).
+  bool is_true_malware(std::string_view domain) const;
+
+  /// Ground truth: true iff `machine` is one of the infected machines
+  /// (regardless of what its traffic revealed so far).
+  bool is_infected_machine(std::string_view machine) const;
+
+  /// Total infected machines in the given ISP.
+  std::size_t infected_machine_count(std::size_t isp) const;
+
+  /// True malware-control domains active (queried by bots) on `day`.
+  std::vector<std::string> active_malware_domains(dns::Day day) const;
+
+ private:
+  struct Site {
+    std::string e2ld;
+    std::vector<std::string> fqdns;
+    std::vector<dns::IpV4> ips;
+    /// First day the site exists (relevant for free-registration
+    /// subdomains, which are born throughout the simulation).
+    dns::Day born = std::numeric_limits<dns::Day>::min();
+  };
+
+  enum class MachineKind : unsigned char { kBenign, kInfected, kProxy, kInactive, kProber };
+
+  struct Machine {
+    std::string name;
+    MachineKind kind = MachineKind::kBenign;
+    std::vector<FamilyId> families;  // non-empty iff kInfected
+    double browse_budget = 20.0;     // mean distinct e2LDs per day
+  };
+
+  void build_catalog(util::Rng& rng);
+  void build_machines(util::Rng& rng);
+  void evolve_families(util::Rng& rng);
+  void build_oracles(util::Rng& rng);
+  void replay_background(dns::Day from, dns::Day to);
+
+  dns::IpV4 random_abused_ip(util::Rng& rng) const;
+  static dns::IpV4 random_fresh_ip(util::Rng& rng);
+  static dns::IpV4 freereg_zone_ip(std::size_t zone, util::Rng& rng);
+  static std::string random_label(util::Rng& rng, std::size_t length);
+
+  // Active C&C domain indices (into malware_) for family f on `day`.
+  const std::vector<std::size_t>& family_active(FamilyId f, dns::Day day) const;
+
+  ScenarioConfig config_;
+  dns::PublicSuffixList psl_;
+
+  // Catalog.
+  std::vector<Site> popular_;
+  std::unique_ptr<util::ZipfSampler> popularity_;
+  std::vector<Site> unpopular_;
+  std::unique_ptr<util::ZipfSampler> unpopularity_;
+  std::vector<std::string> freereg_zone_names_;
+  std::vector<Site> freereg_benign_;  // benign subdomain sites under zones
+  std::vector<std::uint32_t> abused_prefixes_;
+
+  // Malware ground truth and per-day family state.
+  std::vector<MalwareDomainInfo> malware_;
+  // family_active_[day + warmup][family] -> indices into malware_.
+  std::vector<std::vector<std::vector<std::size_t>>> family_active_;
+
+  // Machines per ISP.
+  std::vector<std::vector<Machine>> machines_;
+
+  // Background state.
+  dns::DomainActivityIndex activity_;
+  dns::PassiveDnsDb pdns_;
+  dns::Day background_cursor_ = 0;  // next background day to replay
+
+  // Oracles.
+  std::unique_ptr<BlacklistService> blacklist_;
+  std::unique_ptr<WhitelistService> whitelist_;
+  SandboxTraceDb sandbox_;
+
+  util::Rng master_;
+};
+
+}  // namespace seg::sim

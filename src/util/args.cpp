@@ -1,0 +1,61 @@
+#include "util/args.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+#include "util/strings.h"
+
+namespace seg::util {
+
+Args::Args(int argc, const char* const* argv, const std::vector<std::string>& flag_names) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (!arg.starts_with("--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    const auto body = arg.substr(2);
+    require_data(!body.empty(), "Args: bare '--' is not a valid option");
+    if (const auto eq = body.find('='); eq != std::string_view::npos) {
+      values_.emplace(std::string(body.substr(0, eq)), std::string(body.substr(eq + 1)));
+      continue;
+    }
+    const std::string key(body);
+    if (std::find(flag_names.begin(), flag_names.end(), key) != flag_names.end()) {
+      values_.emplace(key, "");
+      continue;
+    }
+    require_data(i + 1 < argc, "Args: option '--" + key + "' expects a value");
+    values_.emplace(key, argv[++i]);
+  }
+}
+
+bool Args::has(std::string_view key) const {
+  return values_.contains(std::string(key));
+}
+
+std::string Args::get(std::string_view key) const {
+  const auto it = values_.find(std::string(key));
+  require_data(it != values_.end(), "Args: missing required option '--" + std::string(key) + "'");
+  return it->second;
+}
+
+std::string Args::get_or(std::string_view key, std::string_view fallback) const {
+  const auto it = values_.find(std::string(key));
+  return it == values_.end() ? std::string(fallback) : it->second;
+}
+
+std::int64_t Args::get_int_or(std::string_view key, std::int64_t fallback) const {
+  const auto it = values_.find(std::string(key));
+  if (it == values_.end()) {
+    return fallback;
+  }
+  return static_cast<std::int64_t>(parse_double(it->second));
+}
+
+double Args::get_double_or(std::string_view key, double fallback) const {
+  const auto it = values_.find(std::string(key));
+  return it == values_.end() ? fallback : parse_double(it->second);
+}
+
+}  // namespace seg::util

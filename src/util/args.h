@@ -1,0 +1,45 @@
+// Minimal command-line argument parser for the tools/ binaries.
+//
+// Supports `--key value`, `--key=value`, boolean `--flag`, and positional
+// arguments. Unknown flags are an error; every access is checked so typos
+// fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace seg::util {
+
+class Args {
+ public:
+  /// Parses argv (excluding argv[0]). `flag_names` lists boolean flags —
+  /// everything else starting with "--" expects a value. Throws ParseError
+  /// on malformed input.
+  Args(int argc, const char* const* argv,
+       const std::vector<std::string>& flag_names = {});
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool has(std::string_view key) const;
+
+  /// Boolean flag presence.
+  bool flag(std::string_view key) const { return has(key); }
+
+  /// Required string option; throws ParseError when missing.
+  std::string get(std::string_view key) const;
+
+  /// Optional with default.
+  std::string get_or(std::string_view key, std::string_view fallback) const;
+  std::int64_t get_int_or(std::string_view key, std::int64_t fallback) const;
+  double get_double_or(std::string_view key, double fallback) const;
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace seg::util

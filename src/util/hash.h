@@ -1,0 +1,32 @@
+// Hashing helpers: FNV-1a for strings, a 64-bit mixer for integers, and a
+// combine helper for composite keys.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace seg::util {
+
+/// 64-bit FNV-1a over a byte string.
+constexpr std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : bytes) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// Strong 64-bit integer mixer (SplitMix64 finalizer).
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-dependent hash combine.
+constexpr std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value) {
+  return mix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+}  // namespace seg::util

@@ -1,0 +1,104 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/require.h"
+#include "util/strings.h"
+
+namespace seg::util {
+
+void Histogram::add(std::uint64_t value, std::uint64_t count) {
+  counts_[value] += count;
+  total_ += count;
+}
+
+std::uint64_t Histogram::count(std::uint64_t value) const {
+  const auto it = counts_.find(value);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::uint64_t Histogram::min_value() const {
+  require(!counts_.empty(), "Histogram::min_value: empty histogram");
+  return counts_.begin()->first;
+}
+
+std::uint64_t Histogram::max_value() const {
+  require(!counts_.empty(), "Histogram::max_value: empty histogram");
+  return counts_.rbegin()->first;
+}
+
+double Histogram::mean() const {
+  require(total_ > 0, "Histogram::mean: empty histogram");
+  double sum = 0.0;
+  for (const auto& [value, count] : counts_) {
+    sum += static_cast<double>(value) * static_cast<double>(count);
+  }
+  return sum / static_cast<double>(total_);
+}
+
+double Histogram::fraction_above(std::uint64_t threshold) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  std::uint64_t above = 0;
+  for (auto it = counts_.upper_bound(threshold); it != counts_.end(); ++it) {
+    above += it->second;
+  }
+  return static_cast<double>(above) / static_cast<double>(total_);
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  require(total_ > 0, "Histogram::quantile: empty histogram");
+  require(q >= 0.0 && q <= 1.0, "Histogram::quantile: q must be in [0,1]");
+  const double target = q * static_cast<double>(total_);
+  std::uint64_t cumulative = 0;
+  for (const auto& [value, count] : counts_) {
+    cumulative += count;
+    if (static_cast<double>(cumulative) >= target) {
+      return value;
+    }
+  }
+  return counts_.rbegin()->first;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> Histogram::items() const {
+  return {counts_.begin(), counts_.end()};
+}
+
+std::string Histogram::render(std::size_t max_rows, std::size_t width) const {
+  if (counts_.empty()) {
+    return "(empty histogram)\n";
+  }
+  std::uint64_t modal = 0;
+  for (const auto& [value, count] : counts_) {
+    modal = std::max(modal, count);
+  }
+  std::ostringstream os;
+  std::size_t rows = 0;
+  std::uint64_t tail_count = 0;
+  std::uint64_t tail_start = 0;
+  for (const auto& [value, count] : counts_) {
+    if (rows + 1 >= max_rows && counts_.size() > max_rows) {
+      if (tail_count == 0) {
+        tail_start = value;
+      }
+      tail_count += count;
+      continue;
+    }
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(count) / static_cast<double>(modal) * static_cast<double>(width));
+    os << "  " << value << "\t" << count << "\t("
+       << format_double(100.0 * static_cast<double>(count) / static_cast<double>(total_), 2)
+       << "%)\t" << std::string(bar, '#') << "\n";
+    ++rows;
+  }
+  if (tail_count > 0) {
+    os << "  >=" << tail_start << "\t" << tail_count << "\t("
+       << format_double(100.0 * static_cast<double>(tail_count) / static_cast<double>(total_), 2)
+       << "%)\n";
+  }
+  return os.str();
+}
+
+}  // namespace seg::util

@@ -1,0 +1,45 @@
+// Integer-valued histogram with text rendering, used to print the paper's
+// distribution figures (e.g. Fig. 3 and Fig. 11) as ASCII bar charts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace seg::util {
+
+/// Sparse histogram over non-negative integer values.
+class Histogram {
+ public:
+  void add(std::uint64_t value, std::uint64_t count = 1);
+
+  std::uint64_t count(std::uint64_t value) const;
+  std::uint64_t total() const { return total_; }
+  bool empty() const { return counts_.empty(); }
+
+  std::uint64_t min_value() const;
+  std::uint64_t max_value() const;
+
+  double mean() const;
+
+  /// Fraction of mass at values strictly greater than `threshold`.
+  double fraction_above(std::uint64_t threshold) const;
+
+  /// Smallest v such that P(X <= v) >= q, for q in [0, 1].
+  std::uint64_t quantile(double q) const;
+
+  /// All (value, count) pairs in ascending value order.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> items() const;
+
+  /// Renders an ASCII bar chart. `max_rows` caps the number of distinct
+  /// values shown (the tail is collapsed into a ">= v" row); `width` is the
+  /// bar width in characters for the modal value.
+  std::string render(std::size_t max_rows = 24, std::size_t width = 50) const;
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace seg::util

@@ -1,0 +1,30 @@
+#include "util/interner.h"
+
+#include "util/require.h"
+
+namespace seg::util {
+
+StringInterner::Id StringInterner::intern(std::string_view text) {
+  if (const auto it = index_.find(text); it != index_.end()) {
+    return it->second;
+  }
+  require(strings_.size() < kInvalidId, "StringInterner: id space exhausted");
+  const Id id = static_cast<Id>(strings_.size());
+  strings_.emplace_back(text);
+  index_.emplace(std::string_view(strings_.back()), id);
+  return id;
+}
+
+std::optional<StringInterner::Id> StringInterner::find(std::string_view text) const {
+  if (const auto it = index_.find(text); it != index_.end()) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+std::string_view StringInterner::lookup(Id id) const {
+  require(id < strings_.size(), "StringInterner::lookup: id out of range");
+  return strings_[id];
+}
+
+}  // namespace seg::util

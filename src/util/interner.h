@@ -1,0 +1,45 @@
+// String interner: maps strings to dense 32-bit ids and back.
+//
+// The machine-domain graph stores millions of domain names and machine
+// identifiers; interning them once keeps the graph itself id-based and
+// cache-friendly (Core Guidelines Per.* — prefer compact data).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace seg::util {
+
+/// Dense string-to-id table. Ids are assigned in first-seen order starting
+/// at 0 and are stable for the interner's lifetime.
+class StringInterner {
+ public:
+  using Id = std::uint32_t;
+  static constexpr Id kInvalidId = 0xffffffffu;
+
+  /// Returns the id of `text`, interning it if new.
+  Id intern(std::string_view text);
+
+  /// Returns the id of `text` if already interned.
+  std::optional<Id> find(std::string_view text) const;
+
+  /// Returns the string for an id. Requires id < size().
+  std::string_view lookup(Id id) const;
+
+  std::size_t size() const { return strings_.size(); }
+  bool empty() const { return strings_.empty(); }
+
+  void reserve(std::size_t n) { index_.reserve(n); }
+
+ private:
+  // deque keeps string storage stable so string_view keys into it survive
+  // growth; unordered_map keys view the deque elements.
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, Id> index_;
+};
+
+}  // namespace seg::util

@@ -1,0 +1,63 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <iomanip>
+
+namespace seg::util {
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() : start_(std::chrono::steady_clock::now()) {}
+
+void Logger::set_level(LogLevel level) {
+  std::lock_guard lock(mutex_);
+  level_ = level;
+}
+
+LogLevel Logger::level() const {
+  std::lock_guard lock(mutex_);
+  return level_;
+}
+
+void Logger::set_sink(Sink sink) {
+  std::lock_guard lock(mutex_);
+  sink_ = std::move(sink);
+}
+
+void Logger::log(LogLevel level, std::string_view message) {
+  std::lock_guard lock(mutex_);
+  if (level < level_ || level_ == LogLevel::kOff) {
+    return;
+  }
+  if (sink_) {
+    sink_(level, message);
+    return;
+  }
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(std::chrono::steady_clock::now() - start_);
+  std::ostringstream line;
+  line << "[" << std::fixed << std::setprecision(3) << static_cast<double>(elapsed.count()) / 1000.0
+       << "s " << log_level_name(level) << "] " << message << "\n";
+  std::fputs(line.str().c_str(), stderr);
+}
+
+}  // namespace seg::util

@@ -1,0 +1,74 @@
+// Minimal leveled logger.
+//
+// A single process-wide logger with a configurable level and sink. Designed
+// for long-running pipeline stages: messages carry a monotonic elapsed-time
+// stamp so reports read like the paper's timing section (IV-G).
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace seg::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Returns a short uppercase tag for a level ("DEBUG", "INFO", ...).
+std::string_view log_level_name(LogLevel level);
+
+/// Process-wide logger. Thread-safe. By default logs kInfo and above to
+/// stderr; a custom sink may be installed for tests.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level);
+  LogLevel level() const;
+
+  /// Installs a sink; pass nullptr to restore the default stderr sink.
+  void set_sink(Sink sink);
+
+  /// Emits a message if `level` is at or above the configured level.
+  void log(LogLevel level, std::string_view message);
+
+ private:
+  Logger();
+
+  mutable std::mutex mutex_;
+  LogLevel level_ = LogLevel::kInfo;
+  Sink sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  Logger::instance().log(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  Logger::instance().log(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  Logger::instance().log(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  Logger::instance().log(LogLevel::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace seg::util

@@ -1,0 +1,135 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace seg::util {
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  require(bound > 0, "Rng::next_below: bound must be positive");
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+  std::uint64_t low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::next_int(std::int64_t lo, std::int64_t hi) {
+  require(lo <= hi, "Rng::next_int: lo must be <= hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next());
+  }
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_gaussian() {
+  // Box-Muller, discarding the second variate to keep the stream position
+  // independent of call history.
+  double u1 = next_double();
+  const double u2 = next_double();
+  if (u1 <= 0.0) {
+    u1 = 0x1.0p-53;  // avoid log(0)
+  }
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+std::uint64_t Rng::next_poisson(double lambda) {
+  require(lambda >= 0.0, "Rng::next_poisson: lambda must be non-negative");
+  if (lambda == 0.0) {
+    return 0;
+  }
+  if (lambda < 30.0) {
+    // Knuth's product method.
+    const double threshold = std::exp(-lambda);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= next_double();
+    } while (p > threshold);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction; adequate for the
+  // traffic model's large event counts.
+  const double sample = lambda + std::sqrt(lambda) * next_gaussian() + 0.5;
+  return sample <= 0.0 ? 0 : static_cast<std::uint64_t>(sample);
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  require(k <= n, "Rng::sample_without_replacement: k must be <= n");
+  if (k == 0) {
+    return {};
+  }
+  // For small k relative to n use Floyd's algorithm; otherwise a partial
+  // Fisher-Yates over the full index range.
+  if (k < n / 16) {
+    std::vector<std::size_t> result;
+    result.reserve(k);
+    // Floyd's: guarantees distinctness, O(k) expected insertions.
+    std::vector<std::size_t> chosen;
+    chosen.reserve(k);
+    for (std::size_t j = n - k; j < n; ++j) {
+      const std::size_t t = static_cast<std::size_t>(next_below(j + 1));
+      if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+        chosen.push_back(t);
+      } else {
+        chosen.push_back(j);
+      }
+    }
+    shuffle(std::span<std::size_t>(chosen));
+    return chosen;
+  }
+  std::vector<std::size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  for (std::size_t i = 0; i < k; ++i) {
+    std::swap(indices[i], indices[i + next_below(n - i)]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+Rng Rng::fork(std::uint64_t stream_id) const {
+  // Mix the parent's state with the stream id through SplitMix64 so child
+  // streams are decorrelated from the parent and from each other.
+  SplitMix64 sm(state_[0] ^ (stream_id * 0x9e3779b97f4a7c15ULL) ^ state_[3]);
+  Rng child(sm.next());
+  return child;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : s_(s) {
+  require(n > 0, "ZipfSampler: n must be positive");
+  require(s > 0.0, "ZipfSampler: exponent must be positive");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) {
+    c /= total;
+  }
+  cdf_.back() = 1.0;  // guard against floating-point shortfall
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t i) const {
+  require(i < cdf_.size(), "ZipfSampler::pmf: rank out of range");
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace seg::util

@@ -1,0 +1,139 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the library (the traffic simulator, the
+// random-forest bagging, train/test splitting) draw from SplitMix64-seeded
+// xoshiro256** generators so that every experiment is reproducible from a
+// single integer seed.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/require.h"
+
+namespace seg::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+/// Reference: Vigna, http://prng.di.unimi.it/splitmix64.c
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG. Satisfies the
+/// UniformRandomBitGenerator requirements so it composes with <random> and
+/// std::shuffle.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Default seed chosen arbitrarily; all experiments pass explicit seeds.
+  explicit Rng(std::uint64_t seed = 0x5E6061D0ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) {
+      s = sm.next();
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool next_bool(double p) { return next_double() < p; }
+
+  /// Standard-normal variate (Box-Muller; one value per call, no caching so
+  /// the stream stays deterministic under reordering).
+  double next_gaussian();
+
+  /// Geometric-ish "count" sampler: Poisson(lambda) via Knuth for small
+  /// lambda, normal approximation for large lambda. Always >= 0.
+  std::uint64_t next_poisson(double lambda);
+
+  /// Fisher-Yates shuffle of a span.
+  template <typename T>
+  void shuffle(std::span<T> values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      std::swap(values[i - 1], values[next_below(i)]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+  /// Forks an independently-seeded child generator; children with distinct
+  /// stream ids are decorrelated regardless of draw order in the parent.
+  Rng fork(std::uint64_t stream_id) const;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Zipf(s) sampler over ranks {0, ..., n-1}; rank 0 is most popular.
+/// Used to model the popularity skew of benign web domains. Exact inverse-CDF
+/// sampling over a precomputed table (n is at most a few million here).
+class ZipfSampler {
+ public:
+  /// Requires n > 0 and exponent s > 0.
+  ZipfSampler(std::size_t n, double s);
+
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+  /// Probability mass of rank i.
+  double pmf(std::size_t i) const;
+
+ private:
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i)
+  double s_;
+};
+
+}  // namespace seg::util

@@ -1,0 +1,26 @@
+// Wall-clock stopwatch used by the pipeline's timing reports (paper IV-G).
+#pragma once
+
+#include <chrono>
+
+namespace seg::util {
+
+/// Monotonic stopwatch. Starts on construction; restart() resets.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_seconds() * 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace seg::util

@@ -1,0 +1,48 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/require.h"
+
+namespace seg::util {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  require(!header_.empty(), "TextTable: header must not be empty");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  require(row.size() == header_.size(), "TextTable::add_row: wrong number of cells");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : " | ") << row[c]
+         << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << "\n";
+  };
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c == 0 ? "" : "-+-") << std::string(widths[c], '-');
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return os.str();
+}
+
+}  // namespace seg::util

@@ -1,0 +1,30 @@
+// Fixed-width text table renderer for paper-style report output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace seg::util {
+
+/// Accumulates rows of string cells and renders them as an aligned
+/// plain-text table with a header rule, e.g.
+///
+///   Traffic Source   | Domains | Machines
+///   -----------------+---------+---------
+///   ISP1, Day 1      | 9.0M    | 1.6M
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace seg::util

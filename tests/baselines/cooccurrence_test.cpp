@@ -1,0 +1,53 @@
+#include "baselines/cooccurrence.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/labeling.h"
+
+namespace seg::baselines {
+namespace {
+
+using graph::GraphBuilder;
+using graph::NameSet;
+
+TEST(CooccurrenceTest, ScoresByInfectedMachineFraction) {
+  dns::PublicSuffixList psl = dns::PublicSuffixList::with_default_rules();
+  GraphBuilder builder(psl);
+  builder.add_query("i1", "cc.evil.biz", {});
+  builder.add_query("i1", "mixed.net", {});
+  builder.add_query("u1", "mixed.net", {});
+  builder.add_query("u2", "clean.org", {});
+  builder.add_query("u3", "clean.org", {});
+  auto graph = builder.build();
+  NameSet blacklist;
+  blacklist.insert("cc.evil.biz");
+  graph::apply_labels(graph, blacklist, NameSet{});
+
+  const auto result = run_cooccurrence(graph);
+  EXPECT_DOUBLE_EQ(result.domain_score[graph.find_domain("mixed.net")], 0.5);
+  EXPECT_DOUBLE_EQ(result.domain_score[graph.find_domain("clean.org")], 0.0);
+  EXPECT_DOUBLE_EQ(result.domain_score[graph.find_domain("cc.evil.biz")], 1.0);
+}
+
+TEST(CooccurrenceTest, ZeroCooccurrenceDomainsAreInvisible) {
+  // The Sato et al. limitation the paper points out: a C&C domain queried
+  // only by machines with no blacklisted queries scores zero.
+  dns::PublicSuffixList psl = dns::PublicSuffixList::with_default_rules();
+  GraphBuilder builder(psl);
+  builder.add_query("u1", "hidden-cc.net", {});
+  builder.add_query("u2", "hidden-cc.net", {});
+  const auto graph = builder.build();
+  const auto result = run_cooccurrence(graph);
+  EXPECT_DOUBLE_EQ(result.domain_score[graph.find_domain("hidden-cc.net")], 0.0);
+}
+
+TEST(CooccurrenceTest, EmptyGraph) {
+  dns::PublicSuffixList psl = dns::PublicSuffixList::with_default_rules();
+  GraphBuilder builder(psl);
+  const auto graph = builder.build();
+  const auto result = run_cooccurrence(graph);
+  EXPECT_TRUE(result.domain_score.empty());
+}
+
+}  // namespace
+}  // namespace seg::baselines

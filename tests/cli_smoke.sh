@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the segugio CLI: simgen -> train -> classify ->
+# report -> inspect, exercising both trace formats and the model round trip.
+set -euo pipefail
+CLI="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+"$CLI" simgen --out "$DIR" --days 2 --isp 0 --binary >/dev/null
+test -f "$DIR/day0.bin"
+test -f "$DIR/whitelist.txt"
+
+"$CLI" train --trace "$DIR/day0.bin" \
+  --blacklist "$DIR/blacklist-day0.txt" --whitelist "$DIR/whitelist.txt" \
+  --activity "$DIR/activity.txt" --pdns "$DIR/pdns.txt" \
+  --model "$DIR/model.txt" --trees 20 >/dev/null
+test -s "$DIR/model.txt"
+
+OUT="$("$CLI" classify --trace "$DIR/day1.bin" --model "$DIR/model.txt" \
+  --blacklist "$DIR/blacklist-day1.txt" --whitelist "$DIR/whitelist.txt" \
+  --activity "$DIR/activity.txt" --pdns "$DIR/pdns.txt" --threshold 0.5)"
+echo "$OUT" | grep -q "unknown domains scored"
+
+"$CLI" report --trace "$DIR/day1.bin" --model "$DIR/model.txt" \
+  --blacklist "$DIR/blacklist-day1.txt" --whitelist "$DIR/whitelist.txt" \
+  --activity "$DIR/activity.txt" --pdns "$DIR/pdns.txt" --threshold 0.5 \
+  | grep -q "remediation worklist"
+
+"$CLI" inspect --model "$DIR/model.txt" | grep -q "random forest"
+
+# Error paths return non-zero with a clear message.
+if "$CLI" classify --trace /nonexistent --model "$DIR/model.txt" \
+  --blacklist "$DIR/blacklist-day1.txt" --whitelist "$DIR/whitelist.txt" \
+  --activity "$DIR/activity.txt" --pdns "$DIR/pdns.txt" 2>/dev/null; then
+  echo "expected failure on missing trace" >&2
+  exit 1
+fi
+
+echo "cli smoke ok"

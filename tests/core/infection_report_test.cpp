@@ -1,0 +1,97 @@
+#include "core/infection_report.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/labeling.h"
+
+namespace seg::core {
+namespace {
+
+class InfectionReportTest : public ::testing::Test {
+ protected:
+  dns::PublicSuffixList psl_ = dns::PublicSuffixList::with_default_rules();
+
+  // m1 queries a known C&C + the new detection; m2 only the new detection;
+  // m3 only benign.
+  graph::MachineDomainGraph make_graph() {
+    graph::GraphBuilder builder(psl_);
+    builder.add_query("m1", "known.evil.biz", {});
+    builder.add_query("m1", "fresh.evil.net", {});
+    builder.add_query("m2", "fresh.evil.net", {});
+    builder.add_query("m3", "www.good.com", {});
+    builder.add_query("m1", "www.good.com", {});
+    auto graph = builder.build();
+    graph::NameSet blacklist;
+    blacklist.insert("known.evil.biz");
+    graph::NameSet whitelist;
+    whitelist.insert("good.com");
+    graph::apply_labels(graph, blacklist, whitelist);
+    return graph;
+  }
+
+  DetectionReport make_detections(const graph::MachineDomainGraph& graph) {
+    DetectionReport report;
+    const auto fresh = graph.find_domain("fresh.evil.net");
+    report.scores.push_back({"fresh.evil.net", fresh, 0.95});
+    const auto good = graph.find_domain("www.good.com");
+    report.scores.push_back({"www.good.com", good, 0.05});  // below threshold
+    return report;
+  }
+};
+
+TEST_F(InfectionReportTest, EnumeratesImplicatedMachines) {
+  const auto graph = make_graph();
+  const auto report = enumerate_infections(graph, make_detections(graph), 0.5);
+  ASSERT_EQ(report.machines.size(), 2u);  // m1 and m2; m3 is clean
+  EXPECT_EQ(report.machines[0].name, "m1");  // strongest evidence first
+  EXPECT_EQ(report.machines[0].known_domains.size(), 1u);
+  EXPECT_EQ(report.machines[0].detected_domains.size(), 1u);
+  EXPECT_EQ(report.machines[0].evidence(), 2u);
+  EXPECT_EQ(report.machines[1].name, "m2");
+  EXPECT_TRUE(report.machines[1].known_domains.empty());
+}
+
+TEST_F(InfectionReportTest, CountsNewlyImplicatedMachines) {
+  const auto graph = make_graph();
+  const auto report = enumerate_infections(graph, make_detections(graph), 0.5);
+  // m2 has no blacklisted queries: a blacklist-only workflow would miss it.
+  EXPECT_EQ(report.newly_implicated, 1u);
+}
+
+TEST_F(InfectionReportTest, ThresholdFiltersWeakDetections) {
+  const auto graph = make_graph();
+  const auto report = enumerate_infections(graph, make_detections(graph), 0.99);
+  // Only the blacklist evidence remains -> only m1.
+  ASSERT_EQ(report.machines.size(), 1u);
+  EXPECT_EQ(report.machines[0].name, "m1");
+  EXPECT_TRUE(report.machines[0].detected_domains.empty());
+  EXPECT_EQ(report.newly_implicated, 0u);
+}
+
+TEST_F(InfectionReportTest, EmptyInputsYieldEmptyReport) {
+  graph::GraphBuilder builder(psl_);
+  builder.add_query("m1", "a.com", {});
+  auto graph = builder.build();
+  graph::apply_labels(graph, graph::NameSet{}, graph::NameSet{});
+  const auto report = enumerate_infections(graph, DetectionReport{}, 0.5);
+  EXPECT_TRUE(report.machines.empty());
+  EXPECT_EQ(report.newly_implicated, 0u);
+}
+
+TEST_F(InfectionReportTest, DetectedDomainsSortedByScore) {
+  graph::GraphBuilder builder(psl_);
+  builder.add_query("m1", "a.evil.net", {});
+  builder.add_query("m1", "b.evil.net", {});
+  auto graph = builder.build();
+  graph::apply_labels(graph, graph::NameSet{}, graph::NameSet{});
+  DetectionReport detections;
+  detections.scores.push_back({"a.evil.net", graph.find_domain("a.evil.net"), 0.7});
+  detections.scores.push_back({"b.evil.net", graph.find_domain("b.evil.net"), 0.9});
+  const auto report = enumerate_infections(graph, detections, 0.5);
+  ASSERT_EQ(report.machines.size(), 1u);
+  ASSERT_EQ(report.machines[0].detected_domains.size(), 2u);
+  EXPECT_EQ(report.machines[0].detected_domains[0].name, "b.evil.net");
+}
+
+}  // namespace
+}  // namespace seg::core

@@ -1,0 +1,57 @@
+#include "dns/ip.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/require.h"
+
+namespace seg::dns {
+namespace {
+
+TEST(IpV4Test, FromOctetsAndValue) {
+  const auto ip = IpV4::from_octets(192, 168, 1, 42);
+  EXPECT_EQ(ip.value(), 0xc0a8012au);
+}
+
+TEST(IpV4Test, ParseValid) {
+  EXPECT_EQ(IpV4::parse("192.168.1.42"), IpV4::from_octets(192, 168, 1, 42));
+  EXPECT_EQ(IpV4::parse("0.0.0.0"), IpV4(0));
+  EXPECT_EQ(IpV4::parse("255.255.255.255"), IpV4(0xffffffffu));
+}
+
+TEST(IpV4Test, ParseRejectsMalformed) {
+  for (const char* bad : {"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "1.2.3.x", "1..3.4",
+                          "-1.2.3.4", " 1.2.3.4", "1.2.3.4 ", "0001.2.3.4"}) {
+    EXPECT_THROW(IpV4::parse(bad), util::ParseError) << bad;
+  }
+}
+
+TEST(IpV4Test, ToStringRoundTrips) {
+  for (const char* text : {"10.0.0.1", "172.16.254.3", "8.8.8.8", "255.0.255.0"}) {
+    EXPECT_EQ(IpV4::parse(text).to_string(), text);
+  }
+}
+
+TEST(IpV4Test, Prefix24) {
+  const auto ip = IpV4::parse("203.0.113.77");
+  EXPECT_EQ(ip.prefix24(), IpV4::parse("203.0.113.0").value());
+  EXPECT_EQ(IpV4::parse("203.0.113.1").prefix24(), ip.prefix24());
+  EXPECT_NE(IpV4::parse("203.0.114.77").prefix24(), ip.prefix24());
+}
+
+TEST(IpV4Test, Ordering) {
+  EXPECT_LT(IpV4::parse("1.2.3.4"), IpV4::parse("1.2.3.5"));
+  EXPECT_LT(IpV4::parse("1.2.3.4"), IpV4::parse("2.0.0.0"));
+}
+
+TEST(IpV4Test, HashableInUnorderedSet) {
+  std::unordered_set<IpV4> set;
+  set.insert(IpV4::parse("10.0.0.1"));
+  set.insert(IpV4::parse("10.0.0.1"));
+  set.insert(IpV4::parse("10.0.0.2"));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace seg::dns

@@ -1,0 +1,78 @@
+// Randomized property sweep over the Public Suffix List: for arbitrary
+// generated domain names, the PSL contract must hold.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dns/domain_name.h"
+#include "dns/public_suffix_list.h"
+#include "util/rng.h"
+
+namespace seg::dns {
+namespace {
+
+std::string random_label(util::Rng& rng) {
+  static constexpr char kChars[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  const auto length = 1 + rng.next_below(12);
+  std::string label;
+  label.push_back(static_cast<char>('a' + rng.next_below(26)));
+  for (std::uint64_t i = 1; i < length; ++i) {
+    label.push_back(kChars[rng.next_below(sizeof(kChars) - 1)]);
+  }
+  return label;
+}
+
+std::string random_domain(util::Rng& rng) {
+  static constexpr const char* kTails[] = {"com", "co.uk",   "ck",        "dyndns.org",
+                                           "zz",  "narod.ru", "blogspot.com", "de"};
+  std::string name;
+  const auto labels = rng.next_below(4);
+  for (std::uint64_t i = 0; i < labels; ++i) {
+    name += random_label(rng) + ".";
+  }
+  name += kTails[rng.next_below(std::size(kTails))];
+  return name;
+}
+
+class PslFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PslFuzzTest, ContractHoldsForRandomNames) {
+  const auto psl = PublicSuffixList::with_default_rules();
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const auto domain = random_domain(rng);
+    ASSERT_TRUE(DomainName::is_valid(domain)) << domain;
+
+    const auto suffix = psl.public_suffix(domain);
+    // 1. the suffix is a non-empty suffix of the domain on a label boundary
+    ASSERT_FALSE(suffix.empty()) << domain;
+    ASSERT_TRUE(domain.ends_with(suffix)) << domain;
+    if (suffix.size() < domain.size()) {
+      EXPECT_EQ(domain[domain.size() - suffix.size() - 1], '.') << domain;
+    }
+
+    const auto registrable = psl.registrable_domain(domain);
+    if (registrable.has_value()) {
+      // 2. registrable = suffix + exactly one more label
+      ASSERT_TRUE(domain.ends_with(*registrable)) << domain;
+      ASSERT_TRUE(registrable->ends_with(suffix)) << domain;
+      const auto head = registrable->substr(0, registrable->size() - suffix.size() - 1);
+      EXPECT_EQ(head.find('.'), std::string_view::npos) << domain;
+      // 3. e2ld_or_self agrees
+      EXPECT_EQ(psl.e2ld_or_self(domain), *registrable) << domain;
+      // 4. idempotence: the registrable domain of the registrable domain is
+      // itself
+      EXPECT_EQ(psl.registrable_domain(*registrable).value_or(*registrable), *registrable)
+          << domain;
+    } else {
+      // domain IS a public suffix
+      EXPECT_EQ(suffix, domain) << domain;
+      EXPECT_EQ(psl.e2ld_or_self(domain), domain) << domain;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PslFuzzTest, ::testing::Values(3, 17, 2026));
+
+}  // namespace
+}  // namespace seg::dns

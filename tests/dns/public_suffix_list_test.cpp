@@ -1,0 +1,144 @@
+#include "dns/public_suffix_list.h"
+
+#include <gtest/gtest.h>
+
+#include "util/require.h"
+
+namespace seg::dns {
+namespace {
+
+class PslTest : public ::testing::Test {
+ protected:
+  PublicSuffixList psl_ = PublicSuffixList::with_default_rules();
+};
+
+TEST_F(PslTest, DefaultRulesLoaded) {
+  EXPECT_GT(psl_.rule_count(), 200u);
+}
+
+TEST_F(PslTest, SimpleTld) {
+  EXPECT_EQ(psl_.public_suffix("example.com"), "com");
+  EXPECT_EQ(psl_.registrable_domain("www.example.com").value(), "example.com");
+}
+
+TEST_F(PslTest, MultiLabelSuffix) {
+  EXPECT_EQ(psl_.public_suffix("www.bbc.co.uk"), "co.uk");
+  EXPECT_EQ(psl_.registrable_domain("www.bbc.co.uk").value(), "bbc.co.uk");
+}
+
+TEST_F(PslTest, BareSuffixHasNoRegistrableDomain) {
+  EXPECT_FALSE(psl_.registrable_domain("com").has_value());
+  EXPECT_FALSE(psl_.registrable_domain("co.uk").has_value());
+}
+
+TEST_F(PslTest, E2ldOrSelfFallsBackToSelf) {
+  EXPECT_EQ(psl_.e2ld_or_self("co.uk"), "co.uk");
+  EXPECT_EQ(psl_.e2ld_or_self("www.bbc.co.uk"), "bbc.co.uk");
+}
+
+TEST_F(PslTest, UnknownTldUsesPrevailingStarRule) {
+  EXPECT_EQ(psl_.public_suffix("example.zz"), "zz");
+  EXPECT_EQ(psl_.registrable_domain("www.example.zz").value(), "example.zz");
+}
+
+TEST_F(PslTest, WildcardRule) {
+  // "*.ck" means every label under ck is a public suffix.
+  EXPECT_EQ(psl_.public_suffix("foo.anything.ck"), "anything.ck");
+  EXPECT_EQ(psl_.registrable_domain("bar.foo.anything.ck").value(), "foo.anything.ck");
+  EXPECT_FALSE(psl_.registrable_domain("anything.ck").has_value());
+}
+
+TEST_F(PslTest, ExceptionRuleBeatsWildcard) {
+  // "!www.ck" carves www.ck out of "*.ck": its public suffix is just "ck".
+  EXPECT_EQ(psl_.public_suffix("www.ck"), "ck");
+  EXPECT_EQ(psl_.registrable_domain("www.ck").value(), "www.ck");
+  EXPECT_EQ(psl_.registrable_domain("sub.www.ck").value(), "www.ck");
+}
+
+TEST_F(PslTest, DynamicDnsZonesAreSuffixes) {
+  // The paper's custom augmentation: each dyndns subdomain registers
+  // independently, so e2LD of evil.dyndns.org is evil.dyndns.org.
+  EXPECT_EQ(psl_.registrable_domain("evil.dyndns.org").value(), "evil.dyndns.org");
+  EXPECT_EQ(psl_.registrable_domain("a.b.no-ip.com").value(), "b.no-ip.com");
+}
+
+TEST_F(PslTest, FreeHostingZonesFromFpAnalysis) {
+  // Zones highlighted in the paper's Fig. 9 FP examples.
+  EXPECT_EQ(psl_.registrable_domain("sjhsjh333.egloos.com").value(), "sjhsjh333.egloos.com");
+  EXPECT_EQ(psl_.registrable_domain("thaisqz.sites.uol.com.br").value(),
+            "thaisqz.sites.uol.com.br");
+  EXPECT_EQ(psl_.registrable_domain("cr0s.interfree.it").value(), "cr0s.interfree.it");
+  EXPECT_EQ(psl_.registrable_domain("vk144.narod.ru").value(), "vk144.narod.ru");
+}
+
+TEST_F(PslTest, UolBrNormalSubdomainStillGroupsAtUol) {
+  // sites.uol.com.br is a free-registration zone, but uol.com.br itself
+  // registers under com.br as usual.
+  EXPECT_EQ(psl_.registrable_domain("www.uol.com.br").value(), "uol.com.br");
+}
+
+TEST(PslRuleTest, EmptyListUsesStarRuleOnly) {
+  PublicSuffixList psl;
+  EXPECT_EQ(psl.rule_count(), 0u);
+  EXPECT_EQ(psl.public_suffix("www.example.com"), "com");
+  EXPECT_EQ(psl.registrable_domain("www.example.com").value(), "example.com");
+}
+
+TEST(PslRuleTest, AddRuleNormalizesCase) {
+  PublicSuffixList psl;
+  psl.add_rule("CO.UK");
+  EXPECT_EQ(psl.public_suffix("x.co.uk"), "co.uk");
+}
+
+TEST(PslRuleTest, MalformedRulesThrow) {
+  PublicSuffixList psl;
+  for (const char* bad : {"", "  ", ".com", "com.", "a*b.com", "*.", "!"}) {
+    EXPECT_THROW(psl.add_rule(bad), util::ParseError) << '"' << bad << '"';
+  }
+}
+
+TEST(PslRuleTest, AddRulesFromTextSkipsCommentsAndBlanks) {
+  PublicSuffixList psl;
+  psl.add_rules_from_text("// comment\n\ncom\nco.uk\n  // indented comment\n");
+  EXPECT_EQ(psl.rule_count(), 2u);
+}
+
+TEST(PslRuleTest, LongestMatchWins) {
+  PublicSuffixList psl;
+  psl.add_rule("com");
+  psl.add_rule("blogspot.com");
+  EXPECT_EQ(psl.public_suffix("me.blogspot.com"), "blogspot.com");
+  EXPECT_EQ(psl.registrable_domain("me.blogspot.com").value(), "me.blogspot.com");
+  EXPECT_EQ(psl.registrable_domain("blogspot.com").has_value(), false);
+  EXPECT_EQ(psl.registrable_domain("example.com").value(), "example.com");
+}
+
+// Property sweep: registrable_domain must always be a suffix of the input
+// with exactly one more label than the public suffix.
+class PslPropertyTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PslPropertyTest, RegistrableDomainStructure) {
+  const auto psl = PublicSuffixList::with_default_rules();
+  const std::string_view domain = GetParam();
+  const auto suffix = psl.public_suffix(domain);
+  EXPECT_FALSE(suffix.empty());
+  EXPECT_TRUE(domain.ends_with(suffix));
+  const auto reg = psl.registrable_domain(domain);
+  if (reg.has_value()) {
+    EXPECT_TRUE(domain.ends_with(*reg));
+    EXPECT_TRUE(reg->ends_with(suffix));
+    // reg = suffix + exactly one extra label
+    const auto head = reg->substr(0, reg->size() - suffix.size() - 1);
+    EXPECT_EQ(head.find('.'), std::string_view::npos);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Domains, PslPropertyTest,
+                         ::testing::Values("www.example.com", "a.b.c.d.co.uk",
+                                           "x.dyndns.org", "deep.sub.narod.ru",
+                                           "example.zz", "a.b.anything.ck",
+                                           "www.ck", "single.de",
+                                           "many.labels.go.here.example.org"));
+
+}  // namespace
+}  // namespace seg::dns

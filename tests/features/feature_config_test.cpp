@@ -1,0 +1,56 @@
+#include "features/feature_config.h"
+
+#include <gtest/gtest.h>
+
+#include "util/require.h"
+
+namespace seg::features {
+namespace {
+
+TEST(FeatureConfigTest, ElevenNamedFeatures) {
+  EXPECT_EQ(feature_names().size(), kNumFeatures);
+  EXPECT_EQ(kNumFeatures, 11u);
+  EXPECT_EQ(feature_names()[kInfectedFraction], "f1_infected_fraction");
+  EXPECT_EQ(feature_names()[kPrefixUnknownCount], "f3_prefix_unknown_count");
+}
+
+TEST(FeatureConfigTest, GroupAssignment) {
+  EXPECT_EQ(feature_group(kInfectedFraction), FeatureGroup::kMachineBehavior);
+  EXPECT_EQ(feature_group(kTotalMachines), FeatureGroup::kMachineBehavior);
+  EXPECT_EQ(feature_group(kFqdnActiveDays), FeatureGroup::kDomainActivity);
+  EXPECT_EQ(feature_group(kE2ldConsecutiveDays), FeatureGroup::kDomainActivity);
+  EXPECT_EQ(feature_group(kIpMalwareFraction), FeatureGroup::kIpAbuse);
+  EXPECT_EQ(feature_group(kPrefixUnknownCount), FeatureGroup::kIpAbuse);
+  EXPECT_THROW(feature_group(kNumFeatures), util::PreconditionError);
+}
+
+TEST(FeatureConfigTest, GroupSizesMatchPaper) {
+  EXPECT_EQ(feature_indices_for({FeatureGroup::kMachineBehavior}).size(), 3u);
+  EXPECT_EQ(feature_indices_for({FeatureGroup::kDomainActivity}).size(), 4u);
+  EXPECT_EQ(feature_indices_for({FeatureGroup::kIpAbuse}).size(), 4u);
+}
+
+TEST(FeatureConfigTest, ExclusionIsComplement) {
+  const auto no_ip = feature_indices_excluding(FeatureGroup::kIpAbuse);
+  EXPECT_EQ(no_ip.size(), 7u);
+  for (const auto i : no_ip) {
+    EXPECT_NE(feature_group(i), FeatureGroup::kIpAbuse);
+  }
+  const auto no_machine = feature_indices_excluding(FeatureGroup::kMachineBehavior);
+  EXPECT_EQ(no_machine.size(), 8u);
+  const auto no_activity = feature_indices_excluding(FeatureGroup::kDomainActivity);
+  EXPECT_EQ(no_activity.size(), 7u);
+}
+
+TEST(FeatureConfigTest, AllGroupsTogetherCoverEverything) {
+  const auto all = feature_indices_for({FeatureGroup::kMachineBehavior,
+                                        FeatureGroup::kDomainActivity,
+                                        FeatureGroup::kIpAbuse});
+  EXPECT_EQ(all.size(), kNumFeatures);
+  for (std::size_t i = 0; i < kNumFeatures; ++i) {
+    EXPECT_EQ(all[i], i);
+  }
+}
+
+}  // namespace
+}  // namespace seg::features

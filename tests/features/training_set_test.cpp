@@ -1,0 +1,166 @@
+#include "features/training_set.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/labeling.h"
+
+namespace seg::features {
+namespace {
+
+using graph::GraphBuilder;
+using graph::Label;
+using graph::NameSet;
+
+class TrainingSetTest : public ::testing::Test {
+ protected:
+  dns::PublicSuffixList psl_ = dns::PublicSuffixList::with_default_rules();
+  dns::DomainActivityIndex activity_;
+  dns::PassiveDnsDb pdns_;
+
+  graph::MachineDomainGraph make_graph(int benign_domains, int malware_domains,
+                                       int unknown_domains) {
+    dns::DayTrace trace;
+    trace.day = 10;
+    const auto add = [&trace](const std::string& machine, const std::string& qname) {
+      trace.records.push_back({10, machine, qname, {}});
+    };
+    NameSet blacklist;
+    NameSet whitelist;
+    for (int i = 0; i < benign_domains; ++i) {
+      const auto name = "good" + std::to_string(i) + ".com";
+      add("b1", name);
+      add("b2", name);
+      whitelist.insert(name);
+    }
+    for (int i = 0; i < malware_domains; ++i) {
+      const auto name = "cc" + std::to_string(i) + ".evil.biz";
+      add("i1", name);
+      add("i2", name);
+      blacklist.insert(name);
+    }
+    for (int i = 0; i < unknown_domains; ++i) {
+      const auto name = "unk" + std::to_string(i) + ".net";
+      add("u1", name);
+      add("i1", name);
+    }
+    GraphBuilder builder(psl_);
+    builder.add_trace(trace);
+    auto graph = builder.build();
+    apply_labels(graph, blacklist, whitelist);
+    return graph;
+  }
+};
+
+TEST_F(TrainingSetTest, BuildsRowsForAllKnownDomains) {
+  const auto graph = make_graph(5, 3, 2);
+  FeatureExtractor extractor(graph, activity_, pdns_);
+  const auto result = build_training_set(graph, extractor);
+  EXPECT_EQ(result.malware_rows, 3u);
+  EXPECT_EQ(result.benign_rows, 5u);
+  EXPECT_EQ(result.dataset.num_rows(), 8u);
+  EXPECT_EQ(result.dataset.count_label(1), 3u);
+  EXPECT_EQ(result.dataset.count_label(0), 5u);
+  EXPECT_EQ(result.dataset.num_features(), kNumFeatures);
+}
+
+TEST_F(TrainingSetTest, UnknownDomainsAreNotInTrainingSet) {
+  const auto graph = make_graph(2, 2, 6);
+  FeatureExtractor extractor(graph, activity_, pdns_);
+  const auto result = build_training_set(graph, extractor);
+  EXPECT_EQ(result.dataset.num_rows(), 4u);
+}
+
+TEST_F(TrainingSetTest, ExcludeSetQuarantinesTestDomains) {
+  const auto graph = make_graph(4, 4, 0);
+  FeatureExtractor extractor(graph, activity_, pdns_);
+  NameSet exclude;
+  exclude.insert("cc0.evil.biz");
+  exclude.insert("good0.com");
+  exclude.insert("good1.com");
+  TrainingSetOptions options;
+  options.exclude = &exclude;
+  const auto result = build_training_set(graph, extractor, options);
+  EXPECT_EQ(result.excluded, 3u);
+  EXPECT_EQ(result.malware_rows, 3u);
+  EXPECT_EQ(result.benign_rows, 2u);
+}
+
+TEST_F(TrainingSetTest, BenignSubsamplingCapsRows) {
+  const auto graph = make_graph(20, 2, 0);
+  FeatureExtractor extractor(graph, activity_, pdns_);
+  TrainingSetOptions options;
+  options.max_benign = 5;
+  const auto result = build_training_set(graph, extractor, options);
+  EXPECT_EQ(result.benign_rows, 5u);
+  EXPECT_EQ(result.malware_rows, 2u);
+}
+
+TEST_F(TrainingSetTest, SubsamplingIsDeterministicPerSeed) {
+  const auto graph = make_graph(20, 2, 0);
+  FeatureExtractor extractor(graph, activity_, pdns_);
+  TrainingSetOptions options;
+  options.max_benign = 7;
+  options.seed = 99;
+  const auto a = build_training_set(graph, extractor, options);
+  const auto b = build_training_set(graph, extractor, options);
+  ASSERT_EQ(a.dataset.num_rows(), b.dataset.num_rows());
+  for (std::size_t i = 0; i < a.dataset.num_rows(); ++i) {
+    for (std::size_t f = 0; f < kNumFeatures; ++f) {
+      EXPECT_DOUBLE_EQ(a.dataset.value(i, f), b.dataset.value(i, f));
+    }
+  }
+}
+
+TEST_F(TrainingSetTest, TrainingRowsUseHiddenLabelSemantics) {
+  // A malware domain whose querying machines have no other malware
+  // evidence must produce infected_fraction 0 in its training row, not 1.
+  dns::DayTrace trace;
+  trace.day = 5;
+  trace.records.push_back({5, "i1", "only.evil.biz", {}});
+  trace.records.push_back({5, "i2", "only.evil.biz", {}});
+  trace.records.push_back({5, "b1", "good.com", {}});
+  trace.records.push_back({5, "b2", "good.com", {}});
+  GraphBuilder builder(psl_);
+  builder.add_trace(trace);
+  auto graph = builder.build();
+  NameSet blacklist;
+  blacklist.insert("only.evil.biz");
+  NameSet whitelist;
+  whitelist.insert("good.com");
+  apply_labels(graph, blacklist, whitelist);
+  FeatureExtractor extractor(graph, activity_, pdns_);
+  const auto result = build_training_set(graph, extractor);
+  ASSERT_EQ(result.dataset.num_rows(), 2u);
+  // Row 0 is the malware domain (malware rows are emitted first).
+  EXPECT_EQ(result.dataset.label(0), 1);
+  EXPECT_DOUBLE_EQ(result.dataset.value(0, kInfectedFraction), 0.0);
+  EXPECT_DOUBLE_EQ(result.dataset.value(0, kUnknownFraction), 1.0);
+}
+
+TEST_F(TrainingSetTest, UnknownSetListsOnlyUnknownDomains) {
+  const auto graph = make_graph(3, 2, 4);
+  FeatureExtractor extractor(graph, activity_, pdns_);
+  const auto unknown = build_unknown_set(graph, extractor);
+  EXPECT_EQ(unknown.dataset.num_rows(), 4u);
+  ASSERT_EQ(unknown.domain_ids.size(), 4u);
+  std::set<std::string> names;
+  for (const auto d : unknown.domain_ids) {
+    EXPECT_EQ(graph.domain_label(d), Label::kUnknown);
+    names.insert(std::string(graph.domain_name(d)));
+  }
+  EXPECT_TRUE(names.contains("unk0.net"));
+  EXPECT_EQ(names.size(), 4u);
+}
+
+TEST_F(TrainingSetTest, UnknownSetIsEmptyWhenEverythingIsKnown) {
+  const auto graph = make_graph(2, 2, 0);
+  FeatureExtractor extractor(graph, activity_, pdns_);
+  const auto unknown = build_unknown_set(graph, extractor);
+  EXPECT_EQ(unknown.dataset.num_rows(), 0u);
+  EXPECT_TRUE(unknown.domain_ids.empty());
+}
+
+}  // namespace
+}  // namespace seg::features

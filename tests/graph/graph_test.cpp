@@ -1,0 +1,183 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/require.h"
+
+namespace seg::graph {
+namespace {
+
+class GraphBuilderTest : public ::testing::Test {
+ protected:
+  dns::PublicSuffixList psl_ = dns::PublicSuffixList::with_default_rules();
+};
+
+std::vector<dns::IpV4> ips(std::initializer_list<const char*> texts) {
+  std::vector<dns::IpV4> out;
+  for (const auto* t : texts) {
+    out.push_back(dns::IpV4::parse(t));
+  }
+  return out;
+}
+
+TEST_F(GraphBuilderTest, BuildsBipartiteAdjacency) {
+  GraphBuilder builder(psl_);
+  builder.add_query("m1", "a.com", {});
+  builder.add_query("m1", "b.com", {});
+  builder.add_query("m2", "b.com", {});
+  const auto graph = builder.build();
+
+  EXPECT_EQ(graph.machine_count(), 2u);
+  EXPECT_EQ(graph.domain_count(), 2u);
+  EXPECT_EQ(graph.edge_count(), 3u);
+
+  const auto m1 = graph.find_machine("m1");
+  const auto b = graph.find_domain("b.com");
+  ASSERT_LT(m1, graph.machine_count());
+  ASSERT_LT(b, graph.domain_count());
+  EXPECT_EQ(graph.domains_of(m1).size(), 2u);
+  EXPECT_EQ(graph.machines_of(b).size(), 2u);
+}
+
+TEST_F(GraphBuilderTest, DuplicateQueriesCollapseToOneEdge) {
+  GraphBuilder builder(psl_);
+  builder.add_query("m1", "a.com", {});
+  builder.add_query("m1", "a.com", {});
+  builder.add_query("m1", "A.COM.", {});  // normalization collapses too
+  const auto graph = builder.build();
+  EXPECT_EQ(graph.edge_count(), 1u);
+  EXPECT_EQ(graph.domain_count(), 1u);
+}
+
+TEST_F(GraphBuilderTest, ResolvedIpsAccumulateAndDeduplicate) {
+  GraphBuilder builder(psl_);
+  builder.add_query("m1", "a.com", ips({"1.1.1.1", "2.2.2.2"}));
+  builder.add_query("m2", "a.com", ips({"2.2.2.2", "3.3.3.3"}));
+  const auto graph = builder.build();
+  const auto a = graph.find_domain("a.com");
+  const auto resolved = graph.resolved_ips(a);
+  EXPECT_EQ(resolved.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(resolved.begin(), resolved.end()));
+}
+
+TEST_F(GraphBuilderTest, InvalidQnamesAreSkippedAndCounted) {
+  GraphBuilder builder(psl_);
+  builder.add_query("m1", "ok.com", {});
+  builder.add_query("m1", "bad..name", {});
+  builder.add_query("", "ok.com", {});
+  EXPECT_EQ(builder.skipped_records(), 2u);
+  const auto graph = builder.build();
+  EXPECT_EQ(graph.domain_count(), 1u);
+  EXPECT_EQ(graph.machine_count(), 1u);
+}
+
+TEST_F(GraphBuilderTest, E2ldAnnotationUsesPsl) {
+  GraphBuilder builder(psl_);
+  builder.add_query("m1", "www.bbc.co.uk", {});
+  builder.add_query("m1", "news.bbc.co.uk", {});
+  builder.add_query("m1", "evil.dyndns.org", {});
+  const auto graph = builder.build();
+  EXPECT_EQ(graph.e2ld_count(), 2u);  // bbc.co.uk and evil.dyndns.org
+  const auto www = graph.find_domain("www.bbc.co.uk");
+  const auto news = graph.find_domain("news.bbc.co.uk");
+  EXPECT_EQ(graph.domain_e2ld(www), graph.domain_e2ld(news));
+  EXPECT_EQ(graph.e2ld_name(graph.domain_e2ld(www)), "bbc.co.uk");
+  const auto evil = graph.find_domain("evil.dyndns.org");
+  EXPECT_EQ(graph.e2ld_name(graph.domain_e2ld(evil)), "evil.dyndns.org");
+}
+
+TEST_F(GraphBuilderTest, AddTraceStampsDay) {
+  dns::DayTrace trace;
+  trace.day = 42;
+  trace.records.push_back({42, "m1", "a.com", {}});
+  GraphBuilder builder(psl_);
+  builder.add_trace(trace);
+  const auto graph = builder.build();
+  EXPECT_EQ(graph.day(), 42);
+}
+
+TEST_F(GraphBuilderTest, LabelsDefaultToUnknown) {
+  GraphBuilder builder(psl_);
+  builder.add_query("m1", "a.com", {});
+  const auto graph = builder.build();
+  EXPECT_EQ(graph.machine_label(0), Label::kUnknown);
+  EXPECT_EQ(graph.domain_label(0), Label::kUnknown);
+}
+
+TEST_F(GraphBuilderTest, AdjacencyListsAreSortedById) {
+  GraphBuilder builder(psl_);
+  builder.add_query("m1", "c.com", {});
+  builder.add_query("m1", "a.com", {});
+  builder.add_query("m1", "b.com", {});
+  builder.add_query("m2", "a.com", {});
+  const auto graph = builder.build();
+  const auto m1 = graph.find_machine("m1");
+  const auto domains = graph.domains_of(m1);
+  EXPECT_TRUE(std::is_sorted(domains.begin(), domains.end()));
+  const auto a = graph.find_domain("a.com");
+  const auto machines = graph.machines_of(a);
+  EXPECT_TRUE(std::is_sorted(machines.begin(), machines.end()));
+}
+
+TEST_F(GraphBuilderTest, FindReturnsSizeWhenAbsent) {
+  GraphBuilder builder(psl_);
+  builder.add_query("m1", "a.com", {});
+  const auto graph = builder.build();
+  EXPECT_EQ(graph.find_domain("nope.com"), graph.domain_count());
+  EXPECT_EQ(graph.find_machine("nope"), graph.machine_count());
+}
+
+TEST_F(GraphBuilderTest, OutOfRangeAccessThrows) {
+  GraphBuilder builder(psl_);
+  builder.add_query("m1", "a.com", {});
+  const auto graph = builder.build();
+  EXPECT_THROW(graph.domains_of(5), util::PreconditionError);
+  EXPECT_THROW(graph.machines_of(5), util::PreconditionError);
+  EXPECT_THROW(graph.resolved_ips(5), util::PreconditionError);
+}
+
+TEST_F(GraphBuilderTest, ComputeStatsCountsLabels) {
+  GraphBuilder builder(psl_);
+  builder.add_query("m1", "a.com", {});
+  builder.add_query("m2", "b.com", {});
+  auto graph = builder.build();
+  graph.set_domain_label(graph.find_domain("a.com"), Label::kMalware);
+  graph.set_machine_label(graph.find_machine("m1"), Label::kMalware);
+  const auto stats = compute_stats(graph);
+  EXPECT_EQ(stats.machines, 2u);
+  EXPECT_EQ(stats.domains, 2u);
+  EXPECT_EQ(stats.edges, 2u);
+  EXPECT_EQ(stats.malware_domains, 1u);
+  EXPECT_EQ(stats.unknown_domains, 1u);
+  EXPECT_EQ(stats.malware_machines, 1u);
+  EXPECT_EQ(stats.unknown_machines, 1u);
+}
+
+TEST_F(GraphBuilderTest, LargeGraphConsistency) {
+  // Property: sum of machine degrees == sum of domain degrees == edge count.
+  GraphBuilder builder(psl_);
+  for (int m = 0; m < 50; ++m) {
+    for (int d = 0; d < 20; ++d) {
+      if ((m + d) % 3 == 0) {
+        builder.add_query("m" + std::to_string(m), "d" + std::to_string(d) + ".com", {});
+      }
+    }
+  }
+  const auto graph = builder.build();
+  std::size_t machine_degree_sum = 0;
+  for (MachineId m = 0; m < graph.machine_count(); ++m) {
+    machine_degree_sum += graph.domains_of(m).size();
+  }
+  std::size_t domain_degree_sum = 0;
+  for (DomainId d = 0; d < graph.domain_count(); ++d) {
+    domain_degree_sum += graph.machines_of(d).size();
+  }
+  EXPECT_EQ(machine_degree_sum, graph.edge_count());
+  EXPECT_EQ(domain_degree_sum, graph.edge_count());
+}
+
+}  // namespace
+}  // namespace seg::graph

@@ -1,0 +1,151 @@
+#include "graph/labeling.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace seg::graph {
+namespace {
+
+class LabelingTest : public ::testing::Test {
+ protected:
+  dns::PublicSuffixList psl_ = dns::PublicSuffixList::with_default_rules();
+
+  MachineDomainGraph make_graph() {
+    GraphBuilder builder(psl_);
+    // m1 queries a malware domain and a benign one.
+    builder.add_query("m1", "evil.biz", {});
+    builder.add_query("m1", "www.good.com", {});
+    // m2 queries only benign domains.
+    builder.add_query("m2", "www.good.com", {});
+    builder.add_query("m2", "mail.good.com", {});
+    // m3 queries a benign and an unknown domain.
+    builder.add_query("m3", "www.good.com", {});
+    builder.add_query("m3", "strange.net", {});
+    return builder.build();
+  }
+};
+
+TEST_F(LabelingTest, DomainLabelsFromBlacklistAndWhitelist) {
+  auto graph = make_graph();
+  NameSet blacklist;
+  blacklist.insert("evil.biz");
+  NameSet whitelist;
+  whitelist.insert("good.com");
+  const auto result = apply_labels(graph, blacklist, whitelist);
+
+  EXPECT_EQ(graph.domain_label(graph.find_domain("evil.biz")), Label::kMalware);
+  EXPECT_EQ(graph.domain_label(graph.find_domain("www.good.com")), Label::kBenign);
+  EXPECT_EQ(graph.domain_label(graph.find_domain("mail.good.com")), Label::kBenign);
+  EXPECT_EQ(graph.domain_label(graph.find_domain("strange.net")), Label::kUnknown);
+  EXPECT_EQ(result.malware_domains, 1u);
+  EXPECT_EQ(result.benign_domains, 2u);
+}
+
+TEST_F(LabelingTest, MachineLabelPropagation) {
+  auto graph = make_graph();
+  NameSet blacklist;
+  blacklist.insert("evil.biz");
+  NameSet whitelist;
+  whitelist.insert("good.com");
+  const auto result = apply_labels(graph, blacklist, whitelist);
+
+  EXPECT_EQ(graph.machine_label(graph.find_machine("m1")), Label::kMalware);
+  EXPECT_EQ(graph.machine_label(graph.find_machine("m2")), Label::kBenign);
+  EXPECT_EQ(graph.machine_label(graph.find_machine("m3")), Label::kUnknown);
+  EXPECT_EQ(result.malware_machines, 1u);
+  EXPECT_EQ(result.benign_machines, 1u);
+}
+
+TEST_F(LabelingTest, BlacklistMatchIsFullNameNotE2ld) {
+  // Only the exact FQDN is blacklisted; a sibling subdomain is not.
+  GraphBuilder builder(psl_);
+  builder.add_query("m1", "cc.evil.biz", {});
+  builder.add_query("m1", "other.evil.biz", {});
+  auto graph = builder.build();
+  NameSet blacklist;
+  blacklist.insert("cc.evil.biz");
+  apply_labels(graph, blacklist, NameSet{});
+  EXPECT_EQ(graph.domain_label(graph.find_domain("cc.evil.biz")), Label::kMalware);
+  EXPECT_EQ(graph.domain_label(graph.find_domain("other.evil.biz")), Label::kUnknown);
+}
+
+TEST_F(LabelingTest, WhitelistMatchIsByE2ld) {
+  GraphBuilder builder(psl_);
+  builder.add_query("m1", "www.bbc.co.uk", {});
+  builder.add_query("m1", "deep.sub.bbc.co.uk", {});
+  auto graph = builder.build();
+  NameSet whitelist;
+  whitelist.insert("bbc.co.uk");
+  apply_labels(graph, NameSet{}, whitelist);
+  EXPECT_EQ(graph.domain_label(graph.find_domain("www.bbc.co.uk")), Label::kBenign);
+  EXPECT_EQ(graph.domain_label(graph.find_domain("deep.sub.bbc.co.uk")), Label::kBenign);
+}
+
+TEST_F(LabelingTest, BlacklistWinsOverWhitelist) {
+  GraphBuilder builder(psl_);
+  builder.add_query("m1", "abused.good.com", {});
+  auto graph = builder.build();
+  NameSet blacklist;
+  blacklist.insert("abused.good.com");
+  NameSet whitelist;
+  whitelist.insert("good.com");
+  apply_labels(graph, blacklist, whitelist);
+  EXPECT_EQ(graph.domain_label(graph.find_domain("abused.good.com")), Label::kMalware);
+}
+
+TEST_F(LabelingTest, FreeRegistrationZoneSubdomainsAreNotWhitelistedByZone) {
+  // egloos.com is a free-registration zone: PSL treats each subdomain as its
+  // own e2LD, so whitelisting "egloos.com" does not bless subdomains.
+  GraphBuilder builder(psl_);
+  builder.add_query("m1", "attacker.egloos.com", {});
+  auto graph = builder.build();
+  NameSet whitelist;
+  whitelist.insert("egloos.com");
+  apply_labels(graph, NameSet{}, whitelist);
+  EXPECT_EQ(graph.domain_label(graph.find_domain("attacker.egloos.com")), Label::kUnknown);
+}
+
+TEST_F(LabelingTest, RelabelMachinesAfterHidingDomainLabel) {
+  // Mirrors Fig. 5: hiding the only malware domain of a machine flips the
+  // machine back to unknown.
+  auto graph = make_graph();
+  NameSet blacklist;
+  blacklist.insert("evil.biz");
+  NameSet whitelist;
+  whitelist.insert("good.com");
+  apply_labels(graph, blacklist, whitelist);
+  ASSERT_EQ(graph.machine_label(graph.find_machine("m1")), Label::kMalware);
+
+  graph.set_domain_label(graph.find_domain("evil.biz"), Label::kUnknown);
+  relabel_machines(graph);
+  EXPECT_EQ(graph.machine_label(graph.find_machine("m1")), Label::kUnknown);
+  // m2 unaffected.
+  EXPECT_EQ(graph.machine_label(graph.find_machine("m2")), Label::kBenign);
+}
+
+TEST(DeriveMachineLabelTest, Rules) {
+  EXPECT_EQ(derive_machine_label(3, 1, 0), Label::kMalware);
+  EXPECT_EQ(derive_machine_label(3, 3, 0), Label::kMalware);
+  EXPECT_EQ(derive_machine_label(3, 0, 3), Label::kBenign);
+  EXPECT_EQ(derive_machine_label(3, 0, 2), Label::kUnknown);
+  EXPECT_EQ(derive_machine_label(0, 0, 0), Label::kUnknown);
+  EXPECT_EQ(derive_machine_label(1, 1, 1), Label::kMalware);  // malware wins
+}
+
+TEST(NameSetTest, Basics) {
+  NameSet set;
+  EXPECT_TRUE(set.empty());
+  set.insert("a.com");
+  set.insert("a.com");
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.contains("a.com"));
+  EXPECT_FALSE(set.contains("b.com"));
+  const std::vector<std::string> names = {"x.com", "y.com"};
+  const auto from = NameSet::from(names);
+  EXPECT_EQ(from.size(), 2u);
+  EXPECT_TRUE(from.contains("y.com"));
+}
+
+}  // namespace
+}  // namespace seg::graph

@@ -1,0 +1,123 @@
+#include "graph/prober_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "graph/labeling.h"
+#include "util/require.h"
+
+namespace seg::graph {
+namespace {
+
+class ProberFilterTest : public ::testing::Test {
+ protected:
+  dns::PublicSuffixList psl_ = dns::PublicSuffixList::with_default_rules();
+
+  // A graph with: a prober (queries 40 blacklisted names + 10 benign), an
+  // ordinary infection (3 blacklisted of 30 queries), and clean machines.
+  MachineDomainGraph make_graph() {
+    GraphBuilder builder(psl_);
+    NameSet blacklist;
+    for (int i = 0; i < 40; ++i) {
+      const auto name = "cc" + std::to_string(i) + ".evil.biz";
+      blacklist.insert(name);
+      builder.add_query("prober", name, {});
+      builder.add_query("partner", name, {});  // keeps the C&C nodes 2-degree
+    }
+    for (int i = 0; i < 10; ++i) {
+      builder.add_query("prober", "site" + std::to_string(i) + ".com", {});
+    }
+    for (int i = 0; i < 3; ++i) {
+      builder.add_query("infected", "cc" + std::to_string(i) + ".evil.biz", {});
+    }
+    for (int i = 0; i < 27; ++i) {
+      builder.add_query("infected", "site" + std::to_string(i) + ".com", {});
+      builder.add_query("clean", "site" + std::to_string(i) + ".com", {});
+    }
+    auto graph = builder.build();
+    apply_labels(graph, blacklist, NameSet{});
+    return graph;
+  }
+};
+
+TEST_F(ProberFilterTest, DetectsHighVolumeBlacklistQueriers) {
+  const auto graph = make_graph();
+  const auto probers = detect_probers(graph);
+  EXPECT_TRUE(probers[graph.find_machine("prober")]);
+  EXPECT_TRUE(probers[graph.find_machine("partner")]);  // also probes 40
+  EXPECT_FALSE(probers[graph.find_machine("infected")]);
+  EXPECT_FALSE(probers[graph.find_machine("clean")]);
+}
+
+TEST_F(ProberFilterTest, OrdinaryInfectionsAreBelowTheVolumeThreshold) {
+  // Even a ratio of 100% blacklisted is fine below the volume floor —
+  // Figure 3 says infections query at most ~20 C&C names.
+  GraphBuilder builder(psl_);
+  NameSet blacklist;
+  for (int i = 0; i < 10; ++i) {
+    const auto name = "cc" + std::to_string(i) + ".evil.biz";
+    blacklist.insert(name);
+    builder.add_query("smallbot", name, {});
+  }
+  auto graph = builder.build();
+  apply_labels(graph, blacklist, NameSet{});
+  const auto probers = detect_probers(graph);
+  EXPECT_FALSE(probers[graph.find_machine("smallbot")]);
+}
+
+TEST_F(ProberFilterTest, RatioGuardProtectsProxies) {
+  // A proxy touching 50 blacklisted names among 5000 total queries is not
+  // a prober (ratio 1%); R2 pruning handles proxies instead.
+  GraphBuilder builder(psl_);
+  NameSet blacklist;
+  for (int i = 0; i < 50; ++i) {
+    const auto name = "cc" + std::to_string(i) + ".evil.biz";
+    blacklist.insert(name);
+    builder.add_query("proxy", name, {});
+  }
+  for (int i = 0; i < 5000; ++i) {
+    builder.add_query("proxy", "x" + std::to_string(i) + ".com", {});
+  }
+  auto graph = builder.build();
+  apply_labels(graph, blacklist, NameSet{});
+  const auto probers = detect_probers(graph);
+  EXPECT_FALSE(probers[graph.find_machine("proxy")]);
+}
+
+TEST_F(ProberFilterTest, RemoveProbersDropsOnlyFlaggedMachines) {
+  const auto graph = make_graph();
+  ProberFilterStats stats;
+  const auto filtered = remove_probers(graph, ProberFilterConfig{}, &stats);
+  EXPECT_EQ(stats.machines_removed, 2u);
+  EXPECT_EQ(filtered.machine_count(), graph.machine_count() - 2);
+  EXPECT_EQ(filtered.find_machine("prober"), filtered.machine_count());
+  EXPECT_LT(filtered.find_machine("infected"), filtered.machine_count());
+  // Domain nodes all survive (pruning happens separately).
+  EXPECT_EQ(filtered.domain_count(), graph.domain_count());
+}
+
+TEST_F(ProberFilterTest, ConfigValidation) {
+  const auto graph = make_graph();
+  ProberFilterConfig bad;
+  bad.min_blacklisted_ratio = 0.0;
+  EXPECT_THROW(detect_probers(graph, bad), util::PreconditionError);
+}
+
+TEST_F(ProberFilterTest, NoFalsePositivesOnCleanGraph) {
+  GraphBuilder builder(psl_);
+  for (int m = 0; m < 20; ++m) {
+    for (int d = 0; d < 10; ++d) {
+      builder.add_query("m" + std::to_string(m), "d" + std::to_string(d) + ".com", {});
+    }
+  }
+  auto graph = builder.build();
+  apply_labels(graph, NameSet{}, NameSet{});
+  const auto probers = detect_probers(graph);
+  for (const auto flagged : probers) {
+    EXPECT_FALSE(flagged);
+  }
+}
+
+}  // namespace
+}  // namespace seg::graph

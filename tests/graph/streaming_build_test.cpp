@@ -1,0 +1,93 @@
+// build_graph_from_file: streaming file-to-graph must be identical to the
+// materialize-then-build path, for both on-disk formats.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "graph/graph.h"
+#include "util/require.h"
+
+namespace seg::graph {
+namespace {
+
+class StreamingBuildTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = (std::filesystem::temp_directory_path() /
+             ("seg_stream_" + std::to_string(::getpid())))
+                .string();
+  }
+  void TearDown() override {
+    std::filesystem::remove(base_ + ".tsv");
+    std::filesystem::remove(base_ + ".bin");
+  }
+
+  static dns::DayTrace sample_trace() {
+    dns::DayTrace trace;
+    trace.day = 7;
+    for (int m = 0; m < 20; ++m) {
+      for (int d = 0; d < 8; ++d) {
+        trace.records.push_back({7, "m" + std::to_string(m),
+                                 "site" + std::to_string((m + d) % 12) + ".com",
+                                 {dns::IpV4::from_octets(23, 0, static_cast<uint8_t>(d), 1)}});
+      }
+    }
+    return trace;
+  }
+
+  static void expect_same(const MachineDomainGraph& a, const MachineDomainGraph& b) {
+    EXPECT_EQ(a.day(), b.day());
+    ASSERT_EQ(a.machine_count(), b.machine_count());
+    ASSERT_EQ(a.domain_count(), b.domain_count());
+    EXPECT_EQ(a.edge_count(), b.edge_count());
+    for (DomainId d = 0; d < a.domain_count(); ++d) {
+      EXPECT_EQ(a.domain_name(d), b.domain_name(d));
+      EXPECT_EQ(a.machines_of(d).size(), b.machines_of(d).size());
+    }
+  }
+
+  std::string base_;
+};
+
+TEST_F(StreamingBuildTest, TextFileMatchesInMemoryBuild) {
+  const auto psl = dns::PublicSuffixList::with_default_rules();
+  const auto trace = sample_trace();
+  dns::write_trace(trace, base_ + ".tsv");
+
+  GraphBuilder builder(psl);
+  builder.add_trace(trace);
+  const auto expected = builder.build();
+  const auto streamed = build_graph_from_file(base_ + ".tsv", psl);
+  expect_same(expected, streamed);
+}
+
+TEST_F(StreamingBuildTest, BinaryFileMatchesInMemoryBuild) {
+  const auto psl = dns::PublicSuffixList::with_default_rules();
+  const auto trace = sample_trace();
+  dns::write_trace_binary(trace, base_ + ".bin");
+
+  GraphBuilder builder(psl);
+  builder.add_trace(trace);
+  const auto expected = builder.build();
+  const auto streamed = build_graph_from_file(base_ + ".bin", psl);
+  expect_same(expected, streamed);
+}
+
+TEST_F(StreamingBuildTest, MissingFileThrows) {
+  const auto psl = dns::PublicSuffixList::with_default_rules();
+  EXPECT_THROW(build_graph_from_file("/nonexistent/trace.tsv", psl), util::ParseError);
+}
+
+TEST_F(StreamingBuildTest, ForEachRecordReturnsDay) {
+  const auto trace = sample_trace();
+  dns::write_trace(trace, base_ + ".tsv");
+  std::size_t count = 0;
+  const auto day = dns::for_each_record(base_ + ".tsv",
+                                        [&count](const dns::QueryRecord&) { ++count; });
+  EXPECT_EQ(day, 7);
+  EXPECT_EQ(count, trace.records.size());
+}
+
+}  // namespace
+}  // namespace seg::graph

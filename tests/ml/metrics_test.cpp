@@ -1,0 +1,178 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/require.h"
+#include "util/rng.h"
+
+namespace seg::ml {
+namespace {
+
+TEST(RocCurveTest, PerfectSeparationHasAucOne) {
+  const std::vector<int> labels = {0, 0, 0, 1, 1, 1};
+  const std::vector<double> scores = {0.1, 0.2, 0.3, 0.7, 0.8, 0.9};
+  const auto roc = RocCurve::compute(labels, scores);
+  EXPECT_DOUBLE_EQ(roc.auc(), 1.0);
+  EXPECT_DOUBLE_EQ(roc.tpr_at_fpr(0.0), 1.0);
+}
+
+TEST(RocCurveTest, InvertedScoresHaveAucZero) {
+  const std::vector<int> labels = {1, 1, 0, 0};
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  const auto roc = RocCurve::compute(labels, scores);
+  EXPECT_DOUBLE_EQ(roc.auc(), 0.0);
+}
+
+TEST(RocCurveTest, RandomScoresGiveHalfAuc) {
+  util::Rng rng(17);
+  std::vector<int> labels;
+  std::vector<double> scores;
+  for (int i = 0; i < 20000; ++i) {
+    labels.push_back(static_cast<int>(rng.next_below(2)));
+    scores.push_back(rng.next_double());
+  }
+  const auto roc = RocCurve::compute(labels, scores);
+  EXPECT_NEAR(roc.auc(), 0.5, 0.02);
+}
+
+TEST(RocCurveTest, AllTiedScoresGiveDiagonal) {
+  const std::vector<int> labels = {0, 1, 0, 1};
+  const std::vector<double> scores = {0.5, 0.5, 0.5, 0.5};
+  const auto roc = RocCurve::compute(labels, scores);
+  // Only two points: (0,0) and (1,1).
+  ASSERT_EQ(roc.points().size(), 2u);
+  EXPECT_DOUBLE_EQ(roc.auc(), 0.5);
+}
+
+TEST(RocCurveTest, CurveIsMonotone) {
+  util::Rng rng(23);
+  std::vector<int> labels;
+  std::vector<double> scores;
+  for (int i = 0; i < 500; ++i) {
+    const int label = static_cast<int>(rng.next_below(2));
+    labels.push_back(label);
+    scores.push_back(0.3 * label + rng.next_double() * 0.7);
+  }
+  const auto roc = RocCurve::compute(labels, scores);
+  for (std::size_t i = 1; i < roc.points().size(); ++i) {
+    EXPECT_GE(roc.points()[i].fpr, roc.points()[i - 1].fpr);
+    EXPECT_GE(roc.points()[i].tpr, roc.points()[i - 1].tpr);
+  }
+  EXPECT_DOUBLE_EQ(roc.points().front().fpr, 0.0);
+  EXPECT_DOUBLE_EQ(roc.points().back().fpr, 1.0);
+  EXPECT_DOUBLE_EQ(roc.points().back().tpr, 1.0);
+}
+
+TEST(RocCurveTest, TprAtFprInterpolatesAsStep) {
+  // negatives: scores 0.9, 0.1 -> thresholds hit FPR 0.5 at score 0.9.
+  const std::vector<int> labels = {0, 0, 1, 1};
+  const std::vector<double> scores = {0.9, 0.1, 0.8, 0.95};
+  const auto roc = RocCurve::compute(labels, scores);
+  // With FPR budget 0: only threshold > 0.9 -> catches positive at 0.95.
+  EXPECT_DOUBLE_EQ(roc.tpr_at_fpr(0.0), 0.5);
+  // Allowing 50% FPR admits threshold 0.8 -> both positives.
+  EXPECT_DOUBLE_EQ(roc.tpr_at_fpr(0.5), 1.0);
+}
+
+TEST(RocCurveTest, ThresholdForFprIsUsable) {
+  util::Rng rng(29);
+  std::vector<int> labels;
+  std::vector<double> scores;
+  for (int i = 0; i < 2000; ++i) {
+    const int label = static_cast<int>(rng.next_below(2));
+    labels.push_back(label);
+    scores.push_back(0.4 * label + rng.next_double() * 0.6);
+  }
+  const auto roc = RocCurve::compute(labels, scores);
+  const double threshold = roc.threshold_for_fpr(0.05);
+  const auto confusion = confusion_at(labels, scores, threshold);
+  EXPECT_LE(confusion.fpr(), 0.05 + 1e-12);
+}
+
+TEST(RocCurveTest, ValidationErrors) {
+  const std::vector<int> labels = {0, 1};
+  const std::vector<double> one_score = {0.5};
+  EXPECT_THROW(RocCurve::compute(labels, one_score), util::PreconditionError);
+  const std::vector<int> single_class = {1, 1};
+  const std::vector<double> scores = {0.5, 0.6};
+  EXPECT_THROW(RocCurve::compute(single_class, scores), util::PreconditionError);
+  const std::vector<int> bad_labels = {0, 2};
+  EXPECT_THROW(RocCurve::compute(bad_labels, scores), util::PreconditionError);
+  EXPECT_THROW(RocCurve::compute(std::vector<int>{}, std::vector<double>{}),
+               util::PreconditionError);
+}
+
+TEST(ConfusionTest, CountsAtThreshold) {
+  const std::vector<int> labels = {1, 1, 0, 0};
+  const std::vector<double> scores = {0.9, 0.4, 0.6, 0.2};
+  const auto c = confusion_at(labels, scores, 0.5);
+  EXPECT_EQ(c.tp, 1u);
+  EXPECT_EQ(c.fn, 1u);
+  EXPECT_EQ(c.fp, 1u);
+  EXPECT_EQ(c.tn, 1u);
+  EXPECT_DOUBLE_EQ(c.tpr(), 0.5);
+  EXPECT_DOUBLE_EQ(c.fpr(), 0.5);
+  EXPECT_DOUBLE_EQ(c.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.5);
+}
+
+TEST(ConfusionTest, ThresholdIsInclusive) {
+  const std::vector<int> labels = {1, 0};
+  const std::vector<double> scores = {0.5, 0.4999};
+  const auto c = confusion_at(labels, scores, 0.5);
+  EXPECT_EQ(c.tp, 1u);
+  EXPECT_EQ(c.fp, 0u);
+}
+
+TEST(ConfusionTest, EmptyInputIsAllZero) {
+  const auto c = confusion_at(std::vector<int>{}, std::vector<double>{}, 0.5);
+  EXPECT_EQ(c.tp + c.fp + c.tn + c.fn, 0u);
+  EXPECT_DOUBLE_EQ(c.tpr(), 0.0);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.0);
+}
+
+// Property: AUC equals the probability that a random positive outranks a
+// random negative (Mann-Whitney). Verify against a brute-force count.
+class AucPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AucPropertyTest, AucMatchesPairwiseRanking) {
+  util::Rng rng(GetParam());
+  std::vector<int> labels;
+  std::vector<double> scores;
+  for (int i = 0; i < 200; ++i) {
+    const int label = static_cast<int>(rng.next_below(2));
+    labels.push_back(label);
+    scores.push_back(0.25 * label + rng.next_double());
+  }
+  if (std::count(labels.begin(), labels.end(), 1) == 0 ||
+      std::count(labels.begin(), labels.end(), 0) == 0) {
+    GTEST_SKIP();
+  }
+  const auto roc = RocCurve::compute(labels, scores);
+  double wins = 0.0;
+  double pairs = 0.0;
+  for (std::size_t p = 0; p < labels.size(); ++p) {
+    if (labels[p] != 1) {
+      continue;
+    }
+    for (std::size_t q = 0; q < labels.size(); ++q) {
+      if (labels[q] != 0) {
+        continue;
+      }
+      pairs += 1.0;
+      if (scores[p] > scores[q]) {
+        wins += 1.0;
+      } else if (scores[p] == scores[q]) {
+        wins += 0.5;
+      }
+    }
+  }
+  EXPECT_NEAR(roc.auc(), wins / pairs, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AucPropertyTest, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace seg::ml

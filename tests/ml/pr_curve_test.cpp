@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "ml/metrics.h"
+#include "util/require.h"
+#include "util/rng.h"
+
+namespace seg::ml {
+namespace {
+
+TEST(PrCurveTest, PerfectSeparation) {
+  const std::vector<int> labels = {0, 0, 1, 1};
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  const auto curve = PrCurve::compute(labels, scores);
+  EXPECT_DOUBLE_EQ(curve.average_precision(), 1.0);
+  EXPECT_DOUBLE_EQ(curve.precision_at_recall(1.0), 1.0);
+}
+
+TEST(PrCurveTest, WorstCaseOrdering) {
+  const std::vector<int> labels = {1, 0};
+  const std::vector<double> scores = {0.1, 0.9};
+  const auto curve = PrCurve::compute(labels, scores);
+  // The single positive is only recovered after the false positive.
+  EXPECT_DOUBLE_EQ(curve.precision_at_recall(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(curve.average_precision(), 0.5);
+}
+
+TEST(PrCurveTest, RecallIsMonotoneAndEndsAtOne) {
+  util::Rng rng(5);
+  std::vector<int> labels;
+  std::vector<double> scores;
+  for (int i = 0; i < 500; ++i) {
+    const int label = static_cast<int>(rng.next_below(2));
+    labels.push_back(label);
+    scores.push_back(0.4 * label + rng.next_double() * 0.8);
+  }
+  const auto curve = PrCurve::compute(labels, scores);
+  for (std::size_t i = 1; i < curve.points().size(); ++i) {
+    EXPECT_GE(curve.points()[i].recall, curve.points()[i - 1].recall);
+  }
+  EXPECT_DOUBLE_EQ(curve.points().back().recall, 1.0);
+}
+
+TEST(PrCurveTest, PrecisionBoundsHold) {
+  util::Rng rng(7);
+  std::vector<int> labels;
+  std::vector<double> scores;
+  for (int i = 0; i < 300; ++i) {
+    labels.push_back(static_cast<int>(rng.next_below(2)));
+    scores.push_back(rng.next_double());
+  }
+  const auto curve = PrCurve::compute(labels, scores);
+  for (const auto& point : curve.points()) {
+    EXPECT_GE(point.precision, 0.0);
+    EXPECT_LE(point.precision, 1.0);
+  }
+  EXPECT_GE(curve.average_precision(), 0.0);
+  EXPECT_LE(curve.average_precision(), 1.0);
+}
+
+TEST(PrCurveTest, UnreachableRecallYieldsZeroPrecision) {
+  const std::vector<int> labels = {1, 0};
+  const std::vector<double> scores = {0.9, 0.1};
+  const auto curve = PrCurve::compute(labels, scores);
+  // min_recall 2.0 is unreachable.
+  EXPECT_DOUBLE_EQ(curve.precision_at_recall(2.0), 0.0);
+}
+
+TEST(PrCurveTest, Validation) {
+  EXPECT_THROW(PrCurve::compute(std::vector<int>{}, std::vector<double>{}),
+               util::PreconditionError);
+  EXPECT_THROW(PrCurve::compute(std::vector<int>{0, 0}, std::vector<double>{0.1, 0.2}),
+               util::PreconditionError);
+  EXPECT_THROW(PrCurve::compute(std::vector<int>{1}, std::vector<double>{0.1, 0.2}),
+               util::PreconditionError);
+}
+
+TEST(PrCurveTest, RandomScoresApproximateBaseRate) {
+  // With random scores, average precision approaches the positive rate.
+  util::Rng rng(11);
+  std::vector<int> labels;
+  std::vector<double> scores;
+  for (int i = 0; i < 20000; ++i) {
+    labels.push_back(rng.next_bool(0.2) ? 1 : 0);
+    scores.push_back(rng.next_double());
+  }
+  const auto curve = PrCurve::compute(labels, scores);
+  EXPECT_NEAR(curve.average_precision(), 0.2, 0.03);
+}
+
+}  // namespace
+}  // namespace seg::ml

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "sim/world.h"
+
+namespace seg::sim {
+namespace {
+
+ScenarioConfig prober_config() {
+  auto config = ScenarioConfig::small();
+  config.prober_fraction = 0.02;  // ~8 probers in ISP1
+  config.prober_blacklist_queries = 40;
+  return config;
+}
+
+TEST(ProberWorldTest, ProbersQueryManyBlacklistedDomains) {
+  World world{prober_config()};
+  // Probers scan week-old blacklist entries; use a later day so entries
+  // exist.
+  const dns::Day day = 10;
+  const auto trace = world.generate_day(0, day);
+  const auto blacklist = world.blacklist().as_of(BlacklistKind::kCommercial, day);
+  std::unordered_map<std::string, std::set<std::string>> blacklisted_per_machine;
+  for (const auto& record : trace.records) {
+    if (blacklist.contains(record.qname)) {
+      blacklisted_per_machine[record.machine].insert(record.qname);
+    }
+  }
+  std::size_t heavy = 0;
+  for (const auto& [machine, domains] : blacklisted_per_machine) {
+    heavy += domains.size() >= 25 ? 1 : 0;
+  }
+  EXPECT_GE(heavy, 4u);   // the probers stand out
+  EXPECT_LE(heavy, 12u);  // and only the probers
+}
+
+TEST(ProberWorldTest, ProbersAreNotGroundTruthInfected) {
+  World world{prober_config()};
+  const auto trace = world.generate_day(0, 10);
+  const auto blacklist = world.blacklist().as_of(BlacklistKind::kCommercial, 10);
+  std::unordered_map<std::string, std::set<std::string>> blacklisted_per_machine;
+  for (const auto& record : trace.records) {
+    if (blacklist.contains(record.qname)) {
+      blacklisted_per_machine[record.machine].insert(record.qname);
+    }
+  }
+  for (const auto& [machine, domains] : blacklisted_per_machine) {
+    if (domains.size() >= 25) {
+      EXPECT_FALSE(world.is_infected_machine(machine)) << machine;
+    }
+  }
+}
+
+TEST(ProberWorldTest, DefaultScenarioHasNoProbers) {
+  World world{ScenarioConfig::small()};
+  const auto trace = world.generate_day(0, 10);
+  const auto blacklist = world.blacklist().as_of(BlacklistKind::kCommercial, 10);
+  std::unordered_map<std::string, std::set<std::string>> blacklisted_per_machine;
+  for (const auto& record : trace.records) {
+    if (blacklist.contains(record.qname)) {
+      blacklisted_per_machine[record.machine].insert(record.qname);
+    }
+  }
+  for (const auto& [machine, domains] : blacklisted_per_machine) {
+    EXPECT_LT(domains.size(), 25u) << machine;
+  }
+}
+
+TEST(InfectedGroundTruthTest, CountsAndMembershipAgree) {
+  World world{ScenarioConfig::small()};
+  const auto count = world.infected_machine_count(0);
+  EXPECT_GT(count, 0u);
+  // Enumerate by probing every machine name that appears in a trace.
+  const auto trace = world.generate_day(0, 0);
+  std::set<std::string> machines;
+  for (const auto& record : trace.records) {
+    machines.insert(record.machine);
+  }
+  std::size_t infected_seen = 0;
+  for (const auto& machine : machines) {
+    infected_seen += world.is_infected_machine(machine) ? 1 : 0;
+  }
+  EXPECT_GT(infected_seen, 0u);
+  EXPECT_LE(infected_seen, count);
+  EXPECT_FALSE(world.is_infected_machine("no-such-machine"));
+}
+
+}  // namespace
+}  // namespace seg::sim

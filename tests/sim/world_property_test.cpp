@@ -1,0 +1,106 @@
+// Seed-swept invariants of the traffic model: properties Segugio's
+// evaluation relies on must hold for every seed, not just the default.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "sim/world.h"
+
+namespace seg::sim {
+namespace {
+
+class WorldSeedSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static ScenarioConfig config_for(std::uint64_t seed) {
+    auto config = ScenarioConfig::small();
+    config.seed = seed;
+    return config;
+  }
+};
+
+TEST_P(WorldSeedSweep, OnlyInfectedMachinesQueryTrueMalware) {
+  // Intuition (3) by construction: benign machines never query
+  // malware-only domains.
+  World world{config_for(GetParam())};
+  const auto trace = world.generate_day(0, 1);
+  for (const auto& record : trace.records) {
+    if (world.is_true_malware(record.qname)) {
+      EXPECT_TRUE(world.is_infected_machine(record.machine))
+          << record.machine << " queried " << record.qname;
+    }
+  }
+}
+
+TEST_P(WorldSeedSweep, SameFamilyBotsShareControlDomains) {
+  // Intuition (2): machines of the same family query overlapping C&C sets.
+  // Weak form checked per-day: every true malware domain queried at all is
+  // queried by at least one machine, and popular ones by several.
+  World world{config_for(GetParam())};
+  const auto trace = world.generate_day(1, 1);
+  std::unordered_map<std::string, std::set<std::string>> machines_per_domain;
+  for (const auto& record : trace.records) {
+    if (world.is_true_malware(record.qname)) {
+      machines_per_domain[record.qname].insert(record.machine);
+    }
+  }
+  ASSERT_FALSE(machines_per_domain.empty());
+  std::size_t shared = 0;
+  for (const auto& [domain, machines] : machines_per_domain) {
+    shared += machines.size() >= 2 ? 1 : 0;
+  }
+  // A meaningful fraction of queried C&C domains have >= 2 querying bots.
+  EXPECT_GT(shared * 2, machines_per_domain.size() / 2);
+}
+
+TEST_P(WorldSeedSweep, BlacklistOnlyContainsTrueMalwareAndKnownNoise) {
+  World world{config_for(GetParam())};
+  const auto commercial = world.blacklist().as_of(BlacklistKind::kCommercial, 20);
+  for (const auto& name : commercial) {
+    EXPECT_TRUE(world.is_true_malware(name)) << name;
+  }
+  // The public view may contain noise entries, but every noise entry is
+  // *not* true malware, by construction.
+  const auto public_view = world.blacklist().as_of(BlacklistKind::kPublic, 20);
+  std::size_t noise = 0;
+  for (const auto& name : public_view) {
+    noise += world.is_true_malware(name) ? 0 : 1;
+  }
+  EXPECT_LE(noise, world.config().public_noise_domains);
+}
+
+TEST_P(WorldSeedSweep, ActivityRespectsFqdnImpliesE2ld) {
+  World world{config_for(GetParam())};
+  world.generate_day(0, 2);
+  // Sample whitelisted e2LDs: their activity must dominate any FQDN's.
+  const auto& stable = world.whitelist().stable_entries();
+  for (std::size_t i = 0; i < 30 && i < stable.size(); ++i) {
+    const auto e2ld_days = world.activity().active_days(stable[i], -20, 2);
+    const auto www_days = world.activity().active_days("www." + stable[i], -20, 2);
+    EXPECT_GE(e2ld_days, www_days) << stable[i];
+  }
+}
+
+TEST_P(WorldSeedSweep, CcDomainIpsStayFixedForTheirLifetime) {
+  // A control domain's hosting does not silently change: the trace always
+  // reports the ground-truth record's IPs.
+  World world{config_for(GetParam())};
+  const auto trace = world.generate_day(0, 3);
+  std::unordered_map<std::string, std::vector<dns::IpV4>> seen;
+  for (const auto& record : trace.records) {
+    if (!world.is_true_malware(record.qname)) {
+      continue;
+    }
+    const auto it = seen.find(record.qname);
+    if (it == seen.end()) {
+      seen.emplace(record.qname, record.resolved_ips);
+    } else {
+      EXPECT_EQ(it->second, record.resolved_ips) << record.qname;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorldSeedSweep, ::testing::Values(1, 99, 4242, 987654321));
+
+}  // namespace
+}  // namespace seg::sim

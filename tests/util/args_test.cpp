@@ -1,0 +1,68 @@
+#include "util/args.h"
+
+#include <gtest/gtest.h>
+
+#include "util/require.h"
+
+namespace seg::util {
+namespace {
+
+Args parse(std::initializer_list<const char*> argv,
+           const std::vector<std::string>& flags = {}) {
+  std::vector<const char*> v(argv);
+  return Args(static_cast<int>(v.size()), v.data(), flags);
+}
+
+TEST(ArgsTest, KeyValuePairs) {
+  const auto args = parse({"--trace", "file.tsv", "--trees", "50"});
+  EXPECT_EQ(args.get("trace"), "file.tsv");
+  EXPECT_EQ(args.get_int_or("trees", 0), 50);
+}
+
+TEST(ArgsTest, EqualsSyntax) {
+  const auto args = parse({"--threshold=0.75", "--model=m.txt"});
+  EXPECT_DOUBLE_EQ(args.get_double_or("threshold", 0.0), 0.75);
+  EXPECT_EQ(args.get("model"), "m.txt");
+}
+
+TEST(ArgsTest, BooleanFlags) {
+  const auto args = parse({"--machines", "--trace", "x"}, {"machines"});
+  EXPECT_TRUE(args.flag("machines"));
+  EXPECT_FALSE(args.flag("verbose"));
+  EXPECT_EQ(args.get("trace"), "x");
+}
+
+TEST(ArgsTest, PositionalArguments) {
+  const auto args = parse({"first", "--k", "v", "second"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "first");
+  EXPECT_EQ(args.positional()[1], "second");
+}
+
+TEST(ArgsTest, DefaultsForMissingOptions) {
+  const auto args = parse({});
+  EXPECT_EQ(args.get_or("scale", "small"), "small");
+  EXPECT_EQ(args.get_int_or("days", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double_or("threshold", 0.5), 0.5);
+}
+
+TEST(ArgsTest, MissingRequiredThrows) {
+  const auto args = parse({});
+  EXPECT_THROW(args.get("trace"), ParseError);
+}
+
+TEST(ArgsTest, MissingValueThrows) {
+  EXPECT_THROW(parse({"--trace"}), ParseError);
+}
+
+TEST(ArgsTest, BareDashDashThrows) {
+  EXPECT_THROW(parse({"--"}), ParseError);
+}
+
+TEST(ArgsTest, MalformedNumberThrows) {
+  const auto args = parse({"--trees", "many"});
+  EXPECT_THROW(args.get_int_or("trees", 1), ParseError);
+}
+
+}  // namespace
+}  // namespace seg::util

@@ -1,0 +1,104 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "util/require.h"
+
+namespace seg::util {
+namespace {
+
+class DsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("seg_dsv_test_" + std::to_string(::getpid()) + ".tsv"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::string path_;
+};
+
+TEST_F(DsvTest, WriteThenReadRoundTrip) {
+  {
+    DsvWriter writer(path_);
+    writer.write_comment("header comment");
+    writer.write_row(std::vector<std::string>{"m1", "example.com", "3"});
+    writer.write_row(std::vector<std::string>{"m2", "evil.biz", "7"});
+  }
+  DsvReader reader(path_);
+  std::vector<std::string_view> fields;
+  ASSERT_TRUE(reader.next(fields));
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "m1");
+  EXPECT_EQ(fields[1], "example.com");
+  ASSERT_TRUE(reader.next(fields));
+  EXPECT_EQ(fields[1], "evil.biz");
+  EXPECT_FALSE(reader.next(fields));
+}
+
+TEST_F(DsvTest, SkipsBlankLinesAndComments) {
+  {
+    std::ofstream out(path_);
+    out << "# comment\n\n  \na\tb\n# another\nc\td\n";
+  }
+  DsvReader reader(path_);
+  std::vector<std::string_view> fields;
+  ASSERT_TRUE(reader.next(fields));
+  EXPECT_EQ(fields[0], "a");
+  ASSERT_TRUE(reader.next(fields));
+  EXPECT_EQ(fields[0], "c");
+  EXPECT_FALSE(reader.next(fields));
+}
+
+TEST_F(DsvTest, ToleratesCrlf) {
+  {
+    std::ofstream out(path_);
+    out << "a\tb\r\nc\td\r\n";
+  }
+  DsvReader reader(path_);
+  std::vector<std::string_view> fields;
+  ASSERT_TRUE(reader.next(fields));
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1], "b");  // no trailing \r
+}
+
+TEST_F(DsvTest, TracksLineNumbers) {
+  {
+    std::ofstream out(path_);
+    out << "# c\nrow1\n\nrow2\n";
+  }
+  DsvReader reader(path_);
+  std::vector<std::string_view> fields;
+  ASSERT_TRUE(reader.next(fields));
+  EXPECT_EQ(reader.line_number(), 2u);
+  ASSERT_TRUE(reader.next(fields));
+  EXPECT_EQ(reader.line_number(), 4u);
+}
+
+TEST_F(DsvTest, CustomDelimiter) {
+  {
+    DsvWriter writer(path_, ',');
+    writer.write_row(std::vector<std::string>{"1", "2", "3"});
+  }
+  DsvReader reader(path_, ',');
+  std::vector<std::string_view> fields;
+  ASSERT_TRUE(reader.next(fields));
+  EXPECT_EQ(fields.size(), 3u);
+}
+
+TEST(DsvErrorTest, MissingFileThrows) {
+  EXPECT_THROW(DsvReader("/nonexistent/path/file.tsv"), ParseError);
+}
+
+TEST(DsvErrorTest, UnwritablePathThrows) {
+  EXPECT_THROW(DsvWriter("/nonexistent/dir/file.tsv"), ParseError);
+}
+
+}  // namespace
+}  // namespace seg::util

@@ -1,0 +1,91 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "util/require.h"
+
+namespace seg::util {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.count(5), 0u);
+  EXPECT_DOUBLE_EQ(h.fraction_above(0), 0.0);
+  EXPECT_THROW(h.mean(), PreconditionError);
+  EXPECT_THROW(h.min_value(), PreconditionError);
+  EXPECT_THROW(h.quantile(0.5), PreconditionError);
+}
+
+TEST(HistogramTest, AddAndCount) {
+  Histogram h;
+  h.add(3);
+  h.add(3);
+  h.add(7, 5);
+  EXPECT_EQ(h.count(3), 2u);
+  EXPECT_EQ(h.count(7), 5u);
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.min_value(), 3u);
+  EXPECT_EQ(h.max_value(), 7u);
+}
+
+TEST(HistogramTest, Mean) {
+  Histogram h;
+  h.add(1, 2);
+  h.add(4, 2);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+}
+
+TEST(HistogramTest, FractionAbove) {
+  Histogram h;
+  h.add(1, 30);
+  h.add(2, 40);
+  h.add(5, 30);
+  EXPECT_DOUBLE_EQ(h.fraction_above(1), 0.7);  // the paper's "70% query > 1" stat
+  EXPECT_DOUBLE_EQ(h.fraction_above(2), 0.3);
+  EXPECT_DOUBLE_EQ(h.fraction_above(5), 0.0);
+  EXPECT_DOUBLE_EQ(h.fraction_above(0), 1.0);
+}
+
+TEST(HistogramTest, Quantile) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) {
+    h.add(v);
+  }
+  EXPECT_EQ(h.quantile(0.0), 1u);
+  EXPECT_EQ(h.quantile(0.5), 50u);
+  EXPECT_EQ(h.quantile(0.9999), 100u);
+  EXPECT_EQ(h.quantile(1.0), 100u);
+  EXPECT_THROW(h.quantile(1.5), PreconditionError);
+}
+
+TEST(HistogramTest, ItemsAreSortedByValue) {
+  Histogram h;
+  h.add(9);
+  h.add(2);
+  h.add(5);
+  const auto items = h.items();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].first, 2u);
+  EXPECT_EQ(items[1].first, 5u);
+  EXPECT_EQ(items[2].first, 9u);
+}
+
+TEST(HistogramTest, RenderMentionsValuesAndCollapsesTail) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 40; ++v) {
+    h.add(v, v + 1);
+  }
+  const auto text = h.render(/*max_rows=*/10, /*width=*/20);
+  EXPECT_NE(text.find(">="), std::string::npos);
+  EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+TEST(HistogramTest, RenderEmpty) {
+  Histogram h;
+  EXPECT_EQ(h.render(), "(empty histogram)\n");
+}
+
+}  // namespace
+}  // namespace seg::util

@@ -1,0 +1,66 @@
+#include "util/interner.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/require.h"
+
+namespace seg::util {
+namespace {
+
+TEST(InternerTest, AssignsDenseIdsInFirstSeenOrder) {
+  StringInterner interner;
+  EXPECT_EQ(interner.intern("a.com"), 0u);
+  EXPECT_EQ(interner.intern("b.com"), 1u);
+  EXPECT_EQ(interner.intern("c.com"), 2u);
+  EXPECT_EQ(interner.size(), 3u);
+}
+
+TEST(InternerTest, ReinterningReturnsSameId) {
+  StringInterner interner;
+  const auto id = interner.intern("example.com");
+  EXPECT_EQ(interner.intern("example.com"), id);
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(InternerTest, LookupRoundTrips) {
+  StringInterner interner;
+  const auto id = interner.intern("www.example.org");
+  EXPECT_EQ(interner.lookup(id), "www.example.org");
+}
+
+TEST(InternerTest, FindReturnsNulloptForUnknown) {
+  StringInterner interner;
+  interner.intern("known");
+  EXPECT_TRUE(interner.find("known").has_value());
+  EXPECT_FALSE(interner.find("unknown").has_value());
+}
+
+TEST(InternerTest, LookupOutOfRangeThrows) {
+  StringInterner interner;
+  EXPECT_THROW(interner.lookup(0), PreconditionError);
+}
+
+TEST(InternerTest, StorageSurvivesGrowth) {
+  // string_view keys must stay valid as the deque grows.
+  StringInterner interner;
+  std::vector<StringInterner::Id> ids;
+  for (int i = 0; i < 10000; ++i) {
+    ids.push_back(interner.intern("domain-" + std::to_string(i) + ".example.com"));
+  }
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(interner.lookup(ids[i]), "domain-" + std::to_string(i) + ".example.com");
+    EXPECT_EQ(interner.find("domain-" + std::to_string(i) + ".example.com"), ids[i]);
+  }
+}
+
+TEST(InternerTest, EmptyStringIsInternable) {
+  StringInterner interner;
+  const auto id = interner.intern("");
+  EXPECT_EQ(interner.lookup(id), "");
+  EXPECT_EQ(interner.intern(""), id);
+}
+
+}  // namespace
+}  // namespace seg::util

@@ -1,0 +1,60 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace seg::util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::instance().set_sink([this](LogLevel level, std::string_view message) {
+      captured_.emplace_back(level, std::string(message));
+    });
+    Logger::instance().set_level(LogLevel::kDebug);
+  }
+  void TearDown() override {
+    Logger::instance().set_sink(nullptr);
+    Logger::instance().set_level(LogLevel::kInfo);
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+};
+
+TEST_F(LoggingTest, CapturesMessagesThroughSink) {
+  log_info("hello ", 42);
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].first, LogLevel::kInfo);
+  EXPECT_EQ(captured_[0].second, "hello 42");
+}
+
+TEST_F(LoggingTest, FiltersBelowLevel) {
+  Logger::instance().set_level(LogLevel::kWarn);
+  log_debug("nope");
+  log_info("nope");
+  log_warn("yes");
+  log_error("also yes");
+  ASSERT_EQ(captured_.size(), 2u);
+  EXPECT_EQ(captured_[0].first, LogLevel::kWarn);
+  EXPECT_EQ(captured_[1].first, LogLevel::kError);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  Logger::instance().set_level(LogLevel::kOff);
+  log_error("nope");
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST(LogLevelNameTest, Names) {
+  EXPECT_EQ(log_level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(log_level_name(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(log_level_name(LogLevel::kWarn), "WARN");
+  EXPECT_EQ(log_level_name(LogLevel::kError), "ERROR");
+  EXPECT_EQ(log_level_name(LogLevel::kOff), "OFF");
+}
+
+}  // namespace
+}  // namespace seg::util

@@ -1,0 +1,259 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace seg::util {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceFromZeroSeed) {
+  // Reference values from Vigna's splitmix64.c with seed 0.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(sm.next(), 0x06c45d188009454fULL);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += (a.next() == b.next()) ? 1 : 0;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBelowRejectsZeroBound) {
+  Rng rng(7);
+  EXPECT_THROW(rng.next_below(0), PreconditionError);
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    hits += rng.next_bool(0.25) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.25, 0.02);
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng rng(19);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.next_gaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.05);
+}
+
+TEST(RngTest, PoissonMeanMatchesLambdaSmall) {
+  Rng rng(23);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    sum += static_cast<double>(rng.next_poisson(3.5));
+  }
+  EXPECT_NEAR(sum / kN, 3.5, 0.1);
+}
+
+TEST(RngTest, PoissonMeanMatchesLambdaLarge) {
+  Rng rng(29);
+  double sum = 0.0;
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i) {
+    sum += static_cast<double>(rng.next_poisson(250.0));
+  }
+  EXPECT_NEAR(sum / kN, 250.0, 2.5);
+}
+
+TEST(RngTest, PoissonZeroLambdaIsZero) {
+  Rng rng(31);
+  EXPECT_EQ(rng.next_poisson(0.0), 0u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(37);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(std::span<int>(shuffled));
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), shuffled.begin()));  // overwhelmingly likely
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinctAndInRange) {
+  Rng rng(41);
+  for (std::size_t n : {std::size_t{10}, std::size_t{100}, std::size_t{1000}}) {
+    for (std::size_t k : {std::size_t{0}, std::size_t{1}, std::size_t{5}, n / 2, n}) {
+      const auto sample = rng.sample_without_replacement(n, k);
+      EXPECT_EQ(sample.size(), k);
+      std::set<std::size_t> distinct(sample.begin(), sample.end());
+      EXPECT_EQ(distinct.size(), k);
+      for (auto idx : sample) {
+        EXPECT_LT(idx, n);
+      }
+    }
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementRejectsKGreaterThanN) {
+  Rng rng(43);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), PreconditionError);
+}
+
+TEST(RngTest, SampleWithoutReplacementSmallKUsesAllValues) {
+  // Floyd path: over many draws of k=2 from n=64 every index should appear.
+  Rng rng(47);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 3000; ++i) {
+    for (auto v : rng.sample_without_replacement(64, 2)) {
+      seen.insert(v);
+    }
+  }
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(RngTest, ForkedStreamsAreDecorrelated) {
+  Rng parent(51);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += (a.next() == b.next()) ? 1 : 0;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng p1(99);
+  Rng p2(99);
+  Rng c1 = p1.fork(7);
+  Rng c2 = p2.fork(7);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(c1.next(), c2.next());
+  }
+}
+
+TEST(ZipfSamplerTest, RejectsBadArguments) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), PreconditionError);
+  EXPECT_THROW(ZipfSampler(10, 0.0), PreconditionError);
+  EXPECT_THROW(ZipfSampler(10, -1.0), PreconditionError);
+}
+
+TEST(ZipfSamplerTest, PmfSumsToOne) {
+  ZipfSampler zipf(1000, 1.1);
+  double total = 0.0;
+  for (std::size_t i = 0; i < zipf.size(); ++i) {
+    total += zipf.pmf(i);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSamplerTest, RankZeroIsMostPopular) {
+  ZipfSampler zipf(100, 1.0);
+  for (std::size_t i = 1; i < zipf.size(); ++i) {
+    EXPECT_GT(zipf.pmf(0), zipf.pmf(i));
+  }
+}
+
+TEST(ZipfSamplerTest, EmpiricalFrequenciesMatchPmf) {
+  ZipfSampler zipf(50, 1.2);
+  Rng rng(57);
+  std::vector<int> counts(50, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    ++counts[zipf.sample(rng)];
+  }
+  for (std::size_t i : {std::size_t{0}, std::size_t{1}, std::size_t{5}, std::size_t{20}}) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kN, zipf.pmf(i), 0.01);
+  }
+}
+
+TEST(ZipfSamplerTest, SampleAlwaysInRange) {
+  ZipfSampler zipf(7, 2.0);
+  Rng rng(61);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.sample(rng), 7u);
+  }
+}
+
+// Property sweep: next_below must be unbiased enough that each residue class
+// appears with roughly equal frequency, across several bounds.
+class RngUniformityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngUniformityTest, NextBelowIsApproximatelyUniform) {
+  const std::uint64_t bound = GetParam();
+  Rng rng(1000 + bound);
+  std::vector<int> counts(bound, 0);
+  const int per_bucket = 2000;
+  const int n = static_cast<int>(bound) * per_bucket;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.next_below(bound)];
+  }
+  for (auto c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), per_bucket, 6.0 * std::sqrt(per_bucket));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngUniformityTest, ::testing::Values(2, 3, 5, 7, 16, 33));
+
+}  // namespace
+}  // namespace seg::util

@@ -1,0 +1,50 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include "util/require.h"
+
+namespace seg::util {
+namespace {
+
+TEST(TextTableTest, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), PreconditionError);
+}
+
+TEST(TextTableTest, RejectsWrongArity) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable table({"Source", "Domains"});
+  table.add_row({"ISP1, Day 1", "9M"});
+  table.add_row({"ISP2", "10.2M"});
+  const auto text = table.render();
+  // Header, rule, two rows.
+  EXPECT_NE(text.find("Source"), std::string::npos);
+  EXPECT_NE(text.find("ISP1, Day 1 | 9M"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+  // All lines equal length (aligned).
+  std::size_t pos = 0;
+  std::size_t expected = std::string::npos;
+  while (pos < text.size()) {
+    const auto end = text.find('\n', pos);
+    const auto len = end - pos;
+    if (expected == std::string::npos) {
+      expected = len;
+    }
+    EXPECT_EQ(len, expected);
+    pos = end + 1;
+  }
+}
+
+TEST(TextTableTest, RowCount) {
+  TextTable table({"x"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.add_row({"1"});
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+}  // namespace
+}  // namespace seg::util

@@ -1,0 +1,292 @@
+// segugio — command-line interface to the detector.
+//
+// Subcommands:
+//
+//   segugio simgen --out DIR [--days N] [--isp K] [--seed S] [--scale small|bench]
+//       Generates N days of synthetic ISP traffic plus the supporting
+//       files: per-day query-log TSVs and blacklist snapshots, the e2LD
+//       whitelist, the domain-activity index, and the passive-DNS store.
+//
+//   segugio train --trace FILE --blacklist FILE --whitelist FILE
+//                 --activity FILE --pdns FILE --model OUT
+//                 [--trees N] [--no-prober-filter]
+//       Builds + labels + prunes the behavior graph for one day of traffic
+//       and trains the classifier; writes the portable model file.
+//
+//   segugio classify --trace FILE --model FILE --blacklist FILE
+//                    --whitelist FILE --activity FILE --pdns FILE
+//                    [--threshold X] [--top N] [--machines]
+//       Scores every unknown domain of the day and prints detections (with
+//       the querying machines when --machines is given).
+//
+//   segugio report ...same inputs as classify... [--threshold X] [--top N]
+//       Prints the remediation worklist: machines implicated by known or
+//       newly detected malware-control domains (Section VI).
+//
+//   segugio inspect --model FILE
+//       Prints the model card: classifier, windows, pruning, importances.
+//
+// All file formats are the plain-text formats of the library (see
+// dns/query_log.h, dns/activity_index.h, dns/pdns.h, core/segugio.h).
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/diagnostics.h"
+#include "core/infection_report.h"
+#include "core/segugio.h"
+#include "graph/labeling.h"
+#include "sim/world.h"
+#include "util/args.h"
+#include "util/require.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace seg;
+
+graph::NameSet load_name_set(const std::string& path) {
+  std::ifstream in(path);
+  util::require_data(in.is_open(), "cannot open '" + path + "'");
+  graph::NameSet set;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto trimmed = util::trim(line);
+    if (!trimmed.empty() && trimmed.front() != '#') {
+      set.insert(trimmed);
+    }
+  }
+  return set;
+}
+
+void save_name_set(const graph::NameSet& set, const std::string& path) {
+  std::ofstream out(path);
+  util::require_data(out.is_open(), "cannot create '" + path + "'");
+  for (const auto& name : set) {
+    out << name << '\n';
+  }
+}
+
+dns::DomainActivityIndex load_activity(const std::string& path) {
+  std::ifstream in(path);
+  util::require_data(in.is_open(), "cannot open '" + path + "'");
+  return dns::DomainActivityIndex::load(in);
+}
+
+dns::DayTrace load_trace(const std::string& path) {
+  return path.ends_with(".bin") ? dns::read_trace_binary(path) : dns::read_trace(path);
+}
+
+dns::PassiveDnsDb load_pdns(const std::string& path) {
+  std::ifstream in(path);
+  util::require_data(in.is_open(), "cannot open '" + path + "'");
+  return dns::PassiveDnsDb::load(in);
+}
+
+int cmd_simgen(const util::Args& args) {
+  const auto out_dir = args.get("out");
+  const auto days = args.get_int_or("days", 2);
+  const auto isp = static_cast<std::size_t>(args.get_int_or("isp", 0));
+  const auto scale = args.get_or("scale", "small");
+
+  auto scenario = scale == "bench" ? sim::ScenarioConfig::bench() : sim::ScenarioConfig::small();
+  scenario.seed = static_cast<std::uint64_t>(args.get_int_or("seed", scenario.seed));
+  sim::World world{scenario};
+  util::require_data(isp < world.isp_count(), "simgen: --isp out of range");
+
+  const bool binary = args.flag("binary");
+  for (dns::Day day = 0; day < days; ++day) {
+    const auto trace = world.generate_day(isp, day);
+    const auto trace_path =
+        out_dir + "/day" + std::to_string(day) + (binary ? ".bin" : ".tsv");
+    if (binary) {
+      dns::write_trace_binary(trace, trace_path);
+    } else {
+      dns::write_trace(trace, trace_path);
+    }
+    save_name_set(world.blacklist().as_of(sim::BlacklistKind::kCommercial, day),
+                  out_dir + "/blacklist-day" + std::to_string(day) + ".txt");
+    std::printf("wrote %s (%zu records)\n", trace_path.c_str(), trace.records.size());
+  }
+  save_name_set(world.whitelist().all(), out_dir + "/whitelist.txt");
+  {
+    std::ofstream out(out_dir + "/activity.txt");
+    util::require_data(out.is_open(), "cannot create activity file");
+    world.activity().save(out);
+  }
+  {
+    std::ofstream out(out_dir + "/pdns.txt");
+    util::require_data(out.is_open(), "cannot create pdns file");
+    world.pdns().save(out);
+  }
+  std::printf("wrote %s/{whitelist.txt,activity.txt,pdns.txt}\n", out_dir.c_str());
+  return 0;
+}
+
+int cmd_train(const util::Args& args) {
+  const auto trace = load_trace(args.get("trace"));
+  const auto blacklist = load_name_set(args.get("blacklist"));
+  const auto whitelist = load_name_set(args.get("whitelist"));
+  const auto activity = load_activity(args.get("activity"));
+  const auto pdns = load_pdns(args.get("pdns"));
+  const auto psl = dns::PublicSuffixList::with_default_rules();
+
+  core::SegugioConfig config;
+  config.forest.num_trees = static_cast<std::size_t>(args.get_int_or("trees", 100));
+  if (!args.flag("no-prober-filter")) {
+    config.prober_filter = graph::ProberFilterConfig{};
+  }
+
+  util::Stopwatch watch;
+  graph::PruneStats stats;
+  const auto graph = core::Segugio::prepare_graph(
+      trace, psl, blacklist, whitelist, config.pruning, &stats,
+      config.prober_filter ? &*config.prober_filter : nullptr);
+  core::Segugio segugio(config);
+  segugio.train(graph, activity, pdns);
+
+  const auto model_path = args.get("model");
+  std::ofstream out(model_path);
+  util::require_data(out.is_open(), "cannot create '" + model_path + "'");
+  segugio.save(out);
+  std::printf("trained on %zu records: %zu machines, %zu domains (%zu malware, %zu benign)\n",
+              trace.records.size(), graph.machine_count(), graph.domain_count(),
+              graph.count_domains_with(graph::Label::kMalware),
+              graph.count_domains_with(graph::Label::kBenign));
+  std::printf("model written to %s (%.2fs)\n", model_path.c_str(), watch.elapsed_seconds());
+  return 0;
+}
+
+int cmd_classify(const util::Args& args) {
+  const auto trace = load_trace(args.get("trace"));
+  const auto blacklist = load_name_set(args.get("blacklist"));
+  const auto whitelist = load_name_set(args.get("whitelist"));
+  const auto activity = load_activity(args.get("activity"));
+  const auto pdns = load_pdns(args.get("pdns"));
+  const auto psl = dns::PublicSuffixList::with_default_rules();
+
+  std::ifstream model_in(args.get("model"));
+  util::require_data(model_in.is_open(), "cannot open model file");
+  const auto segugio = core::Segugio::load(model_in);
+
+  const double threshold = args.get_double_or("threshold", 0.5);
+  const auto top = static_cast<std::size_t>(args.get_int_or("top", 25));
+  const bool show_machines = args.flag("machines");
+
+  const auto graph = core::Segugio::prepare_graph(
+      trace, psl, blacklist, whitelist, segugio.config().pruning, nullptr,
+      segugio.config().prober_filter ? &*segugio.config().prober_filter : nullptr);
+  const auto report = segugio.classify(graph, activity, pdns);
+  const auto detections = report.detections_at(threshold, graph);
+
+  std::printf("# %zu unknown domains scored; %zu at or above threshold %.2f\n",
+              report.scores.size(), detections.size(), threshold);
+  std::printf("# score\tdomain\tmachines%s\n", show_machines ? "\tquerying_machines" : "");
+  std::size_t shown = 0;
+  for (const auto& detection : detections) {
+    if (shown++ >= top) {
+      break;
+    }
+    std::printf("%.4f\t%s\t%zu", detection.domain.score, detection.domain.name.c_str(),
+                detection.machines.size());
+    if (show_machines) {
+      std::printf("\t");
+      for (std::size_t i = 0; i < detection.machines.size(); ++i) {
+        std::printf("%s%s", i == 0 ? "" : ",", detection.machines[i].c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+// Shared by classify/report: load everything and score the day.
+struct DayRun {
+  graph::MachineDomainGraph graph;
+  core::Segugio segugio;
+  core::DetectionReport detections;
+};
+
+DayRun run_day(const util::Args& args) {
+  const auto trace = load_trace(args.get("trace"));
+  const auto blacklist = load_name_set(args.get("blacklist"));
+  const auto whitelist = load_name_set(args.get("whitelist"));
+  const auto activity = load_activity(args.get("activity"));
+  const auto pdns = load_pdns(args.get("pdns"));
+  const auto psl = dns::PublicSuffixList::with_default_rules();
+  std::ifstream model_in(args.get("model"));
+  util::require_data(model_in.is_open(), "cannot open model file");
+  auto segugio = core::Segugio::load(model_in);
+  auto graph = core::Segugio::prepare_graph(
+      trace, psl, blacklist, whitelist, segugio.config().pruning, nullptr,
+      segugio.config().prober_filter ? &*segugio.config().prober_filter : nullptr);
+  auto detections = segugio.classify(graph, activity, pdns);
+  return {std::move(graph), std::move(segugio), std::move(detections)};
+}
+
+int cmd_report(const util::Args& args) {
+  const double threshold = args.get_double_or("threshold", 0.5);
+  const auto top = static_cast<std::size_t>(args.get_int_or("top", 50));
+  const auto run = run_day(args);
+  const auto report = core::enumerate_infections(run.graph, run.detections, threshold);
+  std::printf("# remediation worklist: %zu machines (%zu implicated only by new "
+              "detections)\n",
+              report.machines.size(), report.newly_implicated);
+  std::printf("# machine\tevidence\tknown_domains\tdetected_domains\n");
+  std::size_t shown = 0;
+  for (const auto& machine : report.machines) {
+    if (shown++ >= top) {
+      break;
+    }
+    std::printf("%s\t%zu\t%zu\t%zu\n", machine.name.c_str(), machine.evidence(),
+                machine.known_domains.size(), machine.detected_domains.size());
+  }
+  return 0;
+}
+
+int cmd_inspect(const util::Args& args) {
+  std::ifstream model_in(args.get("model"));
+  util::require_data(model_in.is_open(), "cannot open model file");
+  const auto segugio = core::Segugio::load(model_in);
+  std::printf("%s", core::describe_model(segugio).c_str());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: segugio <simgen|train|classify|report|inspect> [options]\n"
+               "see the header of tools/segugio_cli.cpp for the full option list\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return usage();
+  }
+  const std::string command = argv[1];
+  try {
+    const util::Args args(argc - 2, argv + 2, {"machines", "no-prober-filter", "binary"});
+    if (command == "simgen") {
+      return cmd_simgen(args);
+    }
+    if (command == "train") {
+      return cmd_train(args);
+    }
+    if (command == "classify") {
+      return cmd_classify(args);
+    }
+    if (command == "inspect") {
+      return cmd_inspect(args);
+    }
+    if (command == "report") {
+      return cmd_report(args);
+    }
+    return usage();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "segugio %s: %s\n", command.c_str(), error.what());
+    return 1;
+  }
+}
