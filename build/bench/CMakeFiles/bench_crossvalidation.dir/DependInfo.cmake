@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_crossvalidation.cpp" "bench/CMakeFiles/bench_crossvalidation.dir/bench_crossvalidation.cpp.o" "gcc" "bench/CMakeFiles/bench_crossvalidation.dir/bench_crossvalidation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/seg_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/seg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/seg_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/seg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/seg_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/seg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/seg_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/seg_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/seg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crossvalidation.dir/bench_crossvalidation.cpp.o"
+  "CMakeFiles/bench_crossvalidation.dir/bench_crossvalidation.cpp.o.d"
+  "bench_crossvalidation"
+  "bench_crossvalidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crossvalidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

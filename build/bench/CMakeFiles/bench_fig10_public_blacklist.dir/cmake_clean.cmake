@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_public_blacklist.dir/bench_fig10_public_blacklist.cpp.o"
+  "CMakeFiles/bench_fig10_public_blacklist.dir/bench_fig10_public_blacklist.cpp.o.d"
+  "bench_fig10_public_blacklist"
+  "bench_fig10_public_blacklist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_public_blacklist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_crossday_crossnet.dir/bench_fig6_crossday_crossnet.cpp.o"
+  "CMakeFiles/bench_fig6_crossday_crossnet.dir/bench_fig6_crossday_crossnet.cpp.o.d"
+  "bench_fig6_crossday_crossnet"
+  "bench_fig6_crossday_crossnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_crossday_crossnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_crossfamily.dir/bench_fig8_crossfamily.cpp.o"
+  "CMakeFiles/bench_fig8_crossfamily.dir/bench_fig8_crossfamily.cpp.o.d"
+  "bench_fig8_crossfamily"
+  "bench_fig8_crossfamily.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_crossfamily.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

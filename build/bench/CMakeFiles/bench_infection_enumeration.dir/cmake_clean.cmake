@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_infection_enumeration.dir/bench_infection_enumeration.cpp.o"
+  "CMakeFiles/bench_infection_enumeration.dir/bench_infection_enumeration.cpp.o.d"
+  "bench_infection_enumeration"
+  "bench_infection_enumeration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_infection_enumeration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

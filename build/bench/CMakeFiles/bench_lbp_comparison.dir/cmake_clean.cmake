@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lbp_comparison.dir/bench_lbp_comparison.cpp.o"
+  "CMakeFiles/bench_lbp_comparison.dir/bench_lbp_comparison.cpp.o.d"
+  "bench_lbp_comparison"
+  "bench_lbp_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lbp_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_efficiency.dir/bench_perf_efficiency.cpp.o"
+  "CMakeFiles/bench_perf_efficiency.dir/bench_perf_efficiency.cpp.o.d"
+  "bench_perf_efficiency"
+  "bench_perf_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

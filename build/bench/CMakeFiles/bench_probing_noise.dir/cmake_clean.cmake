@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_probing_noise.dir/bench_probing_noise.cpp.o"
+  "CMakeFiles/bench_probing_noise.dir/bench_probing_noise.cpp.o.d"
+  "bench_probing_noise"
+  "bench_probing_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_probing_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seg_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/seg_bench_common.dir/bench_common.cpp.o.d"
+  "libseg_bench_common.a"
+  "libseg_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seg_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

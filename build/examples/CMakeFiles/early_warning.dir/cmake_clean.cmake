@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/early_warning.dir/early_warning.cpp.o"
+  "CMakeFiles/early_warning.dir/early_warning.cpp.o.d"
+  "early_warning"
+  "early_warning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/early_warning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remediation.dir/remediation.cpp.o"
+  "CMakeFiles/remediation.dir/remediation.cpp.o.d"
+  "remediation"
+  "remediation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remediation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

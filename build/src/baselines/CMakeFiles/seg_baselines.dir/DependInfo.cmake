@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cooccurrence.cpp" "src/baselines/CMakeFiles/seg_baselines.dir/cooccurrence.cpp.o" "gcc" "src/baselines/CMakeFiles/seg_baselines.dir/cooccurrence.cpp.o.d"
+  "/root/repo/src/baselines/lbp.cpp" "src/baselines/CMakeFiles/seg_baselines.dir/lbp.cpp.o" "gcc" "src/baselines/CMakeFiles/seg_baselines.dir/lbp.cpp.o.d"
+  "/root/repo/src/baselines/notos_like.cpp" "src/baselines/CMakeFiles/seg_baselines.dir/notos_like.cpp.o" "gcc" "src/baselines/CMakeFiles/seg_baselines.dir/notos_like.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/seg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/seg_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/seg_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/seg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seg_baselines.dir/cooccurrence.cpp.o"
+  "CMakeFiles/seg_baselines.dir/cooccurrence.cpp.o.d"
+  "CMakeFiles/seg_baselines.dir/lbp.cpp.o"
+  "CMakeFiles/seg_baselines.dir/lbp.cpp.o.d"
+  "CMakeFiles/seg_baselines.dir/notos_like.cpp.o"
+  "CMakeFiles/seg_baselines.dir/notos_like.cpp.o.d"
+  "libseg_baselines.a"
+  "libseg_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seg_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calibration.cpp" "src/core/CMakeFiles/seg_core.dir/calibration.cpp.o" "gcc" "src/core/CMakeFiles/seg_core.dir/calibration.cpp.o.d"
+  "/root/repo/src/core/diagnostics.cpp" "src/core/CMakeFiles/seg_core.dir/diagnostics.cpp.o" "gcc" "src/core/CMakeFiles/seg_core.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/seg_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/seg_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/fp_analysis.cpp" "src/core/CMakeFiles/seg_core.dir/fp_analysis.cpp.o" "gcc" "src/core/CMakeFiles/seg_core.dir/fp_analysis.cpp.o.d"
+  "/root/repo/src/core/infection_report.cpp" "src/core/CMakeFiles/seg_core.dir/infection_report.cpp.o" "gcc" "src/core/CMakeFiles/seg_core.dir/infection_report.cpp.o.d"
+  "/root/repo/src/core/segugio.cpp" "src/core/CMakeFiles/seg_core.dir/segugio.cpp.o" "gcc" "src/core/CMakeFiles/seg_core.dir/segugio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/features/CMakeFiles/seg_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/seg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/seg_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/seg_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/seg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

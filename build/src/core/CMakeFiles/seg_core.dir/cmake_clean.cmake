@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seg_core.dir/calibration.cpp.o"
+  "CMakeFiles/seg_core.dir/calibration.cpp.o.d"
+  "CMakeFiles/seg_core.dir/diagnostics.cpp.o"
+  "CMakeFiles/seg_core.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/seg_core.dir/experiment.cpp.o"
+  "CMakeFiles/seg_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/seg_core.dir/fp_analysis.cpp.o"
+  "CMakeFiles/seg_core.dir/fp_analysis.cpp.o.d"
+  "CMakeFiles/seg_core.dir/infection_report.cpp.o"
+  "CMakeFiles/seg_core.dir/infection_report.cpp.o.d"
+  "CMakeFiles/seg_core.dir/segugio.cpp.o"
+  "CMakeFiles/seg_core.dir/segugio.cpp.o.d"
+  "libseg_core.a"
+  "libseg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

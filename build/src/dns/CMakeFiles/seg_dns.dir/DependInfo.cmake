@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/activity_index.cpp" "src/dns/CMakeFiles/seg_dns.dir/activity_index.cpp.o" "gcc" "src/dns/CMakeFiles/seg_dns.dir/activity_index.cpp.o.d"
+  "/root/repo/src/dns/domain_name.cpp" "src/dns/CMakeFiles/seg_dns.dir/domain_name.cpp.o" "gcc" "src/dns/CMakeFiles/seg_dns.dir/domain_name.cpp.o.d"
+  "/root/repo/src/dns/ip.cpp" "src/dns/CMakeFiles/seg_dns.dir/ip.cpp.o" "gcc" "src/dns/CMakeFiles/seg_dns.dir/ip.cpp.o.d"
+  "/root/repo/src/dns/pdns.cpp" "src/dns/CMakeFiles/seg_dns.dir/pdns.cpp.o" "gcc" "src/dns/CMakeFiles/seg_dns.dir/pdns.cpp.o.d"
+  "/root/repo/src/dns/public_suffix_list.cpp" "src/dns/CMakeFiles/seg_dns.dir/public_suffix_list.cpp.o" "gcc" "src/dns/CMakeFiles/seg_dns.dir/public_suffix_list.cpp.o.d"
+  "/root/repo/src/dns/query_log.cpp" "src/dns/CMakeFiles/seg_dns.dir/query_log.cpp.o" "gcc" "src/dns/CMakeFiles/seg_dns.dir/query_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/seg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seg_dns.dir/activity_index.cpp.o"
+  "CMakeFiles/seg_dns.dir/activity_index.cpp.o.d"
+  "CMakeFiles/seg_dns.dir/domain_name.cpp.o"
+  "CMakeFiles/seg_dns.dir/domain_name.cpp.o.d"
+  "CMakeFiles/seg_dns.dir/ip.cpp.o"
+  "CMakeFiles/seg_dns.dir/ip.cpp.o.d"
+  "CMakeFiles/seg_dns.dir/pdns.cpp.o"
+  "CMakeFiles/seg_dns.dir/pdns.cpp.o.d"
+  "CMakeFiles/seg_dns.dir/public_suffix_list.cpp.o"
+  "CMakeFiles/seg_dns.dir/public_suffix_list.cpp.o.d"
+  "CMakeFiles/seg_dns.dir/query_log.cpp.o"
+  "CMakeFiles/seg_dns.dir/query_log.cpp.o.d"
+  "libseg_dns.a"
+  "libseg_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seg_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

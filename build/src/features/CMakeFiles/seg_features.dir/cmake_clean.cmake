@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seg_features.dir/extractor.cpp.o"
+  "CMakeFiles/seg_features.dir/extractor.cpp.o.d"
+  "CMakeFiles/seg_features.dir/feature_config.cpp.o"
+  "CMakeFiles/seg_features.dir/feature_config.cpp.o.d"
+  "CMakeFiles/seg_features.dir/training_set.cpp.o"
+  "CMakeFiles/seg_features.dir/training_set.cpp.o.d"
+  "libseg_features.a"
+  "libseg_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seg_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/seg_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/seg_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/graph_io.cpp" "src/graph/CMakeFiles/seg_graph.dir/graph_io.cpp.o" "gcc" "src/graph/CMakeFiles/seg_graph.dir/graph_io.cpp.o.d"
+  "/root/repo/src/graph/labeling.cpp" "src/graph/CMakeFiles/seg_graph.dir/labeling.cpp.o" "gcc" "src/graph/CMakeFiles/seg_graph.dir/labeling.cpp.o.d"
+  "/root/repo/src/graph/prober_filter.cpp" "src/graph/CMakeFiles/seg_graph.dir/prober_filter.cpp.o" "gcc" "src/graph/CMakeFiles/seg_graph.dir/prober_filter.cpp.o.d"
+  "/root/repo/src/graph/pruning.cpp" "src/graph/CMakeFiles/seg_graph.dir/pruning.cpp.o" "gcc" "src/graph/CMakeFiles/seg_graph.dir/pruning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/seg_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/seg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seg_graph.dir/graph.cpp.o"
+  "CMakeFiles/seg_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/seg_graph.dir/graph_io.cpp.o"
+  "CMakeFiles/seg_graph.dir/graph_io.cpp.o.d"
+  "CMakeFiles/seg_graph.dir/labeling.cpp.o"
+  "CMakeFiles/seg_graph.dir/labeling.cpp.o.d"
+  "CMakeFiles/seg_graph.dir/prober_filter.cpp.o"
+  "CMakeFiles/seg_graph.dir/prober_filter.cpp.o.d"
+  "CMakeFiles/seg_graph.dir/pruning.cpp.o"
+  "CMakeFiles/seg_graph.dir/pruning.cpp.o.d"
+  "libseg_graph.a"
+  "libseg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seg_ml.dir/classifier.cpp.o"
+  "CMakeFiles/seg_ml.dir/classifier.cpp.o.d"
+  "CMakeFiles/seg_ml.dir/dataset.cpp.o"
+  "CMakeFiles/seg_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/seg_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/seg_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/seg_ml.dir/logistic_regression.cpp.o"
+  "CMakeFiles/seg_ml.dir/logistic_regression.cpp.o.d"
+  "CMakeFiles/seg_ml.dir/metrics.cpp.o"
+  "CMakeFiles/seg_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/seg_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/seg_ml.dir/random_forest.cpp.o.d"
+  "libseg_ml.a"
+  "libseg_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seg_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

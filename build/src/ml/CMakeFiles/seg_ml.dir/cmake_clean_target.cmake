@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libseg_ml.a"
+)

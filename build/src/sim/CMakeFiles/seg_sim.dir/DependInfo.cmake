@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/blacklist_service.cpp" "src/sim/CMakeFiles/seg_sim.dir/blacklist_service.cpp.o" "gcc" "src/sim/CMakeFiles/seg_sim.dir/blacklist_service.cpp.o.d"
+  "/root/repo/src/sim/config.cpp" "src/sim/CMakeFiles/seg_sim.dir/config.cpp.o" "gcc" "src/sim/CMakeFiles/seg_sim.dir/config.cpp.o.d"
+  "/root/repo/src/sim/whitelist_service.cpp" "src/sim/CMakeFiles/seg_sim.dir/whitelist_service.cpp.o" "gcc" "src/sim/CMakeFiles/seg_sim.dir/whitelist_service.cpp.o.d"
+  "/root/repo/src/sim/world.cpp" "src/sim/CMakeFiles/seg_sim.dir/world.cpp.o" "gcc" "src/sim/CMakeFiles/seg_sim.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/seg_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/seg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/seg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seg_sim.dir/blacklist_service.cpp.o"
+  "CMakeFiles/seg_sim.dir/blacklist_service.cpp.o.d"
+  "CMakeFiles/seg_sim.dir/config.cpp.o"
+  "CMakeFiles/seg_sim.dir/config.cpp.o.d"
+  "CMakeFiles/seg_sim.dir/whitelist_service.cpp.o"
+  "CMakeFiles/seg_sim.dir/whitelist_service.cpp.o.d"
+  "CMakeFiles/seg_sim.dir/world.cpp.o"
+  "CMakeFiles/seg_sim.dir/world.cpp.o.d"
+  "libseg_sim.a"
+  "libseg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

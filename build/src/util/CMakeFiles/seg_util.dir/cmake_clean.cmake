@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seg_util.dir/args.cpp.o"
+  "CMakeFiles/seg_util.dir/args.cpp.o.d"
+  "CMakeFiles/seg_util.dir/csv.cpp.o"
+  "CMakeFiles/seg_util.dir/csv.cpp.o.d"
+  "CMakeFiles/seg_util.dir/histogram.cpp.o"
+  "CMakeFiles/seg_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/seg_util.dir/interner.cpp.o"
+  "CMakeFiles/seg_util.dir/interner.cpp.o.d"
+  "CMakeFiles/seg_util.dir/logging.cpp.o"
+  "CMakeFiles/seg_util.dir/logging.cpp.o.d"
+  "CMakeFiles/seg_util.dir/rng.cpp.o"
+  "CMakeFiles/seg_util.dir/rng.cpp.o.d"
+  "CMakeFiles/seg_util.dir/strings.cpp.o"
+  "CMakeFiles/seg_util.dir/strings.cpp.o.d"
+  "CMakeFiles/seg_util.dir/table.cpp.o"
+  "CMakeFiles/seg_util.dir/table.cpp.o.d"
+  "CMakeFiles/seg_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/seg_util.dir/thread_pool.cpp.o.d"
+  "libseg_util.a"
+  "libseg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

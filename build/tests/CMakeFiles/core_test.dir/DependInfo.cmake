@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/calibration_test.cpp" "tests/CMakeFiles/core_test.dir/core/calibration_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/calibration_test.cpp.o.d"
+  "/root/repo/tests/core/diagnostics_test.cpp" "tests/CMakeFiles/core_test.dir/core/diagnostics_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/diagnostics_test.cpp.o.d"
+  "/root/repo/tests/core/experiment_test.cpp" "tests/CMakeFiles/core_test.dir/core/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/experiment_test.cpp.o.d"
+  "/root/repo/tests/core/infection_report_test.cpp" "tests/CMakeFiles/core_test.dir/core/infection_report_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/infection_report_test.cpp.o.d"
+  "/root/repo/tests/core/segugio_io_test.cpp" "tests/CMakeFiles/core_test.dir/core/segugio_io_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/segugio_io_test.cpp.o.d"
+  "/root/repo/tests/core/segugio_test.cpp" "tests/CMakeFiles/core_test.dir/core/segugio_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/segugio_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/seg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/seg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/seg_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/seg_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/seg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/seg_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/seg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

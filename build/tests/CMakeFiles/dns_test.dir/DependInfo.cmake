@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dns/activity_index_test.cpp" "tests/CMakeFiles/dns_test.dir/dns/activity_index_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns/activity_index_test.cpp.o.d"
+  "/root/repo/tests/dns/domain_name_test.cpp" "tests/CMakeFiles/dns_test.dir/dns/domain_name_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns/domain_name_test.cpp.o.d"
+  "/root/repo/tests/dns/ip_test.cpp" "tests/CMakeFiles/dns_test.dir/dns/ip_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns/ip_test.cpp.o.d"
+  "/root/repo/tests/dns/pdns_test.cpp" "tests/CMakeFiles/dns_test.dir/dns/pdns_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns/pdns_test.cpp.o.d"
+  "/root/repo/tests/dns/psl_property_test.cpp" "tests/CMakeFiles/dns_test.dir/dns/psl_property_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns/psl_property_test.cpp.o.d"
+  "/root/repo/tests/dns/public_suffix_list_test.cpp" "tests/CMakeFiles/dns_test.dir/dns/public_suffix_list_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns/public_suffix_list_test.cpp.o.d"
+  "/root/repo/tests/dns/query_log_binary_test.cpp" "tests/CMakeFiles/dns_test.dir/dns/query_log_binary_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns/query_log_binary_test.cpp.o.d"
+  "/root/repo/tests/dns/query_log_test.cpp" "tests/CMakeFiles/dns_test.dir/dns/query_log_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns/query_log_test.cpp.o.d"
+  "/root/repo/tests/dns/serialization_test.cpp" "tests/CMakeFiles/dns_test.dir/dns/serialization_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns/serialization_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/seg_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/seg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_test.dir/dns/activity_index_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns/activity_index_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns/domain_name_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns/domain_name_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns/ip_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns/ip_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns/pdns_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns/pdns_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns/psl_property_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns/psl_property_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns/public_suffix_list_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns/public_suffix_list_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns/query_log_binary_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns/query_log_binary_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns/query_log_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns/query_log_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns/serialization_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns/serialization_test.cpp.o.d"
+  "dns_test"
+  "dns_test.pdb"
+  "dns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/graph_io_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/graph_io_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/graph_io_test.cpp.o.d"
+  "/root/repo/tests/graph/graph_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/graph_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/graph_test.cpp.o.d"
+  "/root/repo/tests/graph/labeling_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/labeling_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/labeling_test.cpp.o.d"
+  "/root/repo/tests/graph/prober_filter_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/prober_filter_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/prober_filter_test.cpp.o.d"
+  "/root/repo/tests/graph/pruning_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/pruning_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/pruning_test.cpp.o.d"
+  "/root/repo/tests/graph/streaming_build_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/streaming_build_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/streaming_build_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/seg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/seg_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/seg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/dataset_test.cpp" "tests/CMakeFiles/ml_test.dir/ml/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/dataset_test.cpp.o.d"
+  "/root/repo/tests/ml/decision_tree_test.cpp" "tests/CMakeFiles/ml_test.dir/ml/decision_tree_test.cpp.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/decision_tree_test.cpp.o.d"
+  "/root/repo/tests/ml/logistic_regression_test.cpp" "tests/CMakeFiles/ml_test.dir/ml/logistic_regression_test.cpp.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/logistic_regression_test.cpp.o.d"
+  "/root/repo/tests/ml/metrics_test.cpp" "tests/CMakeFiles/ml_test.dir/ml/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/metrics_test.cpp.o.d"
+  "/root/repo/tests/ml/pr_curve_test.cpp" "tests/CMakeFiles/ml_test.dir/ml/pr_curve_test.cpp.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/pr_curve_test.cpp.o.d"
+  "/root/repo/tests/ml/random_forest_stratified_test.cpp" "tests/CMakeFiles/ml_test.dir/ml/random_forest_stratified_test.cpp.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/random_forest_stratified_test.cpp.o.d"
+  "/root/repo/tests/ml/random_forest_test.cpp" "tests/CMakeFiles/ml_test.dir/ml/random_forest_test.cpp.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/random_forest_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/seg_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/seg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_test.dir/ml/dataset_test.cpp.o"
+  "CMakeFiles/ml_test.dir/ml/dataset_test.cpp.o.d"
+  "CMakeFiles/ml_test.dir/ml/decision_tree_test.cpp.o"
+  "CMakeFiles/ml_test.dir/ml/decision_tree_test.cpp.o.d"
+  "CMakeFiles/ml_test.dir/ml/logistic_regression_test.cpp.o"
+  "CMakeFiles/ml_test.dir/ml/logistic_regression_test.cpp.o.d"
+  "CMakeFiles/ml_test.dir/ml/metrics_test.cpp.o"
+  "CMakeFiles/ml_test.dir/ml/metrics_test.cpp.o.d"
+  "CMakeFiles/ml_test.dir/ml/pr_curve_test.cpp.o"
+  "CMakeFiles/ml_test.dir/ml/pr_curve_test.cpp.o.d"
+  "CMakeFiles/ml_test.dir/ml/random_forest_stratified_test.cpp.o"
+  "CMakeFiles/ml_test.dir/ml/random_forest_stratified_test.cpp.o.d"
+  "CMakeFiles/ml_test.dir/ml/random_forest_test.cpp.o"
+  "CMakeFiles/ml_test.dir/ml/random_forest_test.cpp.o.d"
+  "ml_test"
+  "ml_test.pdb"
+  "ml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

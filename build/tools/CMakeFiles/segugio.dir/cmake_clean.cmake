@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segugio.dir/segugio_cli.cpp.o"
+  "CMakeFiles/segugio.dir/segugio_cli.cpp.o.d"
+  "segugio"
+  "segugio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segugio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
