@@ -6,6 +6,7 @@
 
 #include "graph/labeling.h"
 #include "ml/metrics.h"
+#include "util/parallel.h"
 #include "util/require.h"
 #include "util/stopwatch.h"
 
@@ -39,15 +40,31 @@ graph::MachineDomainGraph Segugio::prepare_graph(const dns::DayTrace& trace,
                                                  const graph::NameSet& e2ld_whitelist,
                                                  const graph::PruningConfig& pruning,
                                                  graph::PruneStats* stats,
-                                                 const graph::ProberFilterConfig* prober_filter) {
-  graph::GraphBuilder builder(psl);
+                                                 const graph::ProberFilterConfig* prober_filter,
+                                                 PrepareTimings* timings) {
+  PrepareTimings local_timings;
+  PrepareTimings& t = timings != nullptr ? *timings : local_timings;
+  t = PrepareTimings{};
+
+  graph::ShardedGraphBuilder builder(psl);
   builder.add_trace(trace);
   auto graph = builder.build();
+  t.build = builder.last_timings();
+
+  util::Stopwatch watch;
   graph::apply_labels(graph, cc_blacklist, e2ld_whitelist);
+  t.label_seconds = watch.elapsed_seconds();
+
   if (prober_filter != nullptr) {
+    watch.restart();
     graph = graph::remove_probers(graph, *prober_filter);
+    t.prober_seconds = watch.elapsed_seconds();
   }
-  return graph::prune(graph, pruning, stats);
+
+  watch.restart();
+  auto pruned = graph::prune(graph, pruning, stats);
+  t.prune_seconds = watch.elapsed_seconds();
+  return pruned;
 }
 
 void Segugio::train(const graph::MachineDomainGraph& graph,
@@ -60,6 +77,7 @@ void Segugio::train(const graph::MachineDomainGraph& graph,
   util::require(training.benign_rows > 0,
                 "Segugio::train: no known benign domains in the training graph");
   timings_.train_feature_seconds = watch.elapsed_seconds();
+  timings_.train_rows = training.malware_rows + training.benign_rows;
 
   watch.restart();
   ml::Dataset dataset = config_.feature_subset.empty()
@@ -112,15 +130,18 @@ DetectionReport Segugio::classify(const graph::MachineDomainGraph& graph,
 
   watch.restart();
   DetectionReport report;
-  report.scores.reserve(unknown.domain_ids.size());
-  for (std::size_t row = 0; row < unknown.domain_ids.size(); ++row) {
+  report.scores.resize(unknown.domain_ids.size());
+  // Rows are scored in parallel but each writes only its own slot, so the
+  // report is identical for every thread count.
+  util::parallel_for(unknown.domain_ids.size(), [&](std::size_t row) {
     const auto selected = apply_subset(unknown.dataset.row(row));
     const double malware_score = forest_ != nullptr ? forest_->predict_proba(selected)
                                                     : logistic_->predict_proba(selected);
     const auto d = unknown.domain_ids[row];
-    report.scores.push_back({std::string(graph.domain_name(d)), d, malware_score});
-  }
+    report.scores[row] = {std::string(graph.domain_name(d)), d, malware_score};
+  });
   timings_.classify_score_seconds = watch.elapsed_seconds();
+  timings_.classify_rows = unknown.domain_ids.size();
   return report;
 }
 

@@ -26,6 +26,7 @@
 #include "features/training_set.h"
 #include "graph/prober_filter.h"
 #include "graph/pruning.h"
+#include "graph/sharded_builder.h"
 #include "ml/logistic_regression.h"
 #include "ml/random_forest.h"
 
@@ -68,12 +69,35 @@ struct SegugioConfig {
   }
 };
 
-/// Wall-clock breakdown of the last train()/classify() calls (Section IV-G).
+/// Wall-clock breakdown of the last train()/classify() calls (Section IV-G),
+/// with row counts so callers can report per-stage throughput.
 struct PipelineTimings {
   double train_feature_seconds = 0.0;
   double train_fit_seconds = 0.0;
   double classify_feature_seconds = 0.0;
   double classify_score_seconds = 0.0;
+  std::size_t train_rows = 0;     ///< labeled feature rows measured by train()
+  std::size_t classify_rows = 0;  ///< unknown domains scored by classify()
+
+  /// Deployment-time throughput of the last classify() (domains/sec; 0 when
+  /// nothing was timed).
+  double classify_domains_per_second() const {
+    const double t = classify_feature_seconds + classify_score_seconds;
+    return t > 0.0 ? static_cast<double>(classify_rows) / t : 0.0;
+  }
+};
+
+/// Wall-clock breakdown of one prepare_graph() call: the learning-side
+/// stages that precede training (Section IV-G's graph build + pruning).
+struct PrepareTimings {
+  graph::BuildTimings build;     ///< sharded construction breakdown
+  double label_seconds = 0.0;    ///< blacklist/whitelist annotation
+  double prober_seconds = 0.0;   ///< optional prober filtering
+  double prune_seconds = 0.0;    ///< R1-R4 pruning
+
+  double total_seconds() const {
+    return build.total_seconds() + label_seconds + prober_seconds + prune_seconds;
+  }
 };
 
 /// One scored (previously unknown) domain.
@@ -102,13 +126,16 @@ class Segugio {
  public:
   explicit Segugio(SegugioConfig config = {});
 
-  /// Builds, labels, (optionally) prober-filters, and prunes a behavior
-  /// graph from one day of traffic.
+  /// Builds (sharded, thread-parallel, bit-identical to the serial
+  /// builder), labels, (optionally) prober-filters, and prunes a behavior
+  /// graph from one day of traffic. `timings`, when non-null, receives the
+  /// per-stage wall-clock breakdown.
   static graph::MachineDomainGraph prepare_graph(
       const dns::DayTrace& trace, const dns::PublicSuffixList& psl,
       const graph::NameSet& cc_blacklist, const graph::NameSet& e2ld_whitelist,
       const graph::PruningConfig& pruning, graph::PruneStats* stats = nullptr,
-      const graph::ProberFilterConfig* prober_filter = nullptr);
+      const graph::ProberFilterConfig* prober_filter = nullptr,
+      PrepareTimings* timings = nullptr);
 
   /// Trains the behavior-based classifier from the known domains of a
   /// prepared graph (hidden-label protocol of Figure 5).

@@ -62,6 +62,20 @@ bool DomainName::is_valid(std::string_view text) {
   return validate_normalized(normalize(text));
 }
 
+bool DomainName::is_normalized(std::string_view text) {
+  // normalize() only lowercases ASCII letters and strips one trailing dot,
+  // so a name is already normalized iff neither applies.
+  if (text.empty() || text.back() == '.') {
+    return false;
+  }
+  for (const char c : text) {
+    if (c >= 'A' && c <= 'Z') {
+      return false;
+    }
+  }
+  return true;
+}
+
 std::vector<std::string_view> DomainName::labels() const {
   return util::split(name_, '.');
 }

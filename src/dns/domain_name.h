@@ -21,6 +21,11 @@ class DomainName {
   /// Returns true when `text` would be accepted by parse().
   static bool is_valid(std::string_view text);
 
+  /// Returns true when `text` is already in normalized form (no uppercase
+  /// letters, no trailing dot), i.e. parse(text).str() == text for a valid
+  /// name. Lets bulk ingest skip the normalizing copy on the common path.
+  static bool is_normalized(std::string_view text);
+
   const std::string& str() const { return name_; }
 
   /// Labels in left-to-right order: "www.example.com" -> {www, example, com}.

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <span>
 
+#include "util/parallel.h"
 #include "util/require.h"
-#include "util/thread_pool.h"
 
 namespace seg::features {
 
@@ -16,8 +16,7 @@ std::vector<FeatureVector> extract_batch(const FeatureExtractor& extractor,
                                          std::span<const graph::DomainId> ids,
                                          bool hide_labels) {
   std::vector<FeatureVector> rows(ids.size());
-  util::ThreadPool pool;
-  pool.parallel_for(ids.size(), [&](std::size_t i) {
+  util::parallel_for(ids.size(), [&](std::size_t i) {
     rows[i] = hide_labels ? extractor.extract_hiding_label(ids[i])
                           : extractor.extract(ids[i]);
   });

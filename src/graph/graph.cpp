@@ -30,27 +30,26 @@ std::span<const dns::IpV4> MachineDomainGraph::resolved_ips(DomainId d) const {
 }
 
 DomainId MachineDomainGraph::find_domain(std::string_view name) const {
-  // Linear directory lookups would be too slow for callers that probe many
-  // names; build the reverse index lazily would add mutable state, so we do
-  // a straight scan-free approach: names are unique and unsorted, keep a
-  // one-shot binary search impossible. Instead callers that need bulk
-  // lookups should map names during graph construction. This method exists
-  // for tests and small tools; complexity O(n).
-  for (DomainId d = 0; d < domain_names_.size(); ++d) {
-    if (domain_names_[d] == name) {
-      return d;
-    }
-  }
-  return static_cast<DomainId>(domain_count());
+  const auto it = domain_index_.find(name);
+  return it != domain_index_.end() ? it->second : static_cast<DomainId>(domain_count());
 }
 
 MachineId MachineDomainGraph::find_machine(std::string_view name) const {
+  const auto it = machine_index_.find(name);
+  return it != machine_index_.end() ? it->second : static_cast<MachineId>(machine_count());
+}
+
+void MachineDomainGraph::rebuild_name_index() {
+  machine_index_.clear();
+  machine_index_.reserve(machine_names_.size());
   for (MachineId m = 0; m < machine_names_.size(); ++m) {
-    if (machine_names_[m] == name) {
-      return m;
-    }
+    machine_index_.emplace(machine_names_[m], m);
   }
-  return static_cast<MachineId>(machine_count());
+  domain_index_.clear();
+  domain_index_.reserve(domain_names_.size());
+  for (DomainId d = 0; d < domain_names_.size(); ++d) {
+    domain_index_.emplace(domain_names_[d], d);
+  }
 }
 
 std::size_t MachineDomainGraph::count_domains_with(Label label) const {
@@ -69,7 +68,14 @@ void GraphBuilder::add_query(std::string_view machine, std::string_view qname,
     ++skipped_;
     return;
   }
-  const std::string normalized = dns::DomainName::parse(qname).str();
+  // Already-normalized names (the common case for simulator-generated
+  // traces) skip the parse-and-copy; only messy real-log names pay for it.
+  std::string normalized_storage;
+  std::string_view normalized = qname;
+  if (!dns::DomainName::is_normalized(qname)) {
+    normalized_storage = dns::DomainName::parse(qname).str();
+    normalized = normalized_storage;
+  }
 
   MachineId m;
   if (const auto it = machine_ids_.find(machine); it != machine_ids_.end()) {
@@ -85,8 +91,8 @@ void GraphBuilder::add_query(std::string_view machine, std::string_view qname,
     d = it->second;
   } else {
     d = static_cast<DomainId>(domain_names_.size());
-    domain_names_.push_back(normalized);
-    domain_ids_.emplace(normalized, d);
+    domain_names_.emplace_back(normalized);
+    domain_ids_.emplace(domain_names_.back(), d);
     domain_ips_.emplace_back();
   }
 
@@ -181,6 +187,11 @@ MachineDomainGraph GraphBuilder::build() {
 
   graph.machine_labels_.assign(num_machines, Label::kUnknown);
   graph.domain_labels_.assign(num_domains, Label::kUnknown);
+
+  // The interning maps become the built graph's name→id directory — they
+  // are already paid for, and find_machine/find_domain stay O(1).
+  graph.machine_index_ = std::move(machine_ids_);
+  graph.domain_index_ = std::move(domain_ids_);
 
   machine_ids_.clear();
   domain_ids_.clear();

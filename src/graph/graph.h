@@ -29,6 +29,18 @@ using MachineId = std::uint32_t;
 using DomainId = std::uint32_t;
 using E2ldId = std::uint32_t;
 
+/// Transparent-hash string→id map: lookups take string_view without
+/// materializing a std::string key. Shared by the builders (interning) and
+/// the built graph (name→id directory).
+struct TransparentStringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+template <typename V>
+using StringIdMap = std::unordered_map<std::string, V, TransparentStringHash, std::equal_to<>>;
+
 class MachineDomainGraph {
  public:
   std::size_t machine_count() const { return machine_names_.size(); }
@@ -60,7 +72,8 @@ class MachineDomainGraph {
   /// The day the graph's traffic was observed on (t_now for features).
   dns::Day day() const { return day_; }
 
-  /// Looks up a domain id by name; returns domain_count() when absent.
+  /// Looks up a domain id by name; returns domain_count() when absent. O(1):
+  /// the builders' interning maps are retained in the built graph.
   DomainId find_domain(std::string_view name) const;
 
   /// Looks up a machine id by name; returns machine_count() when absent.
@@ -72,10 +85,17 @@ class MachineDomainGraph {
 
  private:
   friend class GraphBuilder;
-  friend MachineDomainGraph prune_impl(const MachineDomainGraph&, const std::vector<bool>&,
-                                       const std::vector<bool>&);
+  friend class ShardedGraphBuilder;
+  friend MachineDomainGraph prune_impl(const MachineDomainGraph&,
+                                       const std::vector<std::uint8_t>&,
+                                       const std::vector<std::uint8_t>&);
   friend void save_graph(const MachineDomainGraph&, std::ostream&);
   friend MachineDomainGraph load_graph(std::istream&);
+
+  /// Rebuilds machine_index_/domain_index_ from the name vectors; called by
+  /// constructors that assemble a graph without going through a builder
+  /// (pruning, deserialization).
+  void rebuild_name_index();
 
   dns::Day day_ = 0;
 
@@ -96,6 +116,12 @@ class MachineDomainGraph {
 
   std::vector<Label> machine_labels_;
   std::vector<Label> domain_labels_;
+
+  // Name→id directory (find_machine / find_domain). Populated by the
+  // builders (moved from their interning maps) or rebuilt after
+  // pruning/loading; not serialized.
+  StringIdMap<MachineId> machine_index_;
+  StringIdMap<DomainId> domain_index_;
 };
 
 /// Accumulates query observations and produces an immutable graph.
@@ -129,17 +155,8 @@ class GraphBuilder {
   const dns::PublicSuffixList* psl_;
   dns::Day day_ = 0;
 
-  struct StringHash {
-    using is_transparent = void;
-    std::size_t operator()(std::string_view s) const noexcept {
-      return std::hash<std::string_view>{}(s);
-    }
-  };
-  template <typename V>
-  using StringMap = std::unordered_map<std::string, V, StringHash, std::equal_to<>>;
-
-  StringMap<MachineId> machine_ids_;
-  StringMap<DomainId> domain_ids_;
+  StringIdMap<MachineId> machine_ids_;
+  StringIdMap<DomainId> domain_ids_;
   std::vector<std::string> machine_names_;
   std::vector<std::string> domain_names_;
 

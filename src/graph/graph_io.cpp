@@ -160,6 +160,7 @@ MachineDomainGraph load_graph(std::istream& in) {
   util::require_data(graph.ip_offsets_.empty() ||
                          graph.ip_offsets_.back() == graph.resolved_ips_.size(),
                      "load_graph: IP CSR inconsistent");
+  graph.rebuild_name_index();
   return graph;
 }
 

@@ -6,8 +6,8 @@ namespace seg::graph {
 
 // Defined in pruning.cpp; rebuilds a graph from keep masks.
 MachineDomainGraph prune_impl(const MachineDomainGraph& graph,
-                              const std::vector<bool>& keep_machine,
-                              const std::vector<bool>& keep_domain);
+                              const std::vector<std::uint8_t>& keep_machine,
+                              const std::vector<std::uint8_t>& keep_domain);
 
 std::vector<bool> detect_probers(const MachineDomainGraph& graph,
                                  const ProberFilterConfig& config) {
@@ -34,16 +34,16 @@ MachineDomainGraph remove_probers(const MachineDomainGraph& graph,
                                   const ProberFilterConfig& config,
                                   ProberFilterStats* stats) {
   const auto probers = detect_probers(graph, config);
-  std::vector<bool> keep_machine(graph.machine_count());
+  std::vector<std::uint8_t> keep_machine(graph.machine_count());
   std::size_t removed = 0;
   for (MachineId m = 0; m < graph.machine_count(); ++m) {
-    keep_machine[m] = !probers[m];
+    keep_machine[m] = probers[m] ? 0 : 1;
     removed += probers[m] ? 1 : 0;
   }
   if (stats != nullptr) {
     stats->machines_removed = removed;
   }
-  const std::vector<bool> keep_domain(graph.domain_count(), true);
+  const std::vector<std::uint8_t> keep_domain(graph.domain_count(), 1);
   return prune_impl(graph, keep_machine, keep_domain);
 }
 
