@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <set>
 #include <string>
-#include <unordered_map>
+#include <map>
 
 #include "bench_common.h"
 #include "util/histogram.h"
@@ -26,7 +26,9 @@ int main() {
       const auto blacklist = world.blacklist().as_of(sim::BlacklistKind::kCommercial, day);
       // Machines are "known infected" when they query a blacklisted domain;
       // count how many distinct blacklisted domains each queries.
-      std::unordered_map<std::string, std::set<std::string>> per_machine;
+      // Ordered map: the histogram below iterates it while printing, and
+      // deterministic iteration keeps the rendered figure byte-stable.
+      std::map<std::string, std::set<std::string>> per_machine;
       for (const auto& record : trace.records) {
         if (blacklist.contains(record.qname)) {
           per_machine[record.machine].insert(record.qname);

@@ -71,10 +71,18 @@ std::optional<Day> DomainActivityIndex::first_seen(std::string_view name) const 
 }
 
 void DomainActivityIndex::save(std::ostream& out) const {
+  // Serialize names in sorted order so identical indexes always produce
+  // identical bytes; hash-table order would leak into the file otherwise.
+  std::vector<std::string_view> names;
+  names.reserve(days_.size());
+  for (const auto& [name, days] : days_) {  // seg-lint: allow(R-DET2)
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
   out << "activity " << days_.size() << "\n";
-  for (const auto& [name, days] : days_) {
+  for (const auto name : names) {
     out << name;
-    for (const auto day : days) {
+    for (const auto day : days_.find(name)->second) {
       out << ' ' << day;
     }
     out << '\n';

@@ -51,8 +51,10 @@ bool PassiveDnsDb::prefix_unknown_associated(IpV4 ip, Day from, Day to) const {
 }
 
 std::size_t PassiveDnsDb::distinct_ip_count() const {
-  // An IP may appear in both indexes; count the union.
+  // An IP may appear in both indexes; count the union. Iteration order is
+  // irrelevant to a count.
   std::size_t count = ip_malware_.size();
+  // seg-lint: allow(R-DET2)
   for (const auto& [ip, days] : ip_unknown_) {
     if (!ip_malware_.contains(ip)) {
       ++count;
@@ -89,10 +91,19 @@ namespace {
 
 void save_index(std::ostream& out, const char* tag,
                 const std::unordered_map<std::uint32_t, std::vector<Day>>& index) {
+  // Emit keys in sorted order: iterating the hash table directly would leak
+  // its bucket order into the serialized bytes, so two identical databases
+  // could produce different files.
+  std::vector<std::uint32_t> keys;
+  keys.reserve(index.size());
+  for (const auto& [key, days] : index) {  // seg-lint: allow(R-DET2)
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
   out << tag << ' ' << index.size() << '\n';
-  for (const auto& [key, days] : index) {
+  for (const auto key : keys) {
     out << key;
-    for (const auto day : days) {
+    for (const auto day : index.at(key)) {
       out << ' ' << day;
     }
     out << '\n';

@@ -1,7 +1,6 @@
 #include "features/extractor.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "util/require.h"
 

@@ -9,11 +9,11 @@ MachineDomainGraph prune_impl(const MachineDomainGraph& graph,
                               const std::vector<std::uint8_t>& keep_machine,
                               const std::vector<std::uint8_t>& keep_domain);
 
-std::vector<bool> detect_probers(const MachineDomainGraph& graph,
-                                 const ProberFilterConfig& config) {
+std::vector<std::uint8_t> detect_probers(const MachineDomainGraph& graph,
+                                         const ProberFilterConfig& config) {
   util::require(config.min_blacklisted_ratio > 0.0 && config.min_blacklisted_ratio <= 1.0,
                 "detect_probers: ratio must be in (0, 1]");
-  std::vector<bool> probers(graph.machine_count(), false);
+  std::vector<std::uint8_t> probers(graph.machine_count(), 0);
   for (MachineId m = 0; m < graph.machine_count(); ++m) {
     const auto domains = graph.domains_of(m);
     if (domains.empty()) {
@@ -25,7 +25,9 @@ std::vector<bool> detect_probers(const MachineDomainGraph& graph,
     }
     const double ratio = static_cast<double>(blacklisted) / static_cast<double>(domains.size());
     probers[m] = blacklisted >= config.min_blacklisted_domains &&
-                 ratio >= config.min_blacklisted_ratio;
+                         ratio >= config.min_blacklisted_ratio
+                     ? 1
+                     : 0;
   }
   return probers;
 }
@@ -37,8 +39,8 @@ MachineDomainGraph remove_probers(const MachineDomainGraph& graph,
   std::vector<std::uint8_t> keep_machine(graph.machine_count());
   std::size_t removed = 0;
   for (MachineId m = 0; m < graph.machine_count(); ++m) {
-    keep_machine[m] = probers[m] ? 0 : 1;
-    removed += probers[m] ? 1 : 0;
+    keep_machine[m] = probers[m] != 0 ? 0 : 1;
+    removed += probers[m] != 0 ? 1 : 0;
   }
   if (stats != nullptr) {
     stats->machines_removed = removed;

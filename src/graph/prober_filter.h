@@ -29,9 +29,10 @@ struct ProberFilterConfig {
   double min_blacklisted_ratio = 0.3;
 };
 
-/// Machines flagged as probers under the heuristic (by machine id).
-std::vector<bool> detect_probers(const MachineDomainGraph& graph,
-                                 const ProberFilterConfig& config = {});
+/// Machines flagged as probers under the heuristic (by machine id; 0/1 —
+/// a byte vector, not vector<bool>, so callers can fill it in parallel).
+std::vector<std::uint8_t> detect_probers(const MachineDomainGraph& graph,
+                                         const ProberFilterConfig& config = {});
 
 struct ProberFilterStats {
   std::size_t machines_removed = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <istream>
 #include <numeric>
 #include <ostream>
@@ -88,14 +89,14 @@ void RandomForest::train(const Dataset& dataset) {
   if (config_.compute_oob) {
     std::vector<double> score_sum(n, 0.0);
     std::vector<std::uint32_t> votes(n, 0);
-    std::vector<bool> in_bag(n);
+    std::vector<std::uint8_t> in_bag(n);
     for (std::size_t t = 0; t < config_.num_trees; ++t) {
-      std::fill(in_bag.begin(), in_bag.end(), false);
+      std::fill(in_bag.begin(), in_bag.end(), 0);
       for (const auto i : bootstraps[t]) {
-        in_bag[i] = true;
+        in_bag[i] = 1;
       }
       for (std::size_t i = 0; i < n; ++i) {
-        if (!in_bag[i]) {
+        if (in_bag[i] == 0) {
           score_sum[i] += trees_[t].predict_proba(dataset.row(i));
           ++votes[i];
         }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "util/hash.h"
 #include "util/require.h"
@@ -196,14 +197,16 @@ void World::evolve_families(util::Rng& rng) {
 
   // Stealthy families rotate faster, evade blacklists more often, and
   // avoid recycled bulletproof IP space — the hard tail of the problem.
-  std::vector<bool> stealthy(config_.families);
+  std::vector<std::uint8_t> stealthy(config_.families);
   for (std::size_t f = 0; f < config_.families; ++f) {
-    stealthy[f] = rng.next_bool(config_.stealthy_family_fraction);
+    stealthy[f] = rng.next_bool(config_.stealthy_family_fraction) ? 1 : 0;
   }
 
   const auto mint = [&](FamilyId f, dns::Day day) {
-    const double coverage_mult = stealthy[f] ? config_.stealth_coverage_multiplier : 1.0;
-    const double abused_mult = stealthy[f] ? config_.stealth_abused_ip_multiplier : 1.0;
+    const double coverage_mult =
+        stealthy[f] != 0 ? config_.stealth_coverage_multiplier : 1.0;
+    const double abused_mult =
+        stealthy[f] != 0 ? config_.stealth_abused_ip_multiplier : 1.0;
     MalwareDomainInfo info;
     info.family = f;
     info.first_active = day;
@@ -266,7 +269,7 @@ void World::evolve_families(util::Rng& rng) {
     for (FamilyId f = 0; f < config_.families; ++f) {
       const double relocation = std::min(
           0.9, config_.cc_relocation_prob *
-                   (stealthy[f] ? config_.stealth_relocation_multiplier : 1.0));
+                   (stealthy[f] != 0 ? config_.stealth_relocation_multiplier : 1.0));
       for (const auto domain_index : family_active_[di - 1][f]) {
         if (rng.next_bool(relocation)) {
           malware_[domain_index].retired = day;

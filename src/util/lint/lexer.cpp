@@ -1,0 +1,172 @@
+#include "util/lint/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace seg::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Multi-character operators lexed as a single token, longest first. Keeping
+// `=` distinct from `==`/`+=`/... lets rules treat a bare `=` as assignment.
+constexpr std::string_view kOperators[] = {
+    "<<=", ">>=", "...", "::", "->", "++", "--", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=",
+};
+
+// Parses suppression directives out of one comment's text.
+void scan_comment(std::string_view comment, std::size_t line,
+                  std::vector<Suppression>& out) {
+  const auto find_directive = [&](std::string_view marker, bool whole_file) {
+    std::size_t pos = 0;
+    while ((pos = comment.find(marker, pos)) != std::string_view::npos) {
+      const std::size_t open = pos + marker.size() - 1;  // marker ends with '('
+      const std::size_t close = comment.find(')', open);
+      if (close == std::string_view::npos) {
+        return;
+      }
+      std::string_view rules = comment.substr(open + 1, close - open - 1);
+      while (!rules.empty()) {
+        const std::size_t comma = rules.find(',');
+        std::string_view one = rules.substr(0, comma);
+        while (!one.empty() && one.front() == ' ') one.remove_prefix(1);
+        while (!one.empty() && one.back() == ' ') one.remove_suffix(1);
+        if (!one.empty()) {
+          out.push_back(Suppression{line, std::string(one), whole_file});
+        }
+        if (comma == std::string_view::npos) {
+          break;
+        }
+        rules.remove_prefix(comma + 1);
+      }
+      pos = close;
+    }
+  };
+  // The two markers are distinct strings ("allow(" vs "allow-file("), so
+  // scanning both never double-counts a directive.
+  find_directive("seg-lint: allow-file(", /*whole_file=*/true);
+  find_directive("seg-lint: allow(", /*whole_file=*/false);
+}
+
+}  // namespace
+
+LexResult lex(std::string_view source) {
+  LexResult result;
+  std::size_t i = 0;
+  std::size_t line = 1;
+  const std::size_t n = source.size();
+
+  const auto advance_lines = [&](std::string_view text) {
+    line += static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n'));
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      const std::size_t end = source.find('\n', i);
+      const std::size_t stop = end == std::string_view::npos ? n : end;
+      scan_comment(source.substr(i, stop - i), line, result.suppressions);
+      i = stop;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      const std::size_t end = source.find("*/", i + 2);
+      const std::size_t stop = end == std::string_view::npos ? n : end + 2;
+      const std::string_view body = source.substr(i, stop - i);
+      scan_comment(body, line, result.suppressions);
+      advance_lines(body);
+      i = stop;
+      continue;
+    }
+    // Raw string literal: R"delim(...)delim".
+    if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
+      const std::size_t open = source.find('(', i + 2);
+      if (open != std::string_view::npos) {
+        const std::string closer =
+            ")" + std::string(source.substr(i + 2, open - i - 2)) + "\"";
+        const std::size_t end = source.find(closer, open + 1);
+        const std::size_t stop =
+            end == std::string_view::npos ? n : end + closer.size();
+        advance_lines(source.substr(i, stop - i));
+        i = stop;
+        continue;
+      }
+    }
+    // String / char literal (with escapes).
+    if (c == '"' || c == '\'') {
+      std::size_t j = i + 1;
+      while (j < n && source[j] != c) {
+        if (source[j] == '\\' && j + 1 < n) {
+          ++j;
+        }
+        if (source[j] == '\n') {
+          ++line;
+        }
+        ++j;
+      }
+      i = j < n ? j + 1 : n;
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && is_ident_char(source[j])) {
+        ++j;
+      }
+      result.tokens.push_back(
+          Token{TokKind::kIdentifier, source.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t j = i + 1;
+      while (j < n && (is_ident_char(source[j]) || source[j] == '.' ||
+                       ((source[j] == '+' || source[j] == '-') &&
+                        (source[j - 1] == 'e' || source[j - 1] == 'E')))) {
+        ++j;
+      }
+      result.tokens.push_back(
+          Token{TokKind::kNumber, source.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Operators, longest match first.
+    bool matched = false;
+    for (const auto op : kOperators) {
+      if (source.substr(i, op.size()) == op) {
+        result.tokens.push_back(Token{TokKind::kPunct, source.substr(i, op.size()), line});
+        i += op.size();
+        matched = true;
+        break;
+      }
+    }
+    if (matched) {
+      continue;
+    }
+    result.tokens.push_back(Token{TokKind::kPunct, source.substr(i, 1), line});
+    ++i;
+  }
+  result.line_count = line;
+  return result;
+}
+
+}  // namespace seg::lint

@@ -1,0 +1,51 @@
+// Lightweight C++ lexer for seg-lint.
+//
+// Produces a token stream with line numbers, with comments and string/char
+// literals stripped so rules never fire on text inside literals. Comment
+// text is scanned for seg-lint suppression directives before being dropped:
+//
+//   // seg-lint: allow(R-DET2)            suppress on this line and the next
+//   // seg-lint: allow-file(R-DET2)       suppress for the whole file
+//   // seg-lint: allow(R-DET2, R-RACE2)   several rules at once
+//
+// This is not a full C++ front end — no preprocessing, no name lookup. It
+// is exactly enough structure for the project-contract rules in rules.h to
+// pattern-match deterministically.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seg::lint {
+
+enum class TokKind {
+  kIdentifier,  // identifiers and keywords
+  kNumber,
+  kPunct,  // operators and punctuation; multi-char operators are one token
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string_view text;  // view into the lexed source
+  std::size_t line = 0;   // 1-based
+};
+
+struct Suppression {
+  std::size_t line = 0;    // line the directive appears on
+  std::string rule;        // e.g. "R-DET2"
+  bool whole_file = false;  // allow-file(...) form
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+  std::size_t line_count = 0;
+};
+
+/// Lexes `source`. Token string_views point into `source`, which must
+/// outlive the result.
+LexResult lex(std::string_view source);
+
+}  // namespace seg::lint

@@ -1,0 +1,209 @@
+#include "util/lint/linter.h"
+
+#include <algorithm>
+#include <array>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+
+namespace seg::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool path_contains(std::string_view path, const std::vector<std::string>& needles) {
+  return std::any_of(needles.begin(), needles.end(), [&](const std::string& needle) {
+    return path.find(needle) != std::string_view::npos;
+  });
+}
+
+bool read_file(const fs::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+// Quoted #include targets of `source`, in order of appearance.
+std::vector<std::string> quoted_includes(std::string_view source) {
+  std::vector<std::string> includes;
+  std::size_t pos = 0;
+  while ((pos = source.find("#include", pos)) != std::string_view::npos) {
+    pos += 8;
+    while (pos < source.size() && (source[pos] == ' ' || source[pos] == '\t')) {
+      ++pos;
+    }
+    if (pos < source.size() && source[pos] == '"') {
+      const std::size_t close = source.find('"', pos + 1);
+      if (close != std::string_view::npos) {
+        includes.emplace_back(source.substr(pos + 1, close - pos - 1));
+        pos = close + 1;
+      }
+    }
+  }
+  return includes;
+}
+
+// Resolves a quoted include against the including file's directory and the
+// configured include roots. Returns an empty path when not found.
+fs::path resolve_include(const std::string& target, const fs::path& including_dir,
+                         const LintOptions& options) {
+  std::error_code ec;
+  const fs::path sibling = including_dir / target;
+  if (fs::is_regular_file(sibling, ec)) {
+    return sibling;
+  }
+  for (const auto& root : options.include_roots) {
+    const fs::path candidate = fs::path(root) / target;
+    if (fs::is_regular_file(candidate, ec)) {
+      return candidate;
+    }
+    // Includes are typically rooted at src/ ("graph/graph.h"); also try the
+    // root's parent so passing `src/graph` as a root still resolves them.
+    const fs::path from_parent = fs::path(root).parent_path() / target;
+    if (fs::is_regular_file(from_parent, ec)) {
+      return from_parent;
+    }
+  }
+  return {};
+}
+
+// Collects unordered-container declarations from `source` and, recursively,
+// from every reachable quoted include (project headers only).
+void collect_decls_recursive(const std::string& source, const fs::path& dir,
+                             const LintOptions& options,
+                             std::unordered_set<std::string>& visited,
+                             UnorderedDecls& decls) {
+  const LexResult lexed = lex(source);
+  collect_unordered_decls(lexed.tokens, decls);
+  for (const auto& target : quoted_includes(source)) {
+    const fs::path resolved = resolve_include(target, dir, options);
+    if (resolved.empty()) {
+      continue;
+    }
+    std::error_code ec;
+    const fs::path canonical = fs::weakly_canonical(resolved, ec);
+    const std::string key = (ec ? resolved : canonical).string();
+    if (!visited.insert(key).second) {
+      continue;
+    }
+    std::string text;
+    if (read_file(resolved, text)) {
+      collect_decls_recursive(text, resolved.parent_path(), options, visited, decls);
+    }
+  }
+}
+
+bool is_header_path(std::string_view path) {
+  return path.size() >= 2 && path.substr(path.size() - 2) == ".h";
+}
+
+std::vector<Finding> filter_rules(std::vector<Finding> findings,
+                                  const LintOptions& options) {
+  if (options.only_rules.empty()) {
+    return findings;
+  }
+  std::vector<Finding> kept;
+  for (auto& finding : findings) {
+    if (std::find(options.only_rules.begin(), options.only_rules.end(),
+                  finding.rule) != options.only_rules.end()) {
+      kept.push_back(std::move(finding));
+    }
+  }
+  return kept;
+}
+
+}  // namespace
+
+bool is_emission_file(std::string_view path, const std::vector<Token>& tokens,
+                      const LintOptions& options) {
+  if (path_contains(path, options.emission_paths)) {
+    return true;
+  }
+  static constexpr std::array<std::string_view, 12> kOutputTokens = {
+      "ostream", "ofstream", "fstream",  "ostringstream", "iostream", "printf",
+      "fprintf", "fputs",    "fwrite",   "cout",          "cerr",     "to_csv",
+  };
+  return std::any_of(tokens.begin(), tokens.end(), [](const Token& tok) {
+    return tok.kind == TokKind::kIdentifier &&
+           std::find(kOutputTokens.begin(), kOutputTokens.end(), tok.text) !=
+               kOutputTokens.end();
+  });
+}
+
+std::vector<Finding> lint_text(std::string_view path, std::string_view text,
+                               const LintOptions& options,
+                               std::string_view extra_header_text) {
+  const LexResult lexed = lex(text);
+
+  UnorderedDecls decls;
+  if (!extra_header_text.empty()) {
+    const LexResult header = lex(extra_header_text);
+    collect_unordered_decls(header.tokens, decls);
+  }
+  collect_unordered_decls(lexed.tokens, decls);
+
+  FileInfo info;
+  info.path = std::string(path);
+  info.is_header = is_header_path(path);
+  info.emission = is_emission_file(path, lexed.tokens, options);
+  info.timing_allowed = path_contains(path, options.timing_allowlist);
+
+  return filter_rules(run_rules(info, lexed, decls), options);
+}
+
+std::vector<Finding> lint_file(const std::string& path, const LintOptions& options) {
+  std::string text;
+  if (!read_file(path, text)) {
+    return {Finding{path, 0, "IO", "cannot read file"}};
+  }
+  const LexResult lexed = lex(text);
+
+  UnorderedDecls decls;
+  std::unordered_set<std::string> visited;
+  collect_decls_recursive(text, fs::path(path).parent_path(), options, visited, decls);
+
+  FileInfo info;
+  info.path = path;
+  info.is_header = is_header_path(path);
+  info.emission = is_emission_file(path, lexed.tokens, options);
+  info.timing_allowed = path_contains(path, options.timing_allowlist);
+
+  return filter_rules(run_rules(info, lexed, decls), options);
+}
+
+std::vector<std::string> collect_sources(const std::vector<std::string>& roots) {
+  std::vector<std::string> sources;
+  std::error_code ec;
+  for (const auto& root : roots) {
+    if (fs::is_regular_file(root, ec)) {
+      sources.push_back(root);
+      continue;
+    }
+    for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) {
+        break;
+      }
+      if (!it->is_regular_file(ec)) {
+        continue;
+      }
+      const std::string ext = it->path().extension().string();
+      if (ext == ".cpp" || ext == ".h") {
+        sources.push_back(it->path().string());
+      }
+    }
+  }
+  std::sort(sources.begin(), sources.end());
+  sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
+  return sources;
+}
+
+}  // namespace seg::lint

@@ -1,0 +1,54 @@
+// seg-lint driver: file discovery, classification, and include-aware
+// declaration collection.
+//
+// The driver walks source roots for .cpp/.h files, classifies each one
+// (header? emission path? timing-allowlisted?), lexes it plus the project
+// headers it reaches through quoted #includes (so unordered members
+// declared in a class header are known when the .cpp iterates them), and
+// runs the rules from rules.h.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/lint/rules.h"
+
+namespace seg::lint {
+
+struct LintOptions {
+  /// Path substrings whose files may read clocks / entropy (R-DET1).
+  std::vector<std::string> timing_allowlist = {
+      "util/stopwatch", "util/logging", "util/lint", "bench_common",
+  };
+  /// Extra path substrings forced into R-DET2's emission scope. Files are
+  /// auto-classified as emission when they use stream/printf output or live
+  /// under a feature-extraction / serialization path.
+  std::vector<std::string> emission_paths = {"features/", "_io."};
+  /// Roots the include resolver may search for quoted #includes (usually
+  /// the same directories being linted; `src` matters in practice).
+  std::vector<std::string> include_roots;
+  /// When non-empty, only findings for these rules are reported.
+  std::vector<std::string> only_rules;
+};
+
+/// Lints one in-memory source (used by the unit tests and the CLI's stdin
+/// mode). `extra_header_text` optionally supplies companion-header content
+/// for declaration collection.
+std::vector<Finding> lint_text(std::string_view path, std::string_view text,
+                               const LintOptions& options,
+                               std::string_view extra_header_text = {});
+
+/// Lints one on-disk file, resolving its quoted includes against
+/// `options.include_roots`.
+std::vector<Finding> lint_file(const std::string& path, const LintOptions& options);
+
+/// All .cpp/.h files under `roots` (files are accepted verbatim),
+/// lexicographically sorted so diagnostics order is stable.
+std::vector<std::string> collect_sources(const std::vector<std::string>& roots);
+
+/// Classification used for R-DET2 scoping; exposed for tests.
+bool is_emission_file(std::string_view path, const std::vector<Token>& tokens,
+                      const LintOptions& options);
+
+}  // namespace seg::lint

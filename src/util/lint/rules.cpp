@@ -1,0 +1,546 @@
+#include "util/lint/rules.h"
+
+#include <algorithm>
+#include <array>
+#include <string_view>
+
+namespace seg::lint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool is_id(const Token& tok, std::string_view text) {
+  return tok.kind == TokKind::kIdentifier && tok.text == text;
+}
+
+bool is_punct(const Token& tok, std::string_view text) {
+  return tok.kind == TokKind::kPunct && tok.text == text;
+}
+
+bool contains(const std::vector<std::string>& haystack, std::string_view needle) {
+  return std::find(haystack.begin(), haystack.end(), needle) != haystack.end();
+}
+
+// Skips a balanced template-argument list starting at `open` (which must
+// point at `<`). Returns the index just past the matching `>`, or `open`
+// when the angle bracket never closes in a plausible span (then it was a
+// comparison, not a template). `>>` closes two levels.
+std::size_t skip_template_args(const Tokens& toks, std::size_t open) {
+  constexpr std::size_t kMaxSpan = 160;
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size() && i < open + kMaxSpan; ++i) {
+    const auto& t = toks[i];
+    if (is_punct(t, "<") || is_punct(t, "<<")) {
+      depth += t.text == "<<" ? 2 : 1;
+    } else if (is_punct(t, ">") || is_punct(t, ">>")) {
+      depth -= t.text == ">>" ? 2 : 1;
+      if (depth <= 0) {
+        return i + 1;
+      }
+    } else if (is_punct(t, ";") || is_punct(t, "{")) {
+      return open;  // statement ended: not a template argument list
+    }
+  }
+  return open;
+}
+
+// Returns the index just past the token matching the opener at `open`
+// (one of ( [ {), or toks.size() when unbalanced.
+std::size_t skip_balanced(const Tokens& toks, std::size_t open) {
+  const std::string_view opener = toks[open].text;
+  const std::string_view closer = opener == "(" ? ")" : opener == "[" ? "]" : "}";
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (is_punct(toks[i], opener)) {
+      ++depth;
+    } else if (is_punct(toks[i], closer)) {
+      if (--depth == 0) {
+        return i + 1;
+      }
+    }
+  }
+  return toks.size();
+}
+
+bool is_unordered_container(std::string_view id) {
+  return id == "unordered_map" || id == "unordered_set" ||
+         id == "unordered_multimap" || id == "unordered_multiset";
+}
+
+// --- R-DET1 ---------------------------------------------------------------
+
+// True when the call at `i` is qualified by something other than `std`
+// (member call `obj.rand()` or foreign namespace `foo::rand()`).
+bool foreign_qualified(const Tokens& toks, std::size_t i) {
+  if (i == 0) {
+    return false;
+  }
+  const auto& prev = toks[i - 1];
+  if (is_punct(prev, ".") || is_punct(prev, "->")) {
+    return true;
+  }
+  if (is_punct(prev, "::")) {
+    return !(i >= 2 && is_id(toks[i - 2], "std"));
+  }
+  return false;
+}
+
+void rule_det1(const FileInfo& info, const Tokens& toks, std::vector<Finding>& out) {
+  if (info.timing_allowed) {
+    return;
+  }
+  const auto flag = [&](std::size_t i, std::string message) {
+    out.push_back(Finding{info.path, toks[i].line, "R-DET1", std::move(message)});
+  };
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const auto& t = toks[i];
+    if (t.kind != TokKind::kIdentifier) {
+      continue;
+    }
+    if ((t.text == "rand" || t.text == "srand") && i + 1 < toks.size() &&
+        is_punct(toks[i + 1], "(") && !foreign_qualified(toks, i)) {
+      flag(i, std::string(t.text) + "() draws from ambient global state; use the "
+                                    "seeded seg::util RNG so runs are reproducible");
+    } else if (t.text == "random_device" && !foreign_qualified(toks, i)) {
+      flag(i, "std::random_device is nondeterministic; seed a util::Rng explicitly");
+    } else if (t.text == "time" && i + 2 < toks.size() && is_punct(toks[i + 1], "(") &&
+               (is_id(toks[i + 2], "nullptr") || is_id(toks[i + 2], "NULL") ||
+                toks[i + 2].text == "0") &&
+               !foreign_qualified(toks, i)) {
+      flag(i, "time(nullptr) reads the wall clock in pipeline code; pass the day/"
+              "timestamp in from the caller");
+    } else if (t.text == "system_clock" && i + 2 < toks.size() &&
+               is_punct(toks[i + 1], "::") && is_id(toks[i + 2], "now")) {
+      flag(i, "system_clock::now() in pipeline code makes output depend on run "
+              "time; use util::Stopwatch (steady_clock) for instrumentation");
+    }
+  }
+}
+
+// --- R-DET2 ---------------------------------------------------------------
+
+void rule_det2(const FileInfo& info, const Tokens& toks, const UnorderedDecls& decls,
+               std::vector<Finding>& out) {
+  if (!info.emission) {
+    return;
+  }
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_id(toks[i], "for") || !is_punct(toks[i + 1], "(")) {
+      continue;
+    }
+    const std::size_t close = skip_balanced(toks, i + 1);
+    // Locate the last top-level `:`; tokens after it (up to `)`) are the
+    // range expression. A `;` after it would mean a classic for loop.
+    std::size_t colon = 0;
+    int depth = 0;
+    for (std::size_t j = i + 1; j + 1 < close; ++j) {
+      if (is_punct(toks[j], "(") || is_punct(toks[j], "[") || is_punct(toks[j], "{")) {
+        ++depth;
+      } else if (is_punct(toks[j], ")") || is_punct(toks[j], "]") ||
+                 is_punct(toks[j], "}")) {
+        --depth;
+      } else if (depth == 1 && is_punct(toks[j], ":")) {
+        colon = j;
+      } else if (depth == 1 && is_punct(toks[j], ";")) {
+        colon = 0;  // classic-for init/condition separator resets
+      }
+    }
+    if (colon == 0) {
+      continue;
+    }
+    for (std::size_t j = colon + 1; j + 1 < close; ++j) {
+      if (toks[j].kind != TokKind::kIdentifier ||
+          (!decls.has_name(toks[j].text) && !decls.has_alias(toks[j].text))) {
+        continue;
+      }
+      // `index.at(key)` / `days_.find(k)->second` iterate a value derived
+      // from the container, not the hash table itself — only a bare
+      // reference to the container is the ordering hazard.
+      if (j + 1 < close && (is_punct(toks[j + 1], ".") || is_punct(toks[j + 1], "->") ||
+                            is_punct(toks[j + 1], "(") || is_punct(toks[j + 1], "["))) {
+        continue;
+      }
+      out.push_back(Finding{
+          info.path, toks[j].line, "R-DET2",
+          "range-for over unordered container '" + std::string(toks[j].text) +
+              "' in an emission path: hash-table iteration order leaks into "
+              "output; iterate sorted keys or switch to an ordered container"});
+      break;
+    }
+  }
+}
+
+// --- R-RACE1 --------------------------------------------------------------
+
+void rule_race1(const FileInfo& info, const Tokens& toks, std::vector<Finding>& out) {
+  for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (is_id(toks[i], "vector") && is_punct(toks[i + 1], "<") &&
+        is_id(toks[i + 2], "bool") && is_punct(toks[i + 3], ">")) {
+      out.push_back(Finding{
+          info.path, toks[i].line, "R-RACE1",
+          "std::vector<bool> packs elements into shared words, so writes to "
+          "distinct indices race under parallel_for; use std::vector<std::uint8_t>"});
+    }
+  }
+}
+
+// --- R-RACE2 --------------------------------------------------------------
+
+struct LambdaCtx {
+  bool default_ref = false;
+  std::vector<std::string> ref_captures;
+  std::vector<std::string> params;
+  std::vector<std::string> locals;
+
+  bool is_local(std::string_view id) const {
+    return contains(params, id) || contains(locals, id);
+  }
+  bool captured_by_ref(std::string_view id) const {
+    if (contains(ref_captures, id)) {
+      return true;
+    }
+    return default_ref && !is_local(id);
+  }
+};
+
+// Identifiers that can precede a declared name without being a type.
+bool non_type_keyword(std::string_view id) {
+  static constexpr std::array<std::string_view, 12> kKeywords = {
+      "return", "co_return", "throw",    "delete", "new",      "case",
+      "goto",   "operator",  "else",     "do",     "co_await", "co_yield"};
+  return std::find(kKeywords.begin(), kKeywords.end(), id) != kKeywords.end();
+}
+
+// Collects names declared inside the body [begin, end): initialized
+// declarations (`Type name = ...`), range-for bindings (`auto& v : ...`),
+// structured bindings (`auto [a, b]`), and `Type name(...)` constructor
+// locals following a template close.
+void collect_body_locals(const Tokens& toks, std::size_t begin, std::size_t end,
+                         LambdaCtx& ctx) {
+  for (std::size_t i = begin; i < end; ++i) {
+    if (toks[i].kind != TokKind::kIdentifier || i == begin || i + 1 >= end) {
+      continue;
+    }
+    const auto& prev = toks[i - 1];
+    const auto& next = toks[i + 1];
+    const bool type_like_prev =
+        (prev.kind == TokKind::kIdentifier && !non_type_keyword(prev.text)) ||
+        is_punct(prev, "&") || is_punct(prev, "*") || is_punct(prev, ">");
+    if (type_like_prev && (is_punct(next, "=") || is_punct(next, ":") ||
+                           is_punct(next, ";") ||
+                           (is_punct(prev, ">") && is_punct(next, "(")))) {
+      ctx.locals.emplace_back(toks[i].text);
+    }
+  }
+  // Structured bindings: auto [&]? [ a, b ] ...
+  for (std::size_t i = begin; i + 1 < end; ++i) {
+    if (!is_id(toks[i], "auto")) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (j < end && (is_punct(toks[j], "&") || is_punct(toks[j], "&&"))) {
+      ++j;
+    }
+    if (j >= end || !is_punct(toks[j], "[")) {
+      continue;
+    }
+    for (std::size_t k = j + 1; k < end && !is_punct(toks[k], "]"); ++k) {
+      if (toks[k].kind == TokKind::kIdentifier) {
+        ctx.locals.emplace_back(toks[k].text);
+      }
+    }
+  }
+}
+
+// Walks a member-access chain backwards from `pos` (the token before a `.`
+// or `[`). Returns the index of the base identifier, or npos when the chain
+// starts from a call result or other unanalyzable expression. Sets
+// `partitioned` when any subscript along the chain indexes with a
+// local/param identifier.
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+std::size_t chain_base(const Tokens& toks, std::size_t pos, const LambdaCtx& ctx,
+                       bool* partitioned) {
+  std::size_t i = pos;
+  while (true) {
+    if (is_punct(toks[i], "]")) {
+      // Scan back to the matching `[`, checking the index expression.
+      int depth = 0;
+      std::size_t j = i;
+      while (true) {
+        if (is_punct(toks[j], "]")) {
+          ++depth;
+        } else if (is_punct(toks[j], "[")) {
+          if (--depth == 0) {
+            break;
+          }
+        } else if (depth >= 1 && toks[j].kind == TokKind::kIdentifier &&
+                   ctx.is_local(toks[j].text)) {
+          // A worker-local identifier anywhere in the index expression —
+          // including nested subscripts like out[machine_map[m]] — marks
+          // the write as partitioned by this iteration's slot.
+          *partitioned = true;
+        }
+        if (j == 0) {
+          return kNpos;
+        }
+        --j;
+      }
+      if (j == 0) {
+        return kNpos;
+      }
+      i = j - 1;
+      continue;
+    }
+    if (toks[i].kind == TokKind::kIdentifier) {
+      if (i >= 1 && (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"))) {
+        i -= 2;  // keep walking toward the base
+        continue;
+      }
+      return i;
+    }
+    return kNpos;  // call result, cast, etc. — give up rather than guess
+  }
+}
+
+bool is_assignment_op(const Token& tok) {
+  static constexpr std::array<std::string_view, 11> kOps = {
+      "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="};
+  return tok.kind == TokKind::kPunct &&
+         std::find(kOps.begin(), kOps.end(), tok.text) != kOps.end();
+}
+
+bool is_growth_call(std::string_view id) {
+  return id == "push_back" || id == "emplace_back" || id == "insert" ||
+         id == "emplace" || id == "push_front" || id == "emplace_front";
+}
+
+void check_parallel_body(const FileInfo& info, const Tokens& toks, std::size_t begin,
+                         std::size_t end, const LambdaCtx& ctx,
+                         std::vector<Finding>& out) {
+  for (std::size_t i = begin; i < end; ++i) {
+    // Growth calls: base.push_back(...) and friends.
+    if ((is_punct(toks[i], ".") || is_punct(toks[i], "->")) && i + 2 < end &&
+        toks[i + 1].kind == TokKind::kIdentifier && is_growth_call(toks[i + 1].text) &&
+        is_punct(toks[i + 2], "(") && i > begin) {
+      bool partitioned = false;
+      const std::size_t base = chain_base(toks, i - 1, ctx, &partitioned);
+      if (base != kNpos && !partitioned && ctx.captured_by_ref(toks[base].text)) {
+        out.push_back(Finding{
+            info.path, toks[i + 1].line, "R-RACE2",
+            "'" + std::string(toks[base].text) + "." + std::string(toks[i + 1].text) +
+                "' grows a by-reference capture inside a parallel body; collect "
+                "into per-chunk buffers and merge in chunk order"});
+      }
+    }
+    // Unpartitioned subscript writes: base[expr] = ... with no local index.
+    if (is_punct(toks[i], "]") && i + 1 < end && is_assignment_op(toks[i + 1]) &&
+        i > begin) {
+      bool partitioned = false;
+      const std::size_t base = chain_base(toks, i, ctx, &partitioned);
+      if (base != kNpos && !partitioned && ctx.captured_by_ref(toks[base].text)) {
+        out.push_back(Finding{
+            info.path, toks[i].line, "R-RACE2",
+            "write to '" + std::string(toks[base].text) + "[...]' inside a parallel "
+                "body is not partitioned by the worker's index; concurrent "
+                "iterations may hit the same slot"});
+      }
+    }
+  }
+}
+
+void rule_race2(const FileInfo& info, const Tokens& toks, std::vector<Finding>& out) {
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdentifier ||
+        (toks[i].text != "parallel_for" && toks[i].text != "parallel_chunks") ||
+        !is_punct(toks[i + 1], "(")) {
+      continue;
+    }
+    const std::size_t call_end = skip_balanced(toks, i + 1);
+    // Find the lambda's capture list inside the argument list.
+    std::size_t intro = kNpos;
+    for (std::size_t j = i + 2; j + 1 < call_end; ++j) {
+      if (is_punct(toks[j], "[") &&
+          (is_punct(toks[j - 1], ",") || is_punct(toks[j - 1], "("))) {
+        intro = j;
+        break;
+      }
+    }
+    if (intro == kNpos) {
+      continue;
+    }
+    LambdaCtx ctx;
+    const std::size_t intro_end = skip_balanced(toks, intro);
+    for (std::size_t j = intro + 1; j + 1 < intro_end; ++j) {
+      if (is_punct(toks[j], "&")) {
+        if (j + 1 < intro_end - 1 && toks[j + 1].kind == TokKind::kIdentifier) {
+          ctx.ref_captures.emplace_back(toks[j + 1].text);
+          ++j;
+        } else {
+          ctx.default_ref = true;
+        }
+      }
+    }
+    if (!ctx.default_ref && ctx.ref_captures.empty()) {
+      continue;  // by-value lambda: nothing shared to race on
+    }
+    std::size_t cursor = intro_end;
+    if (cursor < call_end && is_punct(toks[cursor], "(")) {
+      const std::size_t params_end = skip_balanced(toks, cursor);
+      std::string_view last_id;
+      for (std::size_t j = cursor + 1; j + 1 < params_end; ++j) {
+        if (toks[j].kind == TokKind::kIdentifier) {
+          last_id = toks[j].text;
+        } else if (is_punct(toks[j], ",") && !last_id.empty()) {
+          ctx.params.emplace_back(last_id);
+          last_id = {};
+        }
+      }
+      if (!last_id.empty()) {
+        ctx.params.emplace_back(last_id);
+      }
+      cursor = params_end;
+    }
+    while (cursor < call_end && !is_punct(toks[cursor], "{")) {
+      ++cursor;  // skip mutable / noexcept / -> trailing return
+    }
+    if (cursor >= call_end) {
+      continue;
+    }
+    const std::size_t body_end = skip_balanced(toks, cursor);
+    collect_body_locals(toks, cursor + 1, body_end - 1, ctx);
+    check_parallel_body(info, toks, cursor + 1, body_end - 1, ctx, out);
+    i = body_end - 1;
+  }
+}
+
+// --- R-HDR1 / R-HDR2 ------------------------------------------------------
+
+void rule_headers(const FileInfo& info, const Tokens& toks, std::vector<Finding>& out) {
+  if (!info.is_header) {
+    return;
+  }
+  bool has_pragma_once = false;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (is_punct(toks[i], "#") && is_id(toks[i + 1], "pragma") &&
+        is_id(toks[i + 2], "once")) {
+      has_pragma_once = true;
+      break;
+    }
+  }
+  if (!has_pragma_once) {
+    out.push_back(Finding{info.path, 1, "R-HDR1",
+                          "header is missing #pragma once; double inclusion breaks "
+                          "the one-definition rule"});
+  }
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (is_id(toks[i], "using") && is_id(toks[i + 1], "namespace")) {
+      out.push_back(Finding{info.path, toks[i].line, "R-HDR2",
+                            "`using namespace` at header scope pollutes every "
+                            "includer; qualify names or alias inside functions"});
+    }
+  }
+}
+
+}  // namespace
+
+// --- Declaration collection -----------------------------------------------
+
+bool UnorderedDecls::has_name(std::string_view id) const {
+  return contains(names, id);
+}
+
+bool UnorderedDecls::has_alias(std::string_view id) const {
+  return contains(aliases, id);
+}
+
+void collect_unordered_decls(const std::vector<Token>& tokens, UnorderedDecls& decls) {
+  const auto record_declared_name = [&](std::size_t after_type) {
+    std::size_t j = after_type;
+    while (j < tokens.size() &&
+           (is_punct(tokens[j], "&") || is_punct(tokens[j], "*") ||
+            is_punct(tokens[j], "&&") || is_id(tokens[j], "const"))) {
+      ++j;
+    }
+    if (j < tokens.size() && tokens[j].kind == TokKind::kIdentifier &&
+        !contains(decls.names, tokens[j].text)) {
+      decls.names.emplace_back(tokens[j].text);
+    }
+  };
+
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const auto& t = tokens[i];
+    if (t.kind != TokKind::kIdentifier) {
+      continue;
+    }
+    // `using Alias = ... unordered_xxx< ... > ;`
+    if (t.text == "using" && i + 2 < tokens.size() &&
+        tokens[i + 1].kind == TokKind::kIdentifier && is_punct(tokens[i + 2], "=")) {
+      for (std::size_t j = i + 3; j < tokens.size() && !is_punct(tokens[j], ";"); ++j) {
+        if (tokens[j].kind == TokKind::kIdentifier &&
+            is_unordered_container(tokens[j].text)) {
+          if (!contains(decls.aliases, tokens[i + 1].text)) {
+            decls.aliases.emplace_back(tokens[i + 1].text);
+          }
+          break;
+        }
+      }
+      continue;
+    }
+    // Direct declaration: `unordered_map< ... > [cv/ref] name`.
+    if (is_unordered_container(t.text) && i + 1 < tokens.size() &&
+        is_punct(tokens[i + 1], "<")) {
+      const std::size_t past = skip_template_args(tokens, i + 1);
+      if (past != i + 1) {
+        record_declared_name(past);
+      }
+      continue;
+    }
+    // Alias-typed declaration: `Alias name` or `Alias< ... > name`.
+    if (contains(decls.aliases, t.text) && i + 1 < tokens.size()) {
+      if (is_punct(tokens[i + 1], "<")) {
+        const std::size_t past = skip_template_args(tokens, i + 1);
+        if (past != i + 1) {
+          record_declared_name(past);
+        }
+      } else {
+        record_declared_name(i + 1);
+      }
+    }
+  }
+}
+
+std::vector<Finding> run_rules(const FileInfo& info, const LexResult& lex,
+                               const UnorderedDecls& decls) {
+  std::vector<Finding> findings;
+  rule_det1(info, lex.tokens, findings);
+  rule_det2(info, lex.tokens, decls, findings);
+  rule_race1(info, lex.tokens, findings);
+  rule_race2(info, lex.tokens, findings);
+  rule_headers(info, lex.tokens, findings);
+
+  std::vector<Finding> kept;
+  kept.reserve(findings.size());
+  for (auto& finding : findings) {
+    bool suppressed = false;
+    for (const auto& s : lex.suppressions) {
+      if (s.rule != finding.rule) {
+        continue;
+      }
+      if (s.whole_file || finding.line == s.line || finding.line == s.line + 1) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) {
+      kept.push_back(std::move(finding));
+    }
+  }
+  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+    return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+  });
+  return kept;
+}
+
+}  // namespace seg::lint

@@ -1,0 +1,73 @@
+// seg-lint rule definitions.
+//
+// Each rule enforces one project contract from the parallel-determinism
+// work (see docs/static-analysis.md for the full rationale):
+//
+//   R-DET1  no wall-clock / ambient-randomness calls (rand, srand,
+//           std::random_device, time(nullptr), system_clock::now) in
+//           pipeline code outside the timing/instrumentation allowlist.
+//   R-DET2  no range-for iteration over std::unordered_map /
+//           std::unordered_set in files that serialize, extract features,
+//           or emit scores — hash-table ordering leaks into output.
+//   R-RACE1 no std::vector<bool> anywhere; its packed-bit proxy reference
+//           makes element writes from different threads race.
+//   R-RACE2 lambdas passed to parallel_for / parallel_chunks that capture
+//           by reference must not grow a captured container or write
+//           through an unpartitioned subscript.
+//   R-HDR1  every header starts its include story with #pragma once.
+//   R-HDR2  no `using namespace` at header scope.
+//
+// Rules operate on the token stream from lexer.h plus a per-file
+// classification computed by the driver in linter.h. All matching is
+// intentionally heuristic; `// seg-lint: allow(RULE)` suppresses a finding
+// on the directive's line or the line below it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/lint/lexer.h"
+
+namespace seg::lint {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Per-file facts the rules condition on, derived by the driver.
+struct FileInfo {
+  std::string path;
+  bool is_header = false;
+  /// File serializes, extracts features, or emits scores (R-DET2 scope).
+  bool emission = false;
+  /// File is on the timing/instrumentation allowlist (R-DET1 exempt).
+  bool timing_allowed = false;
+};
+
+/// Identifiers known (from this file and its reachable project headers) to
+/// name unordered containers: variables/members/parameters plus type
+/// aliases that expand to unordered_map/unordered_set.
+struct UnorderedDecls {
+  std::vector<std::string> names;
+  std::vector<std::string> aliases;
+
+  bool has_name(std::string_view id) const;
+  bool has_alias(std::string_view id) const;
+};
+
+/// Scans a token stream for unordered-container declarations, accumulating
+/// into `decls`. Called for the linted file and for each reachable project
+/// header so member types declared away from their use are still known.
+void collect_unordered_decls(const std::vector<Token>& tokens, UnorderedDecls& decls);
+
+/// Runs every rule over one file's token stream. `decls` should already
+/// contain the header-derived declarations. Suppressed findings are
+/// dropped before returning.
+std::vector<Finding> run_rules(const FileInfo& info, const LexResult& lex,
+                               const UnorderedDecls& decls);
+
+}  // namespace seg::lint

@@ -1,0 +1,315 @@
+// seg-lint rule engine tests: for every rule, an inline fixture that must
+// match, one that must not, and one where a suppression comment silences
+// the finding. Fixtures are raw strings, which also exercises the lexer's
+// guarantee that rules never fire on text inside literals.
+#include "util/lint/linter.h"
+
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace seg::lint {
+namespace {
+
+std::vector<Finding> run(std::string_view path, std::string_view text,
+                         std::string_view header = {}) {
+  LintOptions options;
+  return lint_text(path, text, options, header);
+}
+
+bool has_rule(const std::vector<Finding>& findings, std::string_view rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+// --- R-DET1: ambient clock / randomness ------------------------------------
+
+TEST(RDet1, FlagsRandAndWallClock) {
+  const auto findings = run("src/core/score.cpp", R"cpp(
+    int jitter() { return rand() % 10; }
+    long stamp() { return time(nullptr); }
+    void seed() { std::random_device rd; }
+    auto t = std::chrono::system_clock::now();
+  )cpp");
+  EXPECT_EQ(findings.size(), 4u);
+  EXPECT_TRUE(has_rule(findings, "R-DET1"));
+}
+
+TEST(RDet1, IgnoresSteadyClockAndForeignRand) {
+  const auto findings = run("src/core/score.cpp", R"cpp(
+    auto t = std::chrono::steady_clock::now();
+    double draw(util::Rng& rng) { return rng.rand(); }
+    long t2 = clock.time(nullptr);
+  )cpp");
+  EXPECT_FALSE(has_rule(findings, "R-DET1"));
+}
+
+TEST(RDet1, AllowlistedTimingFileIsExempt) {
+  const auto findings = run("src/util/stopwatch.h", R"cpp(
+    #pragma once
+    auto wall() { return std::chrono::system_clock::now(); }
+  )cpp");
+  EXPECT_FALSE(has_rule(findings, "R-DET1"));
+}
+
+TEST(RDet1, SuppressionComment) {
+  const auto findings = run("src/core/score.cpp", R"cpp(
+    // seg-lint: allow(R-DET1)
+    long stamp() { return time(nullptr); }
+  )cpp");
+  EXPECT_FALSE(has_rule(findings, "R-DET1"));
+}
+
+TEST(RDet1, LiteralsNeverMatch) {
+  const auto findings = run("src/core/score.cpp", R"cpp(
+    const char* doc = "never call rand() or time(nullptr) here";
+  )cpp");
+  EXPECT_TRUE(findings.empty());
+}
+
+// --- R-DET2: unordered iteration in emission paths --------------------------
+
+TEST(RDet2, FlagsUnorderedRangeForWhenSerializing) {
+  const auto findings = run("src/dns/store.cpp", R"cpp(
+    void save(std::ostream& out, const std::unordered_map<int, int>& index) {
+      for (const auto& [key, value] : index) { out << key << value; }
+    }
+  )cpp");
+  ASSERT_TRUE(has_rule(findings, "R-DET2"));
+}
+
+TEST(RDet2, FlagsMemberDeclaredInCompanionHeader) {
+  const std::string header = R"cpp(
+    #pragma once
+    class Store {
+      using DayIndex = std::unordered_map<unsigned, int>;
+      DayIndex ip_index_;
+    };
+  )cpp";
+  const auto findings = run("src/dns/store.cpp", R"cpp(
+    void Store::save(std::ostream& out) {
+      for (const auto& [ip, days] : ip_index_) { out << ip; }
+    }
+  )cpp",
+                            header);
+  EXPECT_TRUE(has_rule(findings, "R-DET2"));
+}
+
+TEST(RDet2, OrderedContainersAndNonEmissionFilesPass) {
+  // std::map iteration is fine even when serializing.
+  const auto ordered = run("src/dns/store.cpp", R"cpp(
+    void save(std::ostream& out, const std::map<int, int>& index) {
+      for (const auto& [key, value] : index) { out << key; }
+    }
+  )cpp");
+  EXPECT_FALSE(has_rule(ordered, "R-DET2"));
+  // Unordered iteration is fine in a file with no output surface.
+  const auto internal = run("src/graph/degree.cpp", R"cpp(
+    int total(const std::unordered_map<int, int>& degree) {
+      int sum = 0;
+      for (const auto& [node, count] : degree) { sum += count; }
+      return sum;
+    }
+  )cpp");
+  EXPECT_FALSE(has_rule(internal, "R-DET2"));
+}
+
+TEST(RDet2, SuppressionComment) {
+  const auto findings = run("src/dns/store.cpp", R"cpp(
+    std::size_t count(const std::unordered_map<int, int>& index, std::ostream& log) {
+      std::size_t n = 0;
+      // Order-insensitive count.  seg-lint: allow(R-DET2)
+      for (const auto& [key, value] : index) { ++n; }
+      return n;
+    }
+  )cpp");
+  EXPECT_FALSE(has_rule(findings, "R-DET2"));
+}
+
+// --- R-RACE1: vector<bool> ---------------------------------------------------
+
+TEST(RRace1, FlagsVectorBoolEverywhere) {
+  const auto findings = run("src/graph/mask.h", R"cpp(
+    #pragma once
+    std::vector<bool> keep_mask(std::size_t n);
+  )cpp");
+  EXPECT_TRUE(has_rule(findings, "R-RACE1"));
+}
+
+TEST(RRace1, ByteVectorPasses) {
+  const auto findings = run("src/graph/mask.h", R"cpp(
+    #pragma once
+    std::vector<std::uint8_t> keep_mask(std::size_t n);
+    std::vector<Bool> wrapped;
+  )cpp");
+  EXPECT_FALSE(has_rule(findings, "R-RACE1"));
+}
+
+TEST(RRace1, SuppressionComment) {
+  const auto findings = run("src/graph/mask.h", R"cpp(
+    #pragma once
+    // Serial-only API, packed on purpose.  seg-lint: allow(R-RACE1)
+    std::vector<bool> legacy_mask(std::size_t n);
+  )cpp");
+  EXPECT_FALSE(has_rule(findings, "R-RACE1"));
+}
+
+// --- R-RACE2: unpartitioned writes in parallel bodies ------------------------
+
+TEST(RRace2, FlagsGrowthOfByRefCapture) {
+  const auto findings = run("src/graph/build.cpp", R"cpp(
+    void collect(std::vector<int>& out) {
+      util::parallel_for(100, [&](std::size_t i) {
+        out.push_back(static_cast<int>(i));
+      });
+    }
+  )cpp");
+  ASSERT_TRUE(has_rule(findings, "R-RACE2"));
+}
+
+TEST(RRace2, FlagsUnpartitionedSubscriptWrite) {
+  // The index is a captured value with no worker-local component: every
+  // iteration hits the same slot.
+  const auto findings = run("src/graph/build.cpp", R"cpp(
+    void tally(std::vector<long>& totals, std::size_t slot) {
+      util::parallel_for(100, [&](std::size_t i) {
+        totals[slot] += static_cast<long>(i);
+      });
+    }
+  )cpp");
+  EXPECT_TRUE(has_rule(findings, "R-RACE2"));
+}
+
+TEST(RRace2, IndirectWorkerLocalIndexIsTrusted) {
+  // out[remap[m]] is the project's injective-remap idiom (each worker owns
+  // the slot its remapped id points at); the heuristic trusts any index
+  // expression containing a worker-local identifier.
+  const auto findings = run("src/graph/build.cpp", R"cpp(
+    void scatter(std::vector<int>& out, const std::vector<int>& remap) {
+      util::parallel_for(remap.size(), [&](std::size_t m) {
+        out[remap[m]] = static_cast<int>(m);
+      });
+    }
+  )cpp");
+  EXPECT_FALSE(has_rule(findings, "R-RACE2"));
+}
+
+TEST(RRace2, PartitionedWritesAndLocalsPass) {
+  const auto findings = run("src/graph/build.cpp", R"cpp(
+    void fill(std::vector<int>& out, std::vector<Acc>& accs) {
+      util::parallel_for(out.size(), [&](std::size_t i) {
+        out[i] = compute(i);
+      });
+      util::parallel_chunks(out.size(), 0, [&](std::size_t chunk, std::size_t begin,
+                                               std::size_t end) {
+        auto& acc = accs[chunk];
+        std::vector<int> local;
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto key = static_cast<int>(i);
+          local.push_back(key);
+          out[key] = key;
+        }
+        acc.merge(local);
+      });
+    }
+  )cpp");
+  EXPECT_FALSE(has_rule(findings, "R-RACE2"));
+}
+
+TEST(RRace2, ByValueLambdaPasses) {
+  const auto findings = run("src/graph/build.cpp", R"cpp(
+    void observe(std::vector<int> snapshot) {
+      util::parallel_for(10, [snapshot](std::size_t i) {
+        snapshot.push_back(static_cast<int>(i));
+      });
+    }
+  )cpp");
+  EXPECT_FALSE(has_rule(findings, "R-RACE2"));
+}
+
+TEST(RRace2, SuppressionComment) {
+  const auto findings = run("src/graph/build.cpp", R"cpp(
+    void collect(std::vector<int>& out) {
+      util::parallel_for(100, [&](std::size_t i) {
+        // Guarded by a mutex in the caller.  seg-lint: allow(R-RACE2)
+        out.push_back(static_cast<int>(i));
+      });
+    }
+  )cpp");
+  EXPECT_FALSE(has_rule(findings, "R-RACE2"));
+}
+
+// --- R-HDR1 / R-HDR2: header hygiene ----------------------------------------
+
+TEST(RHdr1, FlagsMissingPragmaOnce) {
+  const auto findings = run("src/util/thing.h", R"cpp(
+    struct Thing {};
+  )cpp");
+  EXPECT_TRUE(has_rule(findings, "R-HDR1"));
+}
+
+TEST(RHdr1, PragmaAfterCommentBlockPasses) {
+  const auto findings = run("src/util/thing.h", R"cpp(
+    // Banner comment first, like every header in this repo.
+    #pragma once
+    struct Thing {};
+  )cpp");
+  EXPECT_FALSE(has_rule(findings, "R-HDR1"));
+}
+
+TEST(RHdr1, CppFilesAreNotChecked) {
+  const auto findings = run("src/util/thing.cpp", "struct Thing {};\n");
+  EXPECT_FALSE(has_rule(findings, "R-HDR1"));
+}
+
+TEST(RHdr2, FlagsUsingNamespaceInHeaderOnly) {
+  const auto header = run("src/util/thing.h", R"cpp(
+    #pragma once
+    using namespace std;
+  )cpp");
+  EXPECT_TRUE(has_rule(header, "R-HDR2"));
+  const auto source = run("src/util/thing.cpp", "using namespace std;\n");
+  EXPECT_FALSE(has_rule(source, "R-HDR2"));
+}
+
+TEST(RHdr2, SuppressionComment) {
+  const auto findings = run("src/util/thing.h", R"cpp(
+    #pragma once
+    // seg-lint: allow(R-HDR2)
+    using namespace std::literals;
+  )cpp");
+  EXPECT_FALSE(has_rule(findings, "R-HDR2"));
+}
+
+// --- Engine plumbing ---------------------------------------------------------
+
+TEST(Engine, AllowFileSuppressesEveryInstance) {
+  const auto findings = run("src/util/thing.h", R"cpp(
+    // seg-lint: allow-file(R-RACE1)
+    #pragma once
+    std::vector<bool> a;
+    std::vector<bool> b;
+  )cpp");
+  EXPECT_FALSE(has_rule(findings, "R-RACE1"));
+}
+
+TEST(Engine, OnlyRulesFilter) {
+  LintOptions options;
+  options.only_rules = {"R-HDR1"};
+  const auto findings = lint_text("src/util/thing.h",
+                                  "std::vector<bool> a;\n", options);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "R-HDR1");
+}
+
+TEST(Engine, FindingsCarryFileAndLine) {
+  const auto findings = run("src/util/thing.h", "#pragma once\nstd::vector<bool> a;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/util/thing.h");
+  EXPECT_EQ(findings[0].line, 2u);
+  EXPECT_EQ(findings[0].rule, "R-RACE1");
+}
+
+}  // namespace
+}  // namespace seg::lint

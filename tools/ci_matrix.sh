@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# CI sanitizer matrix: configure + build + ctest under {plain, thread,
+# address, undefined} in separate build-<config>/ trees, with per-config
+# logs. The thread leg is what validates the parallel pipeline's
+# race-freedom contract; seg-lint runs inside every leg as a tier-1 test.
+#
+# Usage:
+#   tools/ci_matrix.sh [config ...]        # default: plain thread address undefined
+#
+# Environment:
+#   SEG_CI_JOBS     parallel build/test jobs (default: nproc)
+#   SEG_CI_LOG_DIR  where per-config logs land (default: build-logs/)
+#
+# Exit status is non-zero if any requested config fails; the summary at the
+# end lists each config's result either way.
+set -u
+
+cd "$(dirname "$0")/.."
+
+CONFIGS=("$@")
+if [ ${#CONFIGS[@]} -eq 0 ]; then
+  CONFIGS=(plain thread address undefined)
+fi
+
+JOBS="${SEG_CI_JOBS:-$(nproc 2>/dev/null || echo 2)}"
+LOG_DIR="${SEG_CI_LOG_DIR:-build-logs}"
+mkdir -p "${LOG_DIR}"
+
+declare -A RESULTS
+FAILED=0
+
+run_config() {
+  local config="$1"
+  local build_dir log sanitize
+  case "${config}" in
+    plain)     build_dir="build-plain";     sanitize="" ;;
+    thread)    build_dir="build-tsan";      sanitize="thread" ;;
+    address)   build_dir="build-asan";      sanitize="address" ;;
+    undefined) build_dir="build-ubsan";     sanitize="undefined" ;;
+    *)
+      echo "ci_matrix: unknown config '${config}' (plain|thread|address|undefined)" >&2
+      return 2
+      ;;
+  esac
+  log="${LOG_DIR}/${config}.log"
+  : > "${log}"
+
+  echo "=== [${config}] configure (${build_dir}, SEG_SANITIZE='${sanitize}') ==="
+  if ! cmake -B "${build_dir}" -S . -DSEG_SANITIZE="${sanitize}" >> "${log}" 2>&1; then
+    echo "    configure FAILED (see ${log})"
+    return 1
+  fi
+  echo "=== [${config}] build ==="
+  if ! cmake --build "${build_dir}" -j "${JOBS}" >> "${log}" 2>&1; then
+    echo "    build FAILED (see ${log})"
+    return 1
+  fi
+  echo "=== [${config}] ctest ==="
+  if ! ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}" >> "${log}" 2>&1; then
+    echo "    tests FAILED (see ${log})"
+    return 1
+  fi
+  return 0
+}
+
+for config in "${CONFIGS[@]}"; do
+  if run_config "${config}"; then
+    RESULTS[${config}]="ok"
+  else
+    RESULTS[${config}]="FAILED"
+    FAILED=1
+  fi
+done
+
+echo
+echo "=== ci_matrix summary ==="
+for config in "${CONFIGS[@]}"; do
+  printf '  %-10s %s  (log: %s/%s.log)\n' "${config}" "${RESULTS[${config}]}" \
+    "${LOG_DIR}" "${config}"
+done
+exit "${FAILED}"

@@ -1,0 +1,84 @@
+// seg-lint: project-specific static checker for the Segugio determinism
+// and race-freedom contracts. See docs/static-analysis.md.
+//
+// Usage:
+//   seg_lint [--error-exit] [--rule R-XXX]... [--allow-timing SUBSTR]... PATH...
+//
+// PATH arguments are files or directories (directories are walked for
+// .cpp/.h). Diagnostics print as `file:line: [RULE] message`. With
+// --error-exit the process exits 1 when any finding is reported, which is
+// how the ctest gate and the `lint` build target consume it.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/lint/linter.h"
+
+namespace {
+
+void print_usage() {
+  std::fprintf(stderr,
+               "usage: seg_lint [--error-exit] [--rule R-XXX]... "
+               "[--allow-timing SUBSTR]... PATH...\n"
+               "rules: R-DET1 R-DET2 R-RACE1 R-RACE2 R-HDR1 R-HDR2\n"
+               "suppress one site: // seg-lint: allow(R-XXX)   (same or next line)\n"
+               "suppress a file:   // seg-lint: allow-file(R-XXX)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  seg::lint::LintOptions options;
+  std::vector<std::string> roots;
+  bool error_exit = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--error-exit") {
+      error_exit = true;
+    } else if (arg == "--rule" && i + 1 < argc) {
+      options.only_rules.emplace_back(argv[++i]);
+    } else if (arg == "--allow-timing" && i + 1 < argc) {
+      options.timing_allowlist.emplace_back(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "seg_lint: unknown option '%s'\n", arg.c_str());
+      print_usage();
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    print_usage();
+    return 2;
+  }
+  // Quoted includes in this project are rooted at src/; let every linted
+  // root double as an include root so `seg_lint src tools bench` resolves
+  // them no matter which subset is passed.
+  options.include_roots = roots;
+
+  const auto sources = seg::lint::collect_sources(roots);
+  if (sources.empty()) {
+    std::fprintf(stderr, "seg_lint: no .cpp/.h files under the given paths\n");
+    return 2;
+  }
+
+  std::size_t total = 0;
+  for (const auto& source : sources) {
+    const auto findings = seg::lint::lint_file(source, options);
+    for (const auto& finding : findings) {
+      std::printf("%s:%zu: [%s] %s\n", finding.file.c_str(), finding.line,
+                  finding.rule.c_str(), finding.message.c_str());
+    }
+    total += findings.size();
+  }
+  if (total != 0) {
+    std::printf("seg_lint: %zu finding%s in %zu files scanned\n", total,
+                total == 1 ? "" : "s", sources.size());
+  }
+  return error_exit && total != 0 ? 1 : 0;
+}
