@@ -47,9 +47,10 @@ int main() {
 
     // Standard hidden-label evaluation on the test day.
     auto test_graph = core::Segugio::prepare_graph(
-        test_trace, world.psl(),
-        world.blacklist().as_of(sim::BlacklistKind::kCommercial, test_day),
-        world.whitelist().all(), config.pruning);
+                          test_trace, world.psl(),
+                          world.blacklist().as_of(sim::BlacklistKind::kCommercial, test_day),
+                          world.whitelist().all(), config.prepare_options())
+                          .graph;
     const features::FeatureExtractor probe(test_graph, world.activity(), world.pdns(),
                                            config.features);
     std::vector<int> labels;

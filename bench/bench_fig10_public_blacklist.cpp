@@ -41,9 +41,12 @@ int main() {
     // Build the test graph labeled with the commercial view (day 20): the
     // public-only domains stay *unknown* and are scored as such.
     const auto config = bench::bench_config();
-    const auto test_graph = core::Segugio::prepare_graph(
-        *bundle->inputs.test_trace, world.psl(), bundle->inputs.test_blacklist,
-        bundle->inputs.whitelist, config.pruning);
+    const auto test_graph = core::Segugio::prepare_graph(*bundle->inputs.test_trace,
+                                                         world.psl(),
+                                                         bundle->inputs.test_blacklist,
+                                                         bundle->inputs.whitelist,
+                                                         config.prepare_options())
+                                .graph;
 
     graph::NameSet public_only;
     std::size_t overlap = 0;
@@ -58,9 +61,12 @@ int main() {
                 "public-only: %zu (paper: 260 / 207 / 53)\n",
                 public_list.size(), overlap, public_only.size());
 
-    const auto train_graph = core::Segugio::prepare_graph(
-        *bundle->inputs.train_trace, world.psl(), bundle->inputs.train_blacklist,
-        bundle->inputs.whitelist, config.pruning);
+    const auto train_graph = core::Segugio::prepare_graph(*bundle->inputs.train_trace,
+                                                          world.psl(),
+                                                          bundle->inputs.train_blacklist,
+                                                          bundle->inputs.whitelist,
+                                                          config.prepare_options())
+                                 .graph;
     core::Segugio segugio(config);
     segugio.train(train_graph, world.activity(), world.pdns());
     const auto report = segugio.classify(test_graph, world.activity(), world.pdns());

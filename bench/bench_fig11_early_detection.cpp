@@ -14,6 +14,7 @@
 
 #include "bench_common.h"
 #include "core/calibration.h"
+#include "core/pipeline.h"
 #include "util/histogram.h"
 
 int main() {
@@ -27,21 +28,24 @@ int main() {
 
   std::map<std::string, dns::Day> flagged;  // first detection day
   for (std::size_t isp = 0; isp < world.isp_count(); ++isp) {
+    // One streaming session per ISP: the pipeline carries the name
+    // dictionary and sharded history stores across the four days.
+    core::Pipeline pipeline(world.psl(), config);
     for (dns::Day day = 10; day <= 13; ++day) {
       const auto trace = world.generate_day(isp, day);
       const auto blacklist = world.blacklist().as_of(sim::BlacklistKind::kCommercial, day);
-      const auto graph = core::Segugio::prepare_graph(trace, world.psl(), blacklist,
-                                                      world.whitelist().all(), config.pruning);
-      core::Segugio segugio(config);
-      segugio.train(graph, world.activity(), world.pdns());
+      pipeline.absorb_history(world.activity(), world.pdns());
+      const auto prepared = pipeline.ingest_day(trace, blacklist, world.whitelist().all());
+      const auto& graph = prepared.graph;
+      pipeline.train(prepared);
 
       // Calibrate the threshold on the training day's known domains.
       const double threshold =
-          core::calibrate_threshold(segugio, graph, world.activity(), world.pdns(),
-                                    kFprBudget)
+          core::calibrate_threshold(pipeline.detector(), graph, pipeline.activity(),
+                                    pipeline.pdns(), kFprBudget)
               .threshold;
 
-      const auto report = segugio.classify(graph, world.activity(), world.pdns());
+      const auto report = pipeline.classify(prepared);
       std::size_t new_flags = 0;
       for (const auto& scored : report.scores) {
         if (scored.score >= threshold && !flagged.contains(scored.name)) {

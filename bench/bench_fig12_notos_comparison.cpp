@@ -55,8 +55,10 @@ int main() {
 
   // --- Training.
   const auto train_trace = world.generate_day(1, kTrainDay);
-  const auto train_graph = core::Segugio::prepare_graph(
-      train_trace, world.psl(), blacklist_train, top_whitelist, config.pruning);
+  const auto train_graph = core::Segugio::prepare_graph(train_trace, world.psl(),
+                                                        blacklist_train, top_whitelist,
+                                                        config.prepare_options())
+                               .graph;
   core::Segugio segugio(config);
   segugio.train(train_graph, world.activity(), world.pdns());
 
@@ -69,7 +71,9 @@ int main() {
   // blacklisted later stay unknown, and the full whitelist for benign.
   const auto test_trace = world.generate_day(1, kTestDay);
   auto test_graph = core::Segugio::prepare_graph(test_trace, world.psl(), blacklist_train,
-                                                 world.whitelist().all(), config.pruning);
+                                                 world.whitelist().all(),
+                                                 config.prepare_options())
+                        .graph;
 
   // Ground truth positives: commercially listed in (t_train, t_test].
   const auto blacklist_test = world.blacklist().as_of(sim::BlacklistKind::kCommercial, kTestDay);

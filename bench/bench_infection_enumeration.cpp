@@ -28,17 +28,21 @@ int main() {
     const dns::Day test_day = 15;
     const auto train_trace = world.generate_day(isp, train_day);
     const auto test_trace = world.generate_day(isp, test_day);
-    const auto train_graph = core::Segugio::prepare_graph(
-        train_trace, world.psl(),
-        world.blacklist().as_of(sim::BlacklistKind::kCommercial, train_day),
-        world.whitelist().all(), config.pruning);
+    const auto train_graph =
+        core::Segugio::prepare_graph(
+            train_trace, world.psl(),
+            world.blacklist().as_of(sim::BlacklistKind::kCommercial, train_day),
+            world.whitelist().all(), config.prepare_options())
+            .graph;
     core::Segugio segugio(config);
     segugio.train(train_graph, world.activity(), world.pdns());
 
-    const auto test_graph = core::Segugio::prepare_graph(
-        test_trace, world.psl(),
-        world.blacklist().as_of(sim::BlacklistKind::kCommercial, test_day),
-        world.whitelist().all(), config.pruning);
+    const auto test_graph =
+        core::Segugio::prepare_graph(
+            test_trace, world.psl(),
+            world.blacklist().as_of(sim::BlacklistKind::kCommercial, test_day),
+            world.whitelist().all(), config.prepare_options())
+            .graph;
     const auto detections = segugio.classify(test_graph, world.activity(), world.pdns());
     const double threshold = 0.7;
     const auto report = core::enumerate_infections(test_graph, detections, threshold);

@@ -31,9 +31,12 @@ int main() {
 
   // --- LBP on the identical hidden-label test graph: rebuild it the same
   // way run_cross_day does, then hide the same test domains.
-  const auto test_graph = core::Segugio::prepare_graph(
-      *bundle->inputs.test_trace, world.psl(), bundle->inputs.test_blacklist,
-      bundle->inputs.whitelist, config.pruning);
+  const auto test_graph = core::Segugio::prepare_graph(*bundle->inputs.test_trace,
+                                                       world.psl(),
+                                                       bundle->inputs.test_blacklist,
+                                                       bundle->inputs.whitelist,
+                                                       config.prepare_options())
+                              .graph;
   graph::NameSet test_names;
   for (const auto& outcome : result.outcomes) {
     test_names.insert(outcome.name);

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "core/pipeline.h"
 #include "util/parallel.h"
 #include "util/stopwatch.h"
 
@@ -79,15 +80,15 @@ StageTotals run_pipeline(std::size_t threads, std::vector<double>* scores_out) {
       const auto trace = world.generate_day(isp, day);
       const auto blacklist = world.blacklist().as_of(sim::BlacklistKind::kCommercial, day);
 
-      core::PrepareTimings prepare;
-      const auto graph =
-          core::Segugio::prepare_graph(trace, world.psl(), blacklist, world.whitelist().all(),
-                                       config.pruning, nullptr, nullptr, &prepare);
-      totals.build_seconds += prepare.build.total_seconds();
-      totals.label_seconds += prepare.label_seconds;
-      totals.prune_seconds += prepare.prune_seconds;
-      totals.records += prepare.build.records;
-      totals.edges += prepare.build.edges;
+      const auto prep = core::Segugio::prepare_graph(trace, world.psl(), blacklist,
+                                                     world.whitelist().all(),
+                                                     config.prepare_options());
+      const auto& graph = prep.graph;
+      totals.build_seconds += prep.timings.build.total_seconds();
+      totals.label_seconds += prep.timings.label_seconds;
+      totals.prune_seconds += prep.timings.prune_seconds;
+      totals.records += prep.timings.build.records;
+      totals.edges += prep.timings.build.edges;
 
       core::Segugio segugio(config);
       segugio.train(graph, world.activity(), world.pdns());
@@ -105,6 +106,80 @@ StageTotals run_pipeline(std::size_t threads, std::vector<double>* scores_out) {
           scores_out->push_back(scored.score);
         }
       }
+    }
+  }
+  return totals;
+}
+
+// The streaming leg: one core::Pipeline session per ISP, days ingested in
+// sequence so the carried name dictionary and sharded stores do their job.
+struct StreamingTotals {
+  std::vector<double> ingest_seconds;       // per ISP-day, in run order
+  std::vector<double> reuse_ratios;         // name-dictionary reuse per day
+  std::size_t cached_names = 0;             // dictionary size after last day
+  double activity_queries_per_second = 0.0; // sharded F2 batch lookup rate
+  double pdns_queries_per_second = 0.0;     // sharded F3 batch lookup rate
+  std::vector<double> scores;               // for the bit-identity check
+};
+
+StreamingTotals run_streaming(std::size_t threads) {
+  using namespace seg;
+  util::set_parallelism(threads);
+  auto& world = seg::bench::bench_world();
+  const auto config = seg::bench::bench_config();
+
+  StreamingTotals totals;
+  for (std::size_t isp = 0; isp < world.isp_count(); ++isp) {
+    core::Pipeline pipeline(world.psl(), config);
+    core::PreparedDay last_day;
+    for (dns::Day day = 10; day <= 13; ++day) {
+      const auto trace = world.generate_day(isp, day);
+      const auto blacklist = world.blacklist().as_of(sim::BlacklistKind::kCommercial, day);
+      pipeline.absorb_history(world.activity(), world.pdns());
+      auto prepared = pipeline.ingest_day(trace, blacklist, world.whitelist().all());
+      pipeline.train(prepared);
+      const auto report = pipeline.classify(prepared);
+      for (const auto& scored : report.scores) {
+        totals.scores.push_back(scored.score);
+      }
+      last_day = std::move(prepared);
+    }
+    const auto& stats = pipeline.streaming_stats();
+    totals.ingest_seconds.insert(totals.ingest_seconds.end(), stats.ingest_seconds.begin(),
+                                 stats.ingest_seconds.end());
+    totals.reuse_ratios.insert(totals.reuse_ratios.end(), stats.reuse_ratios.begin(),
+                               stats.reuse_ratios.end());
+    totals.cached_names += stats.cached_names;
+
+    // Batch-lookup throughput, measured on the last ingested day's graph:
+    // the same F2/F3 query mix the feature extractor issues.
+    const auto& graph = last_day.graph;
+    const dns::Day t_now = graph.day();
+    std::vector<dns::ShardedActivityIndex::Query> activity_queries;
+    for (graph::DomainId d = 0; d < graph.domain_count(); ++d) {
+      activity_queries.push_back(
+          {graph.domain_name(d), t_now - config.features.activity_window_days + 1, t_now,
+           t_now});
+    }
+    std::vector<dns::ShardedPassiveDnsDb::AbuseQuery> pdns_queries;
+    for (graph::DomainId d = 0; d < graph.domain_count(); ++d) {
+      for (const auto ip : graph.resolved_ips(d)) {
+        pdns_queries.push_back({ip, t_now - config.features.pdns_window_days, t_now - 1});
+      }
+    }
+    util::Stopwatch watch;
+    (void)pipeline.activity().query_batch(activity_queries);
+    const double activity_seconds = watch.elapsed_seconds();
+    watch.restart();
+    (void)pipeline.pdns().query_batch(pdns_queries);
+    const double pdns_seconds = watch.elapsed_seconds();
+    if (activity_seconds > 0.0) {
+      totals.activity_queries_per_second =
+          static_cast<double>(activity_queries.size()) / activity_seconds;
+    }
+    if (pdns_seconds > 0.0) {
+      totals.pdns_queries_per_second =
+          static_cast<double>(pdns_queries.size()) / pdns_seconds;
     }
   }
   return totals;
@@ -129,7 +204,8 @@ void print_totals(const char* label, const StageTotals& t) {
 }
 
 void write_json(const char* path, const StageTotals& serial, const StageTotals& parallel,
-                std::size_t parallel_threads, bool identical) {
+                const StreamingTotals& streaming, std::size_t parallel_threads,
+                bool identical) {
   std::FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "warning: cannot write %s\n", path);
@@ -194,6 +270,25 @@ void write_json(const char* path, const StageTotals& serial, const StageTotals& 
                  ratio(serial.parallel_stage_seconds(), parallel.parallel_stage_seconds()),
                  ratio(serial.learning_seconds(), parallel.learning_seconds()));
   }
+  const auto array = [&](const std::vector<double>& values) {
+    std::fprintf(out, "[");
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      std::fprintf(out, "%s%.6f", i == 0 ? "" : ", ", values[i]);
+    }
+    std::fprintf(out, "]");
+  };
+  std::fprintf(out, ",\n  \"streaming\": {\n    \"isp_days\": %zu,\n",
+               streaming.ingest_seconds.size());
+  std::fprintf(out, "    \"ingest_seconds\": ");
+  array(streaming.ingest_seconds);
+  std::fprintf(out, ",\n    \"intern_reuse_ratio\": ");
+  array(streaming.reuse_ratios);
+  std::fprintf(out,
+               ",\n    \"cached_names\": %zu,\n"
+               "    \"activity_batch_queries_per_sec\": %.1f,\n"
+               "    \"pdns_batch_queries_per_sec\": %.1f\n  }",
+               streaming.cached_names, streaming.activity_queries_per_second,
+               streaming.pdns_queries_per_second);
   std::fprintf(out, ",\n  \"scores_bit_identical\": %s\n}\n",
                identical ? "true" : "false");
   std::fclose(out);
@@ -228,11 +323,30 @@ int main() {
   std::vector<double> parallel_scores;
   const auto parallel = run_pipeline(parallel_threads, &parallel_scores);
   print_totals((std::to_string(parallel_threads) + " threads").c_str(), parallel);
+
+  const auto streaming = run_streaming(parallel_threads);
   seg::util::set_parallelism(0);
 
-  const bool identical = serial_scores == parallel_scores;
-  std::printf("\ndomain scores bit-identical across thread counts: %s (%zu scores)\n",
+  const bool identical =
+      serial_scores == parallel_scores && serial_scores == streaming.scores;
+  std::printf("\ndomain scores bit-identical across thread counts and the streaming\n"
+              "pipeline: %s (%zu scores)\n",
               identical ? "yes" : "NO — DETERMINISM VIOLATION", serial_scores.size());
+  if (!streaming.reuse_ratios.empty()) {
+    std::printf("streaming: %zu ISP-days ingested; day-2+ name-dictionary reuse ",
+                streaming.ingest_seconds.size());
+    double reuse_sum = 0.0;
+    std::size_t reuse_count = 0;
+    for (std::size_t i = 0; i < streaming.reuse_ratios.size(); ++i) {
+      if (i % 4 != 0) {  // skip each session's first day (nothing to reuse yet)
+        reuse_sum += streaming.reuse_ratios[i];
+        ++reuse_count;
+      }
+    }
+    std::printf("%.1f%% on average; batch lookups: %.0f activity q/s, %.0f pdns q/s\n",
+                reuse_count > 0 ? 100.0 * reuse_sum / static_cast<double>(reuse_count) : 0.0,
+                streaming.activity_queries_per_second, streaming.pdns_queries_per_second);
+  }
 
   if (parallel_threads > 1) {
     const auto speedup = serial.parallel_stage_seconds() / parallel.parallel_stage_seconds();
@@ -247,6 +361,6 @@ int main() {
               "paper's 60min-vs-3min split (about 20x).\n",
               parallel.learning_seconds() / parallel.classify_seconds);
 
-  write_json("BENCH_pipeline.json", serial, parallel, parallel_threads, identical);
+  write_json("BENCH_pipeline.json", serial, parallel, streaming, parallel_threads, identical);
   return identical ? 0 : 1;
 }

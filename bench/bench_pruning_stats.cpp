@@ -27,10 +27,12 @@ int main() {
   for (std::size_t isp = 0; isp < world.isp_count(); ++isp) {
     for (const dns::Day day : {2, 15}) {
       const auto trace = world.generate_day(isp, day);
-      graph::PruneStats stats;
-      core::Segugio::prepare_graph(trace, world.psl(),
-                                   world.blacklist().as_of(sim::BlacklistKind::kCommercial, day),
-                                   world.whitelist().all(), config.pruning, &stats);
+      const auto stats =
+          core::Segugio::prepare_graph(
+              trace, world.psl(),
+              world.blacklist().as_of(sim::BlacklistKind::kCommercial, day),
+              world.whitelist().all(), config.prepare_options())
+              .prune_stats;
       table.add_row({"ISP" + std::to_string(isp + 1) + " day " + std::to_string(day),
                      util::format_double(100.0 * stats.machine_reduction(), 2),
                      util::format_double(100.0 * stats.domain_reduction(), 2),

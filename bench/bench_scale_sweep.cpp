@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "core/pipeline.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -27,15 +28,16 @@ int main() {
     const auto config = bench::bench_config();
 
     util::Stopwatch learn;
-    const auto graph = core::Segugio::prepare_graph(
-        trace, world.psl(), world.blacklist().as_of(sim::BlacklistKind::kCommercial, 2),
-        world.whitelist().all(), config.pruning);
-    core::Segugio segugio(config);
-    segugio.train(graph, world.activity(), world.pdns());
+    core::Pipeline pipeline(world.psl(), world.activity(), world.pdns(), config);
+    const auto day = pipeline.ingest_day(
+        trace, world.blacklist().as_of(sim::BlacklistKind::kCommercial, 2),
+        world.whitelist().all());
+    const auto& graph = day.graph;
+    pipeline.train(day);
     const double learn_seconds = learn.elapsed_seconds();
 
     util::Stopwatch classify;
-    const auto report = segugio.classify(graph, world.activity(), world.pdns());
+    const auto report = pipeline.classify(day);
     const double classify_seconds = classify.elapsed_seconds();
 
     table.add_row({std::to_string(machines), util::format_count(trace.records.size()),

@@ -55,7 +55,8 @@ int main() {
     // save/load path end to end.
     const auto graph = core::Segugio::prepare_graph(train_trace, world.psl(),
                                                     inputs.train_blacklist, inputs.whitelist,
-                                                    config.pruning);
+                                                    config.prepare_options())
+                           .graph;
     const features::FeatureExtractor extractor(graph, world.activity(), world.pdns());
     const auto training = features::build_training_set(graph, extractor);
     forest.train(training.dataset);

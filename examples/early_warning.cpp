@@ -37,7 +37,9 @@ int main() {
     const auto trace = world.generate_day(0, day);
     const auto blacklist = world.blacklist().as_of(sim::BlacklistKind::kCommercial, day);
     const auto graph = core::Segugio::prepare_graph(trace, world.psl(), blacklist,
-                                                    world.whitelist().all(), config.pruning);
+                                                    world.whitelist().all(),
+                                                    config.prepare_options())
+                           .graph;
     core::Segugio segugio(config);
     segugio.train(graph, world.activity(), world.pdns());
 

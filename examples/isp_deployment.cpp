@@ -1,16 +1,18 @@
 // ISP deployment walkthrough on the synthetic ISP world.
 //
-// Mirrors the paper's operational story (Section II, Figure 2): build the
-// machine-domain behavior graph from one day of a large ISP's resolver
-// traffic, train, then classify the next day's *unknown* domains, report
-// the detected malware-control domains together with the infected machines
-// that query them, and show the pipeline timing breakdown (Section IV-G).
+// Mirrors the paper's operational story (Section II, Figure 2) as a
+// streaming multi-day session: one core::Pipeline owns the history stores
+// and the carried name dictionary, ingests a day of resolver traffic,
+// trains, then ingests and classifies the next day's *unknown* domains,
+// reporting the detected malware-control domains together with the
+// infected machines that query them and the pipeline timing breakdown
+// (Section IV-G).
 //
 // Build & run:  ./build/examples/isp_deployment
 #include <algorithm>
 #include <cstdio>
 
-#include "core/segugio.h"
+#include "core/pipeline.h"
 #include "sim/world.h"
 #include "util/stopwatch.h"
 
@@ -27,13 +29,14 @@ int main() {
   // --- Day 0: learn.
   util::Stopwatch watch;
   const auto train_trace = world.generate_day(/*isp=*/0, /*day=*/0);
-  graph::PruneStats prune_stats;
-  const auto train_graph = core::Segugio::prepare_graph(
-      train_trace, world.psl(), world.blacklist().as_of(sim::BlacklistKind::kCommercial, 0),
-      whitelist, config.pruning, &prune_stats);
-  core::Segugio segugio(config);
-  segugio.train(train_graph, world.activity(), world.pdns());
+  core::Pipeline pipeline(world.psl(), world.activity(), world.pdns(), config);
+  const auto day0 = pipeline.ingest_day(
+      train_trace, world.blacklist().as_of(sim::BlacklistKind::kCommercial, 0), whitelist);
+  pipeline.train(day0);
   const double train_seconds = watch.elapsed_seconds();
+  const auto& train_graph = day0.graph;
+  const auto& prune_stats = day0.prune_stats;
+  const auto& segugio = pipeline.detector();
 
   std::printf("== training day 0 ==\n");
   std::printf("records: %zu   graph: %zu machines, %zu domains, %zu edges\n",
@@ -48,14 +51,17 @@ int main() {
   std::printf("train wall time: %.2fs (features %.2fs, fit %.2fs)\n\n", train_seconds,
               segugio.timings().train_feature_seconds, segugio.timings().train_fit_seconds);
 
-  // --- Day 1: detect.
+  // --- Day 1: detect. The same session carries the name dictionary and
+  // history stores forward; only genuinely new names pay full intern cost.
   watch.restart();
   const auto test_trace = world.generate_day(0, 1);
-  const auto test_graph = core::Segugio::prepare_graph(
-      test_trace, world.psl(), world.blacklist().as_of(sim::BlacklistKind::kCommercial, 1),
-      whitelist, config.pruning);
-  const auto report = segugio.classify(test_graph, world.activity(), world.pdns());
+  pipeline.absorb_history(world.activity(), world.pdns());
+  const auto day1 = pipeline.ingest_day(
+      test_trace, world.blacklist().as_of(sim::BlacklistKind::kCommercial, 1), whitelist);
+  const auto report = pipeline.classify(day1);
   const double classify_seconds = watch.elapsed_seconds();
+  std::printf("name dictionary reuse on day 1: %.1f%% of %zu distinct names\n",
+              100.0 * day1.carry.reuse_ratio(), day1.carry.distinct_domains);
 
   std::printf("== detection day 1 ==\n");
   std::printf("unknown domains classified: %zu in %.2fs\n", report.scores.size(),
@@ -73,7 +79,7 @@ int main() {
   }
 
   const double threshold = 0.7;
-  const auto detections = report.detections_at(threshold, test_graph);
+  const auto detections = report.detections_at(threshold);
   std::printf("detections at threshold %.2f: %zu\n", threshold, detections.size());
   std::size_t shown = 0;
   std::size_t truly_malware = 0;

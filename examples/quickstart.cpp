@@ -101,7 +101,8 @@ int main() {
   // --- Train on day 1.
   const auto day1 = make_day(1);
   const auto graph1 = seg::core::Segugio::prepare_graph(day1, psl, blacklist, whitelist,
-                                                        config.pruning);
+                                                        config.prepare_options())
+                          .graph;
   seg::core::Segugio segugio(config);
   segugio.train(graph1, activity, pdns);
   std::printf("trained on day 1: %zu machines, %zu domains (%zu known malware)\n",
@@ -113,7 +114,8 @@ int main() {
   activity.mark_active("panel.fresh-evil.info", 2);
   activity.mark_active("fresh-evil.info", 2);
   const auto graph2 = seg::core::Segugio::prepare_graph(day2, psl, blacklist, whitelist,
-                                                        config.pruning);
+                                                        config.prepare_options())
+                          .graph;
   const auto report = segugio.classify(graph2, activity, pdns);
 
   std::printf("\nunknown domains on day 2, by malware score:\n");
@@ -121,7 +123,7 @@ int main() {
     std::printf("  %-24s %.3f\n", scored.name.c_str(), scored.score);
   }
   std::printf("\ndetections at threshold 0.5 (with implicated machines):\n");
-  for (const auto& detection : report.detections_at(0.5, graph2)) {
+  for (const auto& detection : report.detections_at(0.5)) {
     std::printf("  %-24s %.3f  machines:", detection.domain.name.c_str(),
                 detection.domain.score);
     for (const auto& machine : detection.machines) {

@@ -24,8 +24,10 @@ int main() {
   const dns::Day day = 1;
   const auto trace = world.generate_day(0, day);
   const auto graph = core::Segugio::prepare_graph(
-      trace, world.psl(), world.blacklist().as_of(sim::BlacklistKind::kCommercial, day),
-      world.whitelist().all(), config.pruning);
+                         trace, world.psl(),
+                         world.blacklist().as_of(sim::BlacklistKind::kCommercial, day),
+                         world.whitelist().all(), config.prepare_options())
+                         .graph;
   core::Segugio segugio(config);
   segugio.train(graph, world.activity(), world.pdns());
 

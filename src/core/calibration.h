@@ -28,4 +28,11 @@ CalibrationResult calibrate_threshold(const Segugio& segugio,
                                       const dns::DomainActivityIndex& activity,
                                       const dns::PassiveDnsDb& pdns, double max_fpr);
 
+/// Sharded-store overload, used by the streaming pipeline. Top-level
+/// calls only (see dns/sharded_store.h).
+CalibrationResult calibrate_threshold(const Segugio& segugio,
+                                      const graph::MachineDomainGraph& graph,
+                                      const dns::ShardedActivityIndex& activity,
+                                      const dns::ShardedPassiveDnsDb& pdns, double max_fpr);
+
 }  // namespace seg::core

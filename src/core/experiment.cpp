@@ -111,9 +111,10 @@ EvaluationResult evaluate_with_test_set(const ExperimentInputs& inputs,
 
   // --- Training.
   util::Stopwatch train_watch;
-  auto train_graph = Segugio::prepare_graph(
-      *inputs.train_trace, *inputs.psl, train_blacklist, inputs.whitelist, config.pruning,
-      &result.train_prune, config.prober_filter ? &*config.prober_filter : nullptr);
+  auto train_prep = Segugio::prepare_graph(*inputs.train_trace, *inputs.psl, train_blacklist,
+                                           inputs.whitelist, config.prepare_options());
+  result.train_prune = train_prep.prune_stats;
+  auto& train_graph = train_prep.graph;
   SegugioConfig local = config;
   local.training.exclude = &selection.names;
   Segugio segugio(local);
@@ -156,10 +157,10 @@ EvaluationResult run_cross_day(const ExperimentInputs& inputs, const SegugioConf
   util::require(options.test_fraction > 0.0 && options.test_fraction < 1.0,
                 "run_cross_day: test_fraction must be in (0, 1)");
 
-  graph::PruneStats test_prune;
-  const auto test_graph = Segugio::prepare_graph(
-      *inputs.test_trace, *inputs.psl, inputs.test_blacklist, inputs.whitelist,
-      config.pruning, &test_prune, config.prober_filter ? &*config.prober_filter : nullptr);
+  const auto test_prep = Segugio::prepare_graph(*inputs.test_trace, *inputs.psl,
+                                                inputs.test_blacklist, inputs.whitelist,
+                                                config.prepare_options());
+  const auto& test_graph = test_prep.graph;
 
   util::Rng rng(options.seed);
   const auto selection = select_stratified_test_set(test_graph, options.test_fraction,
@@ -174,7 +175,8 @@ EvaluationResult run_cross_day(const ExperimentInputs& inputs, const SegugioConf
       filtered.insert(name);
     }
   }
-  return evaluate_with_test_set(inputs, config, test_graph, test_prune, selection, filtered);
+  return evaluate_with_test_set(inputs, config, test_graph, test_prep.prune_stats, selection,
+                                filtered);
 }
 
 std::vector<EvaluationResult> run_cross_family(
@@ -183,10 +185,10 @@ std::vector<EvaluationResult> run_cross_family(
     const CrossFamilyOptions& options) {
   util::require(options.folds >= 2, "run_cross_family: need at least 2 folds");
 
-  graph::PruneStats test_prune;
-  const auto test_graph = Segugio::prepare_graph(
-      *inputs.test_trace, *inputs.psl, inputs.test_blacklist, inputs.whitelist,
-      config.pruning, &test_prune, config.prober_filter ? &*config.prober_filter : nullptr);
+  const auto test_prep = Segugio::prepare_graph(*inputs.test_trace, *inputs.psl,
+                                                inputs.test_blacklist, inputs.whitelist,
+                                                config.prepare_options());
+  const auto& test_graph = test_prep.graph;
 
   // Balanced family folds.
   std::vector<std::uint32_t> families;
@@ -242,8 +244,8 @@ std::vector<EvaluationResult> run_cross_family(
       }
       filtered.insert(name);
     }
-    results.push_back(evaluate_with_test_set(inputs, config, test_graph, test_prune,
-                                             selection, filtered));
+    results.push_back(evaluate_with_test_set(inputs, config, test_graph,
+                                             test_prep.prune_stats, selection, filtered));
   }
   return results;
 }
@@ -255,10 +257,10 @@ std::vector<EvaluationResult> run_in_day_cross_validation(
     const SegugioConfig& config, const CrossValidationOptions& options) {
   util::require(options.folds >= 2, "run_in_day_cross_validation: need >= 2 folds");
 
-  graph::PruneStats prune_stats;
-  const auto graph = Segugio::prepare_graph(
-      trace, psl, blacklist, whitelist, config.pruning, &prune_stats,
-      config.prober_filter ? &*config.prober_filter : nullptr);
+  const auto prep = Segugio::prepare_graph(trace, psl, blacklist, whitelist,
+                                           config.prepare_options());
+  const auto& graph = prep.graph;
+  const auto& prune_stats = prep.prune_stats;
 
   // Stratified fold assignment over the known domains.
   std::vector<graph::DomainId> malware_ids;

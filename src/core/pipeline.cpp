@@ -1,0 +1,46 @@
+#include "core/pipeline.h"
+
+#include "util/stopwatch.h"
+
+namespace seg::core {
+
+Pipeline::Pipeline(const dns::PublicSuffixList& psl, SegugioConfig config)
+    : psl_(&psl), detector_(std::move(config)) {}
+
+Pipeline::Pipeline(const dns::PublicSuffixList& psl, const dns::DomainActivityIndex& activity,
+                   const dns::PassiveDnsDb& pdns, SegugioConfig config)
+    : Pipeline(psl, std::move(config)) {
+  absorb_history(activity, pdns);
+}
+
+void Pipeline::absorb_history(const dns::DomainActivityIndex& activity,
+                              const dns::PassiveDnsDb& pdns) {
+  activity_.absorb(activity);
+  pdns_.absorb(pdns);
+}
+
+PreparedDay Pipeline::ingest_day(const dns::DayTrace& trace, const graph::NameSet& cc_blacklist,
+                                 const graph::NameSet& e2ld_whitelist) {
+  util::Stopwatch watch;
+  PreparedDay day;
+  auto prepared = detail::prepare_day(trace, *psl_, cc_blacklist, e2ld_whitelist,
+                                      detector_.config().prepare_options(), &cache_, &day.carry);
+  day.graph = std::move(prepared.graph);
+  day.prune_stats = prepared.prune_stats;
+  day.timings = prepared.timings;
+  day.day = day.graph.day();
+
+  ++stats_.days_ingested;
+  stats_.ingest_seconds.push_back(watch.elapsed_seconds());
+  stats_.reuse_ratios.push_back(day.carry.reuse_ratio());
+  stats_.cached_names = day.carry.cached_names;
+  return day;
+}
+
+void Pipeline::train(const PreparedDay& day) { detector_.train(day.graph, activity_, pdns_); }
+
+DetectionReport Pipeline::classify(const PreparedDay& day) const {
+  return detector_.classify(day.graph, activity_, pdns_);
+}
+
+}  // namespace seg::core

@@ -1,0 +1,102 @@
+// The streaming multi-day pipeline (Figure 2, run day after day).
+//
+// A Pipeline is a long-lived session over one monitored network. It owns
+// the history stores (domain activity, passive DNS) in their sharded form
+// and a carried name dictionary, so consecutive days share work:
+//
+//   - name validation/normalization/e2LD facts computed on day t are
+//     reused on day t+1 (only genuinely new names pay the full cost);
+//   - F2/F3 history lookups run as parallel batches against the sharded
+//     stores instead of one hash probe at a time.
+//
+// Determinism contract: every PreparedDay graph and every classify()
+// score is bit-identical to what a from-scratch Segugio::prepare_graph /
+// train / classify over the same inputs produces, for every thread and
+// shard count (tests/core/pipeline_test.cpp asserts byte equality of the
+// serialized graphs and exact score equality at 1 and 8 threads).
+//
+// Typical deployment session:
+//
+//   core::Pipeline pipeline(psl, config);
+//   pipeline.absorb_history(warmup_activity, warmup_pdns);
+//   auto day1 = pipeline.ingest_day(trace_t1, blacklist_t1, whitelist);
+//   pipeline.train(day1);
+//   auto day2 = pipeline.ingest_day(trace_t2, blacklist_t2, whitelist);
+//   auto report = pipeline.classify(day2);
+//   for (auto& hit : report.detections_at(threshold)) ...
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/segugio.h"
+#include "dns/sharded_store.h"
+#include "graph/name_cache.h"
+
+namespace seg::core {
+
+/// One ingested observation day, ready for train() / classify().
+struct PreparedDay {
+  graph::MachineDomainGraph graph;  ///< labeled, (filtered,) pruned
+  graph::PruneStats prune_stats;    ///< R1-R4 breakdown
+  PrepareTimings timings;           ///< per-stage wall clock
+  graph::CarryStats carry;          ///< name-dictionary reuse for this day
+  dns::Day day = 0;                 ///< the observation day
+};
+
+/// Cumulative counters over every ingest_day() of the session.
+struct StreamingStats {
+  std::size_t days_ingested = 0;
+  std::vector<double> ingest_seconds;  ///< wall clock per ingested day
+  std::vector<double> reuse_ratios;    ///< name-dictionary reuse per day
+  std::size_t cached_names = 0;        ///< dictionary size after last day
+};
+
+class Pipeline {
+ public:
+  /// Fresh session with empty history stores. `psl` must outlive the
+  /// pipeline.
+  explicit Pipeline(const dns::PublicSuffixList& psl, SegugioConfig config = {});
+
+  /// Session seeded from existing serial history (e.g. a warmup period or
+  /// stores loaded from disk); the stores are absorbed by copy.
+  Pipeline(const dns::PublicSuffixList& psl, const dns::DomainActivityIndex& activity,
+           const dns::PassiveDnsDb& pdns, SegugioConfig config = {});
+
+  /// Folds serial history into the session's sharded stores. Idempotent:
+  /// absorbing the same snapshot twice changes nothing, so callers may
+  /// re-absorb a growing store after each day.
+  void absorb_history(const dns::DomainActivityIndex& activity, const dns::PassiveDnsDb& pdns);
+
+  /// Builds, labels, (optionally) prober-filters, and prunes the day's
+  /// behavior graph in streaming mode. History stores are fed separately
+  /// through absorb_history(), keeping feature inputs identical to the
+  /// one-shot flow. Top-level calls only (the build uses the shared pool).
+  PreparedDay ingest_day(const dns::DayTrace& trace, const graph::NameSet& cc_blacklist,
+                         const graph::NameSet& e2ld_whitelist);
+
+  /// Trains the detector from the day's known domains (Figure 5 protocol),
+  /// with history served by the sharded stores.
+  void train(const PreparedDay& day);
+
+  /// Scores the day's unknown domains; the report is self-contained (see
+  /// DetectionReport).
+  DetectionReport classify(const PreparedDay& day) const;
+
+  const Segugio& detector() const { return detector_; }
+  Segugio& detector() { return detector_; }
+  const SegugioConfig& config() const { return detector_.config(); }
+  const dns::ShardedActivityIndex& activity() const { return activity_; }
+  const dns::ShardedPassiveDnsDb& pdns() const { return pdns_; }
+  const StreamingStats& streaming_stats() const { return stats_; }
+
+ private:
+  const dns::PublicSuffixList* psl_;
+  Segugio detector_;
+  graph::NameCache cache_;
+  dns::ShardedActivityIndex activity_;
+  dns::ShardedPassiveDnsDb pdns_;
+  StreamingStats stats_;
+};
+
+}  // namespace seg::core

@@ -8,9 +8,38 @@
 #include "ml/metrics.h"
 #include "util/parallel.h"
 #include "util/require.h"
+#include "util/serialize.h"
 #include "util/stopwatch.h"
 
 namespace seg::core {
+
+PrepareOptions SegugioConfig::prepare_options() const {
+  PrepareOptions options;
+  options.pruning = pruning;
+  options.prober_filter = prober_filter;
+  return options;
+}
+
+std::vector<Detection> DetectionReport::detections_at(double threshold) const {
+  util::require(machine_offsets.size() == scores.size() + 1,
+                "DetectionReport::detections_at: report carries no machine attribution");
+  std::vector<Detection> detections;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (scores[i].score < threshold) {
+      continue;
+    }
+    Detection detection;
+    detection.domain = scores[i];
+    for (std::uint32_t k = machine_offsets[i]; k < machine_offsets[i + 1]; ++k) {
+      detection.machines.push_back(machine_names[machine_refs[k]]);
+    }
+    detections.push_back(std::move(detection));
+  }
+  std::sort(detections.begin(), detections.end(), [](const Detection& a, const Detection& b) {
+    return a.domain.score > b.domain.score;
+  });
+  return detections;
+}
 
 std::vector<Detection> DetectionReport::detections_at(
     double threshold, const graph::MachineDomainGraph& graph) const {
@@ -34,49 +63,77 @@ std::vector<Detection> DetectionReport::detections_at(
 
 Segugio::Segugio(SegugioConfig config) : config_(std::move(config)) {}
 
-graph::MachineDomainGraph Segugio::prepare_graph(const dns::DayTrace& trace,
-                                                 const dns::PublicSuffixList& psl,
-                                                 const graph::NameSet& cc_blacklist,
-                                                 const graph::NameSet& e2ld_whitelist,
-                                                 const graph::PruningConfig& pruning,
-                                                 graph::PruneStats* stats,
-                                                 const graph::ProberFilterConfig* prober_filter,
-                                                 PrepareTimings* timings) {
-  PrepareTimings local_timings;
-  PrepareTimings& t = timings != nullptr ? *timings : local_timings;
-  t = PrepareTimings{};
+namespace detail {
 
-  graph::ShardedGraphBuilder builder(psl);
+PrepareResult prepare_day(const dns::DayTrace& trace, const dns::PublicSuffixList& psl,
+                          const graph::NameSet& cc_blacklist,
+                          const graph::NameSet& e2ld_whitelist, const PrepareOptions& options,
+                          graph::NameCache* cache, graph::CarryStats* carry) {
+  PrepareResult result;
+  PrepareTimings& t = result.timings;
+
+  graph::ShardedGraphBuilder builder =
+      cache != nullptr ? graph::ShardedGraphBuilder(psl, *cache) : graph::ShardedGraphBuilder(psl);
   builder.add_trace(trace);
   auto graph = builder.build();
   t.build = builder.last_timings();
+  if (carry != nullptr) {
+    *carry = builder.last_carry();
+  }
 
   util::Stopwatch watch;
   graph::apply_labels(graph, cc_blacklist, e2ld_whitelist);
   t.label_seconds = watch.elapsed_seconds();
 
-  if (prober_filter != nullptr) {
+  if (options.prober_filter.has_value()) {
     watch.restart();
-    graph = graph::remove_probers(graph, *prober_filter);
+    graph = graph::remove_probers(graph, *options.prober_filter);
     t.prober_seconds = watch.elapsed_seconds();
   }
 
   watch.restart();
-  auto pruned = graph::prune(graph, pruning, stats);
+  result.graph = graph::prune(graph, options.pruning, &result.prune_stats);
   t.prune_seconds = watch.elapsed_seconds();
-  return pruned;
+  return result;
+}
+
+}  // namespace detail
+
+PrepareResult Segugio::prepare_graph(const dns::DayTrace& trace,
+                                     const dns::PublicSuffixList& psl,
+                                     const graph::NameSet& cc_blacklist,
+                                     const graph::NameSet& e2ld_whitelist,
+                                     const PrepareOptions& options) {
+  return detail::prepare_day(trace, psl, cc_blacklist, e2ld_whitelist, options,
+                             /*cache=*/nullptr, /*carry=*/nullptr);
 }
 
 void Segugio::train(const graph::MachineDomainGraph& graph,
                     const dns::DomainActivityIndex& activity, const dns::PassiveDnsDb& pdns) {
   util::Stopwatch watch;
   const features::FeatureExtractor extractor(graph, activity, pdns, config_.features);
+  timings_.train_feature_seconds = watch.elapsed_seconds();
+  train_impl(graph, extractor);
+}
+
+void Segugio::train(const graph::MachineDomainGraph& graph,
+                    const dns::ShardedActivityIndex& activity,
+                    const dns::ShardedPassiveDnsDb& pdns) {
+  util::Stopwatch watch;
+  const features::FeatureExtractor extractor(graph, activity, pdns, config_.features);
+  timings_.train_feature_seconds = watch.elapsed_seconds();
+  train_impl(graph, extractor);
+}
+
+void Segugio::train_impl(const graph::MachineDomainGraph& graph,
+                         const features::FeatureExtractor& extractor) {
+  util::Stopwatch watch;
   auto training = features::build_training_set(graph, extractor, config_.training);
   util::require(training.malware_rows > 0,
                 "Segugio::train: no known malware domains in the training graph");
   util::require(training.benign_rows > 0,
                 "Segugio::train: no known benign domains in the training graph");
-  timings_.train_feature_seconds = watch.elapsed_seconds();
+  timings_.train_feature_seconds += watch.elapsed_seconds();
   timings_.train_rows = training.malware_rows + training.benign_rows;
 
   watch.restart();
@@ -125,8 +182,25 @@ DetectionReport Segugio::classify(const graph::MachineDomainGraph& graph,
   util::require(is_trained(), "Segugio::classify: classifier not trained");
   util::Stopwatch watch;
   const features::FeatureExtractor extractor(graph, activity, pdns, config_.features);
-  auto unknown = features::build_unknown_set(graph, extractor);
   timings_.classify_feature_seconds = watch.elapsed_seconds();
+  return classify_impl(graph, extractor);
+}
+
+DetectionReport Segugio::classify(const graph::MachineDomainGraph& graph,
+                                  const dns::ShardedActivityIndex& activity,
+                                  const dns::ShardedPassiveDnsDb& pdns) const {
+  util::require(is_trained(), "Segugio::classify: classifier not trained");
+  util::Stopwatch watch;
+  const features::FeatureExtractor extractor(graph, activity, pdns, config_.features);
+  timings_.classify_feature_seconds = watch.elapsed_seconds();
+  return classify_impl(graph, extractor);
+}
+
+DetectionReport Segugio::classify_impl(const graph::MachineDomainGraph& graph,
+                                       const features::FeatureExtractor& extractor) const {
+  util::Stopwatch watch;
+  auto unknown = features::build_unknown_set(graph, extractor);
+  timings_.classify_feature_seconds += watch.elapsed_seconds();
 
   watch.restart();
   DetectionReport report;
@@ -142,6 +216,27 @@ DetectionReport Segugio::classify(const graph::MachineDomainGraph& graph,
   });
   timings_.classify_score_seconds = watch.elapsed_seconds();
   timings_.classify_rows = unknown.domain_ids.size();
+
+  // Capture machine attribution so the report outlives the graph: CSR
+  // offsets by serial prefix sum, refs filled in parallel (disjoint
+  // ranges), names copied once per machine.
+  report.machine_names.reserve(graph.machine_count());
+  for (graph::MachineId m = 0; m < graph.machine_count(); ++m) {
+    report.machine_names.emplace_back(graph.machine_name(m));
+  }
+  report.machine_offsets.assign(report.scores.size() + 1, 0);
+  for (std::size_t i = 0; i < report.scores.size(); ++i) {
+    report.machine_offsets[i + 1] =
+        report.machine_offsets[i] +
+        static_cast<std::uint32_t>(graph.machines_of(report.scores[i].id).size());
+  }
+  report.machine_refs.resize(report.machine_offsets.back());
+  util::parallel_for(report.scores.size(), [&](std::size_t i) {
+    std::uint32_t k = report.machine_offsets[i];
+    for (const auto m : graph.machines_of(report.scores[i].id)) {
+      report.machine_refs[k++] = m;
+    }
+  });
   return report;
 }
 
@@ -160,7 +255,8 @@ std::vector<double> Segugio::feature_importance() const {
 
 void Segugio::save(std::ostream& out) const {
   util::require(is_trained(), "Segugio::save: classifier not trained");
-  out << "segugio 1\n";
+  util::write_format_header(out, "segugio-model", kModelFormatVersion);
+  out << "segugio " << kModelFormatVersion << "\n";
   out << "activity_window " << config_.features.activity_window_days << "\n";
   out << "pdns_window " << config_.features.pdns_window_days << "\n";
   out << "pruning " << config_.pruning.inactive_machine_max_degree << " ";
@@ -189,10 +285,13 @@ void Segugio::save(std::ostream& out) const {
 }
 
 Segugio Segugio::load(std::istream& in) {
+  // Versioned streams carry the segf1 prefix; legacy `segugio 1` streams
+  // rewind and parse from the body header directly.
+  const int format_version = util::read_format_header(in, "segugio-model", kModelFormatVersion);
   std::string tag;
   int version = 0;
   in >> tag >> version;
-  util::require_data(static_cast<bool>(in) && tag == "segugio" && version == 1,
+  util::require_data(static_cast<bool>(in) && tag == "segugio" && version == format_version,
                      "Segugio::load: malformed header");
   SegugioConfig config;
   in >> tag >> config.features.activity_window_days;

@@ -1,16 +1,23 @@
 // The Segugio detector: graph preparation, training, and classification
 // (Figure 2's pipeline).
 //
-// Typical deployment flow:
+// Typical deployment flow — a multi-day streaming session through
+// core::Pipeline (core/pipeline.h), which owns the history stores and
+// carries the name dictionary across days:
 //
-//   auto g1 = Segugio::prepare_graph(trace_t1, psl, blacklist_t1, whitelist,
-//                                    config.pruning);
-//   Segugio segugio(config);
-//   segugio.train(g1, activity, pdns);
-//   auto g2 = Segugio::prepare_graph(trace_t2, psl, blacklist_t2, whitelist,
-//                                    config.pruning);
-//   auto report = segugio.classify(g2, activity, pdns);
+//   core::Pipeline pipeline(psl, config);
+//   auto day1 = pipeline.ingest_day(trace_t1, blacklist_t1, whitelist);
+//   pipeline.train(day1);
+//   auto day2 = pipeline.ingest_day(trace_t2, blacklist_t2, whitelist);
+//   auto report = pipeline.classify(day2);
 //   for (auto& hit : report.detections_at(threshold)) ...
+//
+// The lower-level one-shot flow used by the experiments keeps working:
+//
+//   auto prep = Segugio::prepare_graph(trace, psl, blacklist, whitelist,
+//                                      config.prepare_options());
+//   Segugio segugio(config);
+//   segugio.train(prep.graph, activity, pdns);
 #pragma once
 
 #include <iosfwd>
@@ -23,6 +30,7 @@
 #include "dns/pdns.h"
 #include "dns/public_suffix_list.h"
 #include "dns/query_log.h"
+#include "dns/sharded_store.h"
 #include "features/training_set.h"
 #include "graph/prober_filter.h"
 #include "graph/pruning.h"
@@ -67,6 +75,17 @@ struct SegugioConfig {
     forest.stratified_bootstrap = true;
     return forest;
   }
+
+  /// The graph-preparation slice of this config, for prepare_graph().
+  struct PrepareOptions prepare_options() const;
+};
+
+/// Options for Segugio::prepare_graph (the stages before train/classify).
+struct PrepareOptions {
+  graph::PruningConfig pruning = SegugioConfig::scaled_pruning_defaults();
+  /// When set, "probing" clients (machines querying implausibly many
+  /// blacklisted domains, Section VI) are removed before pruning.
+  std::optional<graph::ProberFilterConfig> prober_filter;
 };
 
 /// Wall-clock breakdown of the last train()/classify() calls (Section IV-G),
@@ -113,13 +132,36 @@ struct Detection {
   std::vector<std::string> machines;  ///< machines that queried it
 };
 
+/// Self-contained classification result: classify() captures the machine
+/// attribution of every scored domain at scoring time, so the report can
+/// outlive the graph it was produced from (a deployment can archive
+/// reports while graphs are rebuilt daily).
 struct DetectionReport {
   std::vector<DomainScore> scores;  ///< every unknown domain, scored
 
+  /// Machine attribution, parallel to `scores`: the machines that queried
+  /// scores[i] are machine_names[machine_refs[k]] for k in
+  /// [machine_offsets[i], machine_offsets[i + 1]).
+  std::vector<std::string> machine_names;
+  std::vector<std::uint32_t> machine_offsets;
+  std::vector<std::uint32_t> machine_refs;
+
   /// Domains with score >= threshold, most suspicious first, with the
-  /// querying machines pulled from `graph`.
+  /// querying machines from the attribution captured at classify() time.
+  std::vector<Detection> detections_at(double threshold) const;
+
+  /// Transitional overload for callers still holding the graph; the
+  /// attribution captured in the report makes the graph redundant.
+  // seg-deprecated
   std::vector<Detection> detections_at(double threshold,
                                        const graph::MachineDomainGraph& graph) const;
+};
+
+/// Everything prepare_graph() produces for one day of traffic.
+struct PrepareResult {
+  graph::MachineDomainGraph graph;  ///< labeled, (filtered,) pruned
+  graph::PruneStats prune_stats;    ///< R1-R4 breakdown
+  PrepareTimings timings;           ///< per-stage wall clock
 };
 
 class Segugio {
@@ -128,26 +170,36 @@ class Segugio {
 
   /// Builds (sharded, thread-parallel, bit-identical to the serial
   /// builder), labels, (optionally) prober-filters, and prunes a behavior
-  /// graph from one day of traffic. `timings`, when non-null, receives the
-  /// per-stage wall-clock breakdown.
-  static graph::MachineDomainGraph prepare_graph(
-      const dns::DayTrace& trace, const dns::PublicSuffixList& psl,
-      const graph::NameSet& cc_blacklist, const graph::NameSet& e2ld_whitelist,
-      const graph::PruningConfig& pruning, graph::PruneStats* stats = nullptr,
-      const graph::ProberFilterConfig* prober_filter = nullptr,
-      PrepareTimings* timings = nullptr);
+  /// graph from one day of traffic.
+  static PrepareResult prepare_graph(const dns::DayTrace& trace,
+                                     const dns::PublicSuffixList& psl,
+                                     const graph::NameSet& cc_blacklist,
+                                     const graph::NameSet& e2ld_whitelist,
+                                     const PrepareOptions& options = {});
 
   /// Trains the behavior-based classifier from the known domains of a
   /// prepared graph (hidden-label protocol of Figure 5).
   void train(const graph::MachineDomainGraph& graph, const dns::DomainActivityIndex& activity,
              const dns::PassiveDnsDb& pdns);
 
+  /// Sharded-store overload: history lookups go through the stores'
+  /// parallel query_batch. Top-level calls only (see dns/sharded_store.h).
+  void train(const graph::MachineDomainGraph& graph,
+             const dns::ShardedActivityIndex& activity, const dns::ShardedPassiveDnsDb& pdns);
+
   bool is_trained() const;
 
-  /// Scores every unknown domain of a prepared graph.
+  /// Scores every unknown domain of a prepared graph and captures the
+  /// machine attribution into the report.
   DetectionReport classify(const graph::MachineDomainGraph& graph,
                            const dns::DomainActivityIndex& activity,
                            const dns::PassiveDnsDb& pdns) const;
+
+  /// Sharded-store overload: history lookups go through the stores'
+  /// parallel query_batch. Top-level calls only (see dns/sharded_store.h).
+  DetectionReport classify(const graph::MachineDomainGraph& graph,
+                           const dns::ShardedActivityIndex& activity,
+                           const dns::ShardedPassiveDnsDb& pdns) const;
 
   /// Malware score of a single feature vector (full 11 features; the
   /// configured subset is applied internally).
@@ -169,17 +221,39 @@ class Segugio {
   /// needed to score: feature subset, feature windows). Deployment
   /// configuration such as pruning thresholds travels too, so a model
   /// trained in one network can be dropped into another (Section IV-A's
-  /// cross-network story).
+  /// cross-network story). Streams start with the versioned
+  /// `segf1 segugio-model <version>` header (util/serialize.h); load()
+  /// also accepts headerless legacy `segugio 1` streams.
   void save(std::ostream& out) const;
   static Segugio load(std::istream& in);
 
+  static constexpr int kModelFormatVersion = 2;  ///< 2 = segf1 header; 1 = legacy
+
  private:
   std::vector<double> apply_subset(std::span<const double> features) const;
+  void train_impl(const graph::MachineDomainGraph& graph,
+                  const features::FeatureExtractor& extractor);
+  DetectionReport classify_impl(const graph::MachineDomainGraph& graph,
+                                const features::FeatureExtractor& extractor) const;
 
   SegugioConfig config_;
   std::unique_ptr<ml::RandomForest> forest_;
   std::unique_ptr<ml::LogisticRegression> logistic_;
   mutable PipelineTimings timings_;
 };
+
+namespace detail {
+
+/// Shared implementation behind Segugio::prepare_graph and
+/// Pipeline::ingest_day. With a non-null `cache`, the graph build runs in
+/// streaming mode (name facts carried across days; see
+/// graph/sharded_builder.h) and `carry`, when non-null, receives the
+/// dictionary-reuse counters.
+PrepareResult prepare_day(const dns::DayTrace& trace, const dns::PublicSuffixList& psl,
+                          const graph::NameSet& cc_blacklist,
+                          const graph::NameSet& e2ld_whitelist, const PrepareOptions& options,
+                          graph::NameCache* cache, graph::CarryStats* carry);
+
+}  // namespace detail
 
 }  // namespace seg::core

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "util/require.h"
+#include "util/serialize.h"
 
 namespace seg::dns {
 
@@ -70,7 +71,15 @@ std::optional<Day> DomainActivityIndex::first_seen(std::string_view name) const 
   return it->second.front();
 }
 
+void DomainActivityIndex::visit(
+    const std::function<void(std::string_view, std::span<const Day>)>& fn) const {
+  for (const auto& [name, days] : days_) {  // seg-lint: allow(R-DET2)
+    fn(name, days);
+  }
+}
+
 void DomainActivityIndex::save(std::ostream& out) const {
+  util::write_format_header(out, "activity", kFormatVersion);
   // Serialize names in sorted order so identical indexes always produce
   // identical bytes; hash-table order would leak into the file otherwise.
   std::vector<std::string_view> names;
@@ -90,6 +99,9 @@ void DomainActivityIndex::save(std::ostream& out) const {
 }
 
 DomainActivityIndex DomainActivityIndex::load(std::istream& in) {
+  // Headerless legacy streams parse identically: versions only differ in
+  // the segf1 prefix so far.
+  (void)util::read_format_header(in, "activity", kFormatVersion);
   std::string tag;
   std::size_t count = 0;
   in >> tag >> count;

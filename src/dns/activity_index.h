@@ -8,8 +8,10 @@
 // queried anywhere in the monitored network.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -39,9 +41,18 @@ class DomainActivityIndex {
 
   std::size_t tracked_names() const { return days_.size(); }
 
-  /// Text serialization: one `name day day ...` line per tracked name.
+  /// Enumerates every (name, sorted days) pair in unspecified order (used
+  /// by the sharded store's absorb and merged save paths).
+  void visit(const std::function<void(std::string_view name, std::span<const Day> days)>& fn)
+      const;
+
+  /// Text serialization: one `name day day ...` line per tracked name,
+  /// prefixed with the versioned `segf1 activity <version>` header
+  /// (util/serialize.h). load() also accepts headerless legacy streams.
   void save(std::ostream& out) const;
   static DomainActivityIndex load(std::istream& in);
+
+  static constexpr int kFormatVersion = 2;  ///< 2 = segf1 header; 1 = legacy
 
  private:
   struct StringHash {

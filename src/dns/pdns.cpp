@@ -7,6 +7,7 @@
 #include <string>
 
 #include "util/require.h"
+#include "util/serialize.h"
 
 namespace seg::dns {
 
@@ -87,6 +88,36 @@ bool PassiveDnsDb::any_in_range(const DayIndex& index, std::uint32_t key, Day fr
   return lo != days.end() && *lo <= to;
 }
 
+void PassiveDnsDb::visit(
+    PdnsIndexKind kind,
+    const std::function<void(std::uint32_t, std::span<const Day>)>& fn) const {
+  const DayIndex* index = nullptr;
+  switch (kind) {
+    case PdnsIndexKind::kIpMalware: index = &ip_malware_; break;
+    case PdnsIndexKind::kIpUnknown: index = &ip_unknown_; break;
+    case PdnsIndexKind::kPrefixMalware: index = &prefix_malware_; break;
+    case PdnsIndexKind::kPrefixUnknown: index = &prefix_unknown_; break;
+  }
+  for (const auto& [key, days] : *index) {  // seg-lint: allow(R-DET2)
+    fn(key, days);
+  }
+}
+
+void PassiveDnsDb::merge_index_days(PdnsIndexKind kind, std::uint32_t key,
+                                    std::span<const Day> days) {
+  DayIndex* index = nullptr;
+  switch (kind) {
+    case PdnsIndexKind::kIpMalware: index = &ip_malware_; break;
+    case PdnsIndexKind::kIpUnknown: index = &ip_unknown_; break;
+    case PdnsIndexKind::kPrefixMalware: index = &prefix_malware_; break;
+    case PdnsIndexKind::kPrefixUnknown: index = &prefix_unknown_; break;
+  }
+  auto& stored = (*index)[key];
+  for (const auto day : days) {
+    insert_day(stored, day);
+  }
+}
+
 namespace {
 
 void save_index(std::ostream& out, const char* tag,
@@ -139,6 +170,7 @@ void load_index(std::istream& in, const char* expected_tag,
 }  // namespace
 
 void PassiveDnsDb::save(std::ostream& out) const {
+  util::write_format_header(out, "pdns", kFormatVersion);
   out << "pdns " << observations_ << '\n';
   save_index(out, "ip_malware", ip_malware_);
   save_index(out, "ip_unknown", ip_unknown_);
@@ -147,6 +179,9 @@ void PassiveDnsDb::save(std::ostream& out) const {
 }
 
 PassiveDnsDb PassiveDnsDb::load(std::istream& in) {
+  // Headerless legacy streams parse identically: versions only differ in
+  // the segf1 prefix so far.
+  (void)util::read_format_header(in, "pdns", kFormatVersion);
   std::string tag;
   std::size_t observations = 0;
   in >> tag >> observations;

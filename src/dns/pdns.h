@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <span>
 #include <unordered_map>
@@ -22,6 +23,9 @@ namespace seg::dns {
 /// Label of the domain that pointed at an IP, as known when the passive DNS
 /// observation was stored.
 enum class PdnsAssociation { kMalware, kUnknown, kBenign };
+
+/// One of the four (ip | /24 prefix) x (malware | unknown) day indexes.
+enum class PdnsIndexKind { kIpMalware, kIpUnknown, kPrefixMalware, kPrefixUnknown };
 
 class PassiveDnsDb {
  public:
@@ -52,9 +56,26 @@ class PassiveDnsDb {
   /// Number of distinct IPs with at least one observation.
   std::size_t distinct_ip_count() const;
 
-  /// Text serialization of the malware/unknown indexes.
+  /// Enumerates one index in unspecified order (used by the sharded store's
+  /// absorb and merged save paths).
+  void visit(PdnsIndexKind kind,
+             const std::function<void(std::uint32_t key, std::span<const Day> days)>& fn) const;
+
+  /// Low-level merge: folds sorted-or-not `days` for `key` into one index.
+  /// Idempotent per (key, day); does not touch observation_count().
+  void merge_index_days(PdnsIndexKind kind, std::uint32_t key, std::span<const Day> days);
+
+  /// Overrides the stored observation counter. Merge/absorb paths only —
+  /// normal ingest maintains the counter through add_observation().
+  void set_observation_count(std::size_t count) { observations_ = count; }
+
+  /// Text serialization of the malware/unknown indexes, prefixed with the
+  /// versioned `segf1 pdns <version>` header (util/serialize.h). load()
+  /// also accepts headerless legacy streams.
   void save(std::ostream& out) const;
   static PassiveDnsDb load(std::istream& in);
+
+  static constexpr int kFormatVersion = 2;  ///< 2 = segf1 header; 1 = legacy
 
  private:
   // Sorted day lists per key; days are appended mostly in order (the

@@ -1,0 +1,202 @@
+#include "dns/sharded_store.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/parallel.h"
+#include "util/require.h"
+
+namespace seg::dns {
+
+// ---------------------------------------------------------------------------
+// ShardedActivityIndex
+
+ShardedActivityIndex::ShardedActivityIndex(std::size_t num_shards)
+    : shards_(num_shards == 0 ? 1 : num_shards) {}
+
+std::size_t ShardedActivityIndex::shard_of(std::string_view name) const {
+  return std::hash<std::string_view>{}(name) % shards_.size();
+}
+
+void ShardedActivityIndex::mark_active(std::string_view name, Day day) {
+  shards_[shard_of(name)].mark_active(name, day);
+}
+
+int ShardedActivityIndex::active_days(std::string_view name, Day from, Day to) const {
+  return shards_[shard_of(name)].active_days(name, from, to);
+}
+
+int ShardedActivityIndex::consecutive_days_ending(std::string_view name, Day day) const {
+  return shards_[shard_of(name)].consecutive_days_ending(name, day);
+}
+
+std::optional<Day> ShardedActivityIndex::first_seen(std::string_view name) const {
+  return shards_[shard_of(name)].first_seen(name);
+}
+
+std::size_t ShardedActivityIndex::tracked_names() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.tracked_names();
+  }
+  return total;
+}
+
+std::vector<ShardedActivityIndex::Answer> ShardedActivityIndex::query_batch(
+    std::span<const Query> queries) const {
+  std::vector<Answer> answers(queries.size());
+  util::parallel_for(queries.size(), [&](std::size_t i) {
+    const auto& q = queries[i];
+    const auto& shard = shards_[shard_of(q.name)];
+    answers[i] = Answer{shard.active_days(q.name, q.from, q.to),
+                        shard.consecutive_days_ending(q.name, q.ending)};
+  });
+  return answers;
+}
+
+void ShardedActivityIndex::absorb(const DomainActivityIndex& serial) {
+  serial.visit([&](std::string_view name, std::span<const Day> days) {
+    auto& shard = shards_[shard_of(name)];
+    for (const auto day : days) {
+      shard.mark_active(name, day);
+    }
+  });
+}
+
+void ShardedActivityIndex::save(std::ostream& out) const {
+  // Re-merge into one serial index and reuse its writer: that is what
+  // makes the sharded bytes provably identical to the serial bytes.
+  DomainActivityIndex merged;
+  for (const auto& shard : shards_) {
+    shard.visit([&](std::string_view name, std::span<const Day> days) {
+      for (const auto day : days) {
+        merged.mark_active(name, day);
+      }
+    });
+  }
+  merged.save(out);
+}
+
+ShardedActivityIndex ShardedActivityIndex::load(std::istream& in, std::size_t num_shards) {
+  ShardedActivityIndex index(num_shards);
+  index.absorb(DomainActivityIndex::load(in));
+  return index;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedPassiveDnsDb
+
+namespace {
+
+constexpr PdnsIndexKind kAllPdnsKinds[] = {
+    PdnsIndexKind::kIpMalware,
+    PdnsIndexKind::kIpUnknown,
+    PdnsIndexKind::kPrefixMalware,
+    PdnsIndexKind::kPrefixUnknown,
+};
+
+}  // namespace
+
+ShardedPassiveDnsDb::ShardedPassiveDnsDb(std::size_t num_shards)
+    : shards_(num_shards == 0 ? 1 : num_shards) {}
+
+std::size_t ShardedPassiveDnsDb::shard_of(IpV4 ip) const {
+  // Route by /24 so an IP and its prefix share a shard: one routing
+  // decision serves all four F3 flags of a query.
+  return std::hash<std::uint32_t>{}(ip.prefix24()) % shards_.size();
+}
+
+void ShardedPassiveDnsDb::add_observation(Day day, IpV4 ip, PdnsAssociation kind) {
+  shards_[shard_of(ip)].add_observation(day, ip, kind);
+  ++observations_;
+}
+
+void ShardedPassiveDnsDb::add_resolution(Day day, std::span<const IpV4> ips,
+                                         PdnsAssociation kind) {
+  for (const auto ip : ips) {
+    add_observation(day, ip, kind);
+  }
+}
+
+bool ShardedPassiveDnsDb::ip_malware_associated(IpV4 ip, Day from, Day to) const {
+  return shards_[shard_of(ip)].ip_malware_associated(ip, from, to);
+}
+
+bool ShardedPassiveDnsDb::prefix_malware_associated(IpV4 ip, Day from, Day to) const {
+  return shards_[shard_of(ip)].prefix_malware_associated(ip, from, to);
+}
+
+bool ShardedPassiveDnsDb::ip_unknown_associated(IpV4 ip, Day from, Day to) const {
+  return shards_[shard_of(ip)].ip_unknown_associated(ip, from, to);
+}
+
+bool ShardedPassiveDnsDb::prefix_unknown_associated(IpV4 ip, Day from, Day to) const {
+  return shards_[shard_of(ip)].prefix_unknown_associated(ip, from, to);
+}
+
+std::size_t ShardedPassiveDnsDb::observation_count() const { return observations_; }
+
+std::size_t ShardedPassiveDnsDb::distinct_ip_count() const {
+  // Every observation for an IP routes to one fixed shard, so the shard
+  // counts partition the distinct-IP set.
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.distinct_ip_count();
+  }
+  return total;
+}
+
+std::vector<ShardedPassiveDnsDb::AbuseAnswer> ShardedPassiveDnsDb::query_batch(
+    std::span<const AbuseQuery> queries) const {
+  std::vector<AbuseAnswer> answers(queries.size());
+  util::parallel_for(queries.size(), [&](std::size_t i) {
+    const auto& q = queries[i];
+    const auto& shard = shards_[shard_of(q.ip)];
+    answers[i] = AbuseAnswer{
+        static_cast<std::uint8_t>(shard.ip_malware_associated(q.ip, q.from, q.to)),
+        static_cast<std::uint8_t>(shard.ip_unknown_associated(q.ip, q.from, q.to)),
+        static_cast<std::uint8_t>(shard.prefix_malware_associated(q.ip, q.from, q.to)),
+        static_cast<std::uint8_t>(shard.prefix_unknown_associated(q.ip, q.from, q.to))};
+  });
+  return answers;
+}
+
+void ShardedPassiveDnsDb::absorb(const PassiveDnsDb& serial) {
+  for (const auto kind : kAllPdnsKinds) {
+    // Both per-IP and per-prefix keys route through the /24 hash; for
+    // prefix indexes the key already is the /24, for IP indexes we must
+    // rebuild an IpV4 so shard_of sees the IP's prefix.
+    const bool key_is_ip =
+        kind == PdnsIndexKind::kIpMalware || kind == PdnsIndexKind::kIpUnknown;
+    serial.visit(kind, [&](std::uint32_t key, std::span<const Day> days) {
+      const std::size_t sh = key_is_ip
+                                 ? shard_of(IpV4(key))
+                                 : std::hash<std::uint32_t>{}(key) % shards_.size();
+      shards_[sh].merge_index_days(kind, key, days);
+    });
+  }
+  observations_ = std::max(observations_, serial.observation_count());
+}
+
+void ShardedPassiveDnsDb::save(std::ostream& out) const {
+  // Re-merge into one serial database and reuse its writer so the sharded
+  // bytes are identical to the serial bytes for the same content.
+  PassiveDnsDb merged;
+  for (const auto& shard : shards_) {
+    for (const auto kind : kAllPdnsKinds) {
+      shard.visit(kind, [&](std::uint32_t key, std::span<const Day> days) {
+        merged.merge_index_days(kind, key, days);
+      });
+    }
+  }
+  merged.set_observation_count(observations_);
+  merged.save(out);
+}
+
+ShardedPassiveDnsDb ShardedPassiveDnsDb::load(std::istream& in, std::size_t num_shards) {
+  ShardedPassiveDnsDb db(num_shards);
+  db.absorb(PassiveDnsDb::load(in));
+  return db;
+}
+
+}  // namespace seg::dns

@@ -1,0 +1,135 @@
+// Sharded history stores for the streaming pipeline.
+//
+// The F2/F3 features consult the activity index and the passive DNS
+// database once per candidate domain; at ISP scale those lookups dominate
+// feature extraction. These wrappers shard the serial stores by key hash
+// and answer batched queries in parallel — one worker per shard slice —
+// while keeping the serial classes as the single source of truth for
+// semantics: every shard IS a serial store, and every answer is produced
+// by the serial query code.
+//
+// Determinism contract: the shard count never affects answers (routing is
+// a pure function of the key) and save() emits bytes identical to the
+// serial store's save() for the same logical content (shards are merged
+// and re-sorted before writing).
+//
+// Threading contract: query_batch() parallelizes internally and must only
+// be called from the top level, never from inside a parallel_for body
+// (both would contend for the shared pool; see util/parallel.h).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dns/activity_index.h"
+#include "dns/ip.h"
+#include "dns/pdns.h"
+#include "dns/types.h"
+
+namespace seg::dns {
+
+/// Domain activity history sharded by name hash. Facade over
+/// DomainActivityIndex; answers are identical to a single serial index
+/// holding the same observations, for every shard count.
+class ShardedActivityIndex {
+ public:
+  /// One activity lookup: both F2 measurements for `name` in one pass.
+  struct Query {
+    std::string_view name;  ///< FQDN or e2LD; must outlive query_batch()
+    Day from = 0;           ///< active-day window start (inclusive)
+    Day to = 0;             ///< active-day window end (inclusive)
+    Day ending = 0;         ///< day the consecutive streak must end on
+  };
+  struct Answer {
+    int active_days = 0;
+    int consecutive_days = 0;
+  };
+
+  explicit ShardedActivityIndex(std::size_t num_shards = kDefaultShards);
+
+  /// Serial API (thin facade: routes to the owning shard).
+  void mark_active(std::string_view name, Day day);
+  int active_days(std::string_view name, Day from, Day to) const;
+  int consecutive_days_ending(std::string_view name, Day day) const;
+  std::optional<Day> first_seen(std::string_view name) const;
+  std::size_t tracked_names() const;
+
+  /// Answers every query in parallel. answers[i] corresponds to
+  /// queries[i]. Top-level calls only (see threading contract above).
+  std::vector<Answer> query_batch(std::span<const Query> queries) const;
+
+  /// Folds a serial index's observations into the shards. Idempotent:
+  /// absorbing the same index twice changes nothing.
+  void absorb(const DomainActivityIndex& serial);
+
+  /// Byte-identical to DomainActivityIndex::save() of the merged content.
+  void save(std::ostream& out) const;
+  /// Loads a (possibly legacy) serial stream and shards it.
+  static ShardedActivityIndex load(std::istream& in, std::size_t num_shards = kDefaultShards);
+
+  static constexpr std::size_t kDefaultShards = 16;
+
+ private:
+  std::size_t shard_of(std::string_view name) const;
+
+  std::vector<DomainActivityIndex> shards_;
+};
+
+/// Passive DNS database sharded by /24-prefix hash, so an IP and its /24
+/// always live in the same shard and one routing decision serves both the
+/// per-IP and per-prefix F3 lookups. Facade over PassiveDnsDb.
+class ShardedPassiveDnsDb {
+ public:
+  /// One F3 lookup: all four abuse flags for `ip` over [from, to].
+  struct AbuseQuery {
+    IpV4 ip;
+    Day from = 0;
+    Day to = 0;
+  };
+  struct AbuseAnswer {
+    std::uint8_t ip_malware = 0;
+    std::uint8_t ip_unknown = 0;
+    std::uint8_t prefix_malware = 0;
+    std::uint8_t prefix_unknown = 0;
+  };
+
+  explicit ShardedPassiveDnsDb(std::size_t num_shards = kDefaultShards);
+
+  /// Serial API (thin facade: routes to the owning shard).
+  void add_observation(Day day, IpV4 ip, PdnsAssociation kind);
+  void add_resolution(Day day, std::span<const IpV4> ips, PdnsAssociation kind);
+  bool ip_malware_associated(IpV4 ip, Day from, Day to) const;
+  bool prefix_malware_associated(IpV4 ip, Day from, Day to) const;
+  bool ip_unknown_associated(IpV4 ip, Day from, Day to) const;
+  bool prefix_unknown_associated(IpV4 ip, Day from, Day to) const;
+  std::size_t observation_count() const;
+  std::size_t distinct_ip_count() const;
+
+  /// Answers every query in parallel. answers[i] corresponds to
+  /// queries[i]. Top-level calls only (see threading contract above).
+  std::vector<AbuseAnswer> query_batch(std::span<const AbuseQuery> queries) const;
+
+  /// Folds a serial database's day indexes into the shards. Idempotent on
+  /// the indexes; observation_count() becomes max(current, serial count)
+  /// so repeat absorbs of the same snapshot do not double-count.
+  void absorb(const PassiveDnsDb& serial);
+
+  /// Byte-identical to PassiveDnsDb::save() of the merged content.
+  void save(std::ostream& out) const;
+  /// Loads a (possibly legacy) serial stream and shards it.
+  static ShardedPassiveDnsDb load(std::istream& in, std::size_t num_shards = kDefaultShards);
+
+  static constexpr std::size_t kDefaultShards = 16;
+
+ private:
+  std::size_t shard_of(IpV4 ip) const;
+
+  std::vector<PassiveDnsDb> shards_;
+  std::size_t observations_ = 0;
+};
+
+}  // namespace seg::dns

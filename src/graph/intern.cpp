@@ -1,0 +1,73 @@
+#include "graph/intern.h"
+
+#include <string_view>
+#include <utility>
+
+#include "graph/graph.h"
+#include "util/parallel.h"
+
+namespace seg::graph {
+
+FirstOccurrenceIntern intern_first_occurrence(std::vector<std::string>&& values) {
+  const std::size_t n = values.size();
+  FirstOccurrenceIntern result;
+  result.ids.resize(n);
+  if (n == 0) {
+    return result;
+  }
+
+  const std::size_t chunks = util::default_chunk_count(n);
+  const std::size_t per_chunk = (n + chunks - 1) / chunks;
+
+  // Pass 1 (count): per-chunk local interning. `firsts[c]` holds the input
+  // index of each distinct value's first occurrence inside chunk c, in
+  // local first-occurrence order; `result.ids` temporarily holds local ids.
+  std::vector<std::vector<std::size_t>> firsts(chunks);
+  util::parallel_for(chunks, [&](std::size_t c) {
+    const std::size_t lo = std::min(n, c * per_chunk);
+    const std::size_t hi = std::min(n, lo + per_chunk);
+    StringIdMap<std::uint32_t> local;
+    auto& first_of = firsts[c];
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::string_view value = values[i];
+      if (const auto it = local.find(value); it != local.end()) {
+        result.ids[i] = it->second;
+      } else {
+        const auto local_id = static_cast<std::uint32_t>(first_of.size());
+        local.emplace(std::string(value), local_id);
+        first_of.push_back(i);
+        result.ids[i] = local_id;
+      }
+    }
+  });
+
+  // Pass 2a (assign): serial chunk-order walk over distinct values only.
+  StringIdMap<std::uint32_t> global;
+  std::vector<std::vector<std::uint32_t>> remap(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    remap[c].resize(firsts[c].size());
+    for (std::size_t local = 0; local < firsts[c].size(); ++local) {
+      auto& value = values[firsts[c][local]];
+      if (const auto it = global.find(value); it != global.end()) {
+        remap[c][local] = it->second;
+      } else {
+        const auto id = static_cast<std::uint32_t>(result.distinct.size());
+        result.distinct.push_back(value);
+        global.emplace(std::move(value), id);
+        remap[c][local] = id;
+      }
+    }
+  }
+
+  // Pass 2b (remap): local id -> global id, parallel over disjoint slices.
+  util::parallel_for(chunks, [&](std::size_t c) {
+    const std::size_t lo = std::min(n, c * per_chunk);
+    const std::size_t hi = std::min(n, lo + per_chunk);
+    for (std::size_t i = lo; i < hi; ++i) {
+      result.ids[i] = remap[c][result.ids[i]];
+    }
+  });
+  return result;
+}
+
+}  // namespace seg::graph

@@ -1,0 +1,37 @@
+// Deterministic two-pass parallel first-occurrence interning.
+//
+// Assigning dense ids to string values in first-occurrence order is a
+// serial bottleneck of graph assembly (the e2LD annotation pass; ROADMAP
+// "parallel e2LD annotation"). The two-pass scheme parallelizes it without
+// changing a single assigned id:
+//
+//   1. count: chunk the input; each worker collects its chunk's distinct
+//      values in local first-occurrence order (and tags every input slot
+//      with its chunk-local id);
+//   2. assign: walk the chunks' distinct lists in chunk order — a short
+//      serial pass over distinct values only, not all inputs — assigning
+//      global ids on first sight, then remap every slot in parallel.
+//
+// A value's first global appearance lies in the earliest chunk containing
+// it, and within a chunk the local list preserves input order, so the
+// resulting ids equal a serial left-to-right scan for every chunk count
+// (see tests/graph/sharded_builder_test.cpp for the byte-equality gate).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace seg::graph {
+
+struct FirstOccurrenceIntern {
+  std::vector<std::uint32_t> ids;     ///< per input slot, in input order
+  std::vector<std::string> distinct;  ///< distinct values, in id order
+};
+
+/// Interns `values` (consumed: distinct strings are moved out) into dense
+/// first-occurrence ids. Runs the count and remap passes under
+/// util::parallel_for; the result is identical for every thread count.
+FirstOccurrenceIntern intern_first_occurrence(std::vector<std::string>&& values);
+
+}  // namespace seg::graph

@@ -1,0 +1,77 @@
+#include "graph/name_cache.h"
+
+#include <algorithm>
+
+#include "util/parallel.h"
+
+namespace seg::graph {
+
+NameCache::NameCache(std::size_t num_shards)
+    : shards_(std::max<std::size_t>(1, num_shards)) {}
+
+std::size_t NameCache::shard_of(std::string_view name) const {
+  return std::hash<std::string_view>{}(name) % shards_.size();
+}
+
+const NameCache::Entry* NameCache::find(std::string_view name) const {
+  const auto& shard = shards_[shard_of(name)];
+  const auto it = shard.ids.find(name);
+  return it != shard.ids.end() ? &shard.entries[it->second] : nullptr;
+}
+
+std::size_t NameCache::merge(const std::vector<std::vector<NewName>>& per_source) {
+  // Bucket every key by target shard first (serial, hashing only), so the
+  // insertion loop below owns each shard exclusively and can run in
+  // parallel. Bucket order is (source, index, raw-before-alias) — fixed by
+  // the input, not by thread scheduling — so the cache contents are
+  // deterministic (not that lookups could tell: entries are pure functions
+  // of the name).
+  struct Ref {
+    std::uint32_t source = 0;
+    std::uint32_t index = 0;
+    bool alias = false;  // key by normalized form instead of raw spelling
+  };
+  std::vector<std::vector<Ref>> buckets(shards_.size());
+  for (std::uint32_t s = 0; s < per_source.size(); ++s) {
+    for (std::uint32_t i = 0; i < per_source[s].size(); ++i) {
+      const auto& name = per_source[s][i];
+      buckets[shard_of(name.raw)].push_back(Ref{s, i, false});
+      if (name.valid && name.normalized != name.raw) {
+        buckets[shard_of(name.normalized)].push_back(Ref{s, i, true});
+      }
+    }
+  }
+
+  std::vector<std::size_t> inserted_normalized(shards_.size(), 0);
+  util::parallel_for(shards_.size(), [&](std::size_t sh) {
+    auto& shard = shards_[sh];
+    for (const auto& ref : buckets[sh]) {
+      const auto& name = per_source[ref.source][ref.index];
+      const std::string& key = ref.alias ? name.normalized : name.raw;
+      if (shard.ids.contains(key)) {
+        continue;
+      }
+      shard.entries.push_back(Entry{name.normalized, name.e2ld, name.valid});
+      shard.ids.emplace(key, static_cast<std::uint32_t>(shard.entries.size() - 1));
+      if (name.valid && key == name.normalized) {
+        ++inserted_normalized[sh];
+      }
+    }
+  });
+
+  std::size_t total = 0;
+  for (const auto count : inserted_normalized) {
+    total += count;
+  }
+  return total;
+}
+
+std::size_t NameCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+}  // namespace seg::graph

@@ -57,6 +57,25 @@ void scan_comment(std::string_view comment, std::size_t line,
   find_directive("seg-lint: allow(", /*whole_file=*/false);
 }
 
+// True when a comment is exactly the `seg-deprecated` marker. Prose that
+// merely mentions the marker (like this sentence) must not tag the next
+// declaration, so the comment body has to be the marker and nothing else.
+bool is_deprecated_marker(std::string_view comment) {
+  if (comment.substr(0, 2) == "//" || comment.substr(0, 2) == "/*") {
+    comment.remove_prefix(2);
+  }
+  if (comment.size() >= 2 && comment.substr(comment.size() - 2) == "*/") {
+    comment.remove_suffix(2);
+  }
+  while (!comment.empty() && std::isspace(static_cast<unsigned char>(comment.front()))) {
+    comment.remove_prefix(1);
+  }
+  while (!comment.empty() && std::isspace(static_cast<unsigned char>(comment.back()))) {
+    comment.remove_suffix(1);
+  }
+  return comment == "seg-deprecated";
+}
+
 }  // namespace
 
 LexResult lex(std::string_view source) {
@@ -84,7 +103,11 @@ LexResult lex(std::string_view source) {
     if (c == '/' && i + 1 < n && source[i + 1] == '/') {
       const std::size_t end = source.find('\n', i);
       const std::size_t stop = end == std::string_view::npos ? n : end;
-      scan_comment(source.substr(i, stop - i), line, result.suppressions);
+      const std::string_view body = source.substr(i, stop - i);
+      scan_comment(body, line, result.suppressions);
+      if (is_deprecated_marker(body)) {
+        result.deprecated_markers.push_back(line);
+      }
       i = stop;
       continue;
     }
@@ -94,6 +117,9 @@ LexResult lex(std::string_view source) {
       const std::size_t stop = end == std::string_view::npos ? n : end + 2;
       const std::string_view body = source.substr(i, stop - i);
       scan_comment(body, line, result.suppressions);
+      if (is_deprecated_marker(body)) {
+        result.deprecated_markers.push_back(line);
+      }
       advance_lines(body);
       i = stop;
       continue;

@@ -8,6 +8,10 @@
 //   // seg-lint: allow-file(R-DET2)       suppress for the whole file
 //   // seg-lint: allow(R-DET2, R-RACE2)   several rules at once
 //
+// Comments are also scanned for the `// seg-deprecated` marker, which tags
+// the declaration on the following line as a deprecated entry point for
+// rule R-API1 (see rules.h).
+//
 // This is not a full C++ front end — no preprocessing, no name lookup. It
 // is exactly enough structure for the project-contract rules in rules.h to
 // pattern-match deterministically.
@@ -41,6 +45,9 @@ struct Suppression {
 struct LexResult {
   std::vector<Token> tokens;
   std::vector<Suppression> suppressions;
+  /// Lines carrying a `seg-deprecated` marker comment; the declaration
+  /// that follows each marker is a deprecated entry point (R-API1).
+  std::vector<std::size_t> deprecated_markers;
   std::size_t line_count = 0;
 };
 

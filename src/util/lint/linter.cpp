@@ -75,14 +75,16 @@ fs::path resolve_include(const std::string& target, const fs::path& including_di
   return {};
 }
 
-// Collects unordered-container declarations from `source` and, recursively,
-// from every reachable quoted include (project headers only).
+// Collects unordered-container and seg-deprecated declarations from
+// `source` and, recursively, from every reachable quoted include (project
+// headers only).
 void collect_decls_recursive(const std::string& source, const fs::path& dir,
                              const LintOptions& options,
                              std::unordered_set<std::string>& visited,
-                             UnorderedDecls& decls) {
+                             UnorderedDecls& decls, DeprecatedDecls& deprecated) {
   const LexResult lexed = lex(source);
   collect_unordered_decls(lexed.tokens, decls);
+  collect_deprecated_decls(lexed, deprecated);
   for (const auto& target : quoted_includes(source)) {
     const fs::path resolved = resolve_include(target, dir, options);
     if (resolved.empty()) {
@@ -96,7 +98,8 @@ void collect_decls_recursive(const std::string& source, const fs::path& dir,
     }
     std::string text;
     if (read_file(resolved, text)) {
-      collect_decls_recursive(text, resolved.parent_path(), options, visited, decls);
+      collect_decls_recursive(text, resolved.parent_path(), options, visited, decls,
+                              deprecated);
     }
   }
 }
@@ -144,11 +147,14 @@ std::vector<Finding> lint_text(std::string_view path, std::string_view text,
   const LexResult lexed = lex(text);
 
   UnorderedDecls decls;
+  DeprecatedDecls deprecated;
   if (!extra_header_text.empty()) {
     const LexResult header = lex(extra_header_text);
     collect_unordered_decls(header.tokens, decls);
+    collect_deprecated_decls(header, deprecated);
   }
   collect_unordered_decls(lexed.tokens, decls);
+  collect_deprecated_decls(lexed, deprecated);
 
   FileInfo info;
   info.path = std::string(path);
@@ -156,7 +162,7 @@ std::vector<Finding> lint_text(std::string_view path, std::string_view text,
   info.emission = is_emission_file(path, lexed.tokens, options);
   info.timing_allowed = path_contains(path, options.timing_allowlist);
 
-  return filter_rules(run_rules(info, lexed, decls), options);
+  return filter_rules(run_rules(info, lexed, decls, deprecated), options);
 }
 
 std::vector<Finding> lint_file(const std::string& path, const LintOptions& options) {
@@ -167,8 +173,10 @@ std::vector<Finding> lint_file(const std::string& path, const LintOptions& optio
   const LexResult lexed = lex(text);
 
   UnorderedDecls decls;
+  DeprecatedDecls deprecated;
   std::unordered_set<std::string> visited;
-  collect_decls_recursive(text, fs::path(path).parent_path(), options, visited, decls);
+  collect_decls_recursive(text, fs::path(path).parent_path(), options, visited, decls,
+                          deprecated);
 
   FileInfo info;
   info.path = path;
@@ -176,7 +184,7 @@ std::vector<Finding> lint_file(const std::string& path, const LintOptions& optio
   info.emission = is_emission_file(path, lexed.tokens, options);
   info.timing_allowed = path_contains(path, options.timing_allowlist);
 
-  return filter_rules(run_rules(info, lexed, decls), options);
+  return filter_rules(run_rules(info, lexed, decls, deprecated), options);
 }
 
 std::vector<std::string> collect_sources(const std::vector<std::string>& roots) {

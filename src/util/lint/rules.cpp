@@ -415,6 +415,78 @@ void rule_race2(const FileInfo& info, const Tokens& toks, std::vector<Finding>& 
   }
 }
 
+// --- R-API1 ---------------------------------------------------------------
+
+// Counts the top-level commas of the parenthesized list opening at `open`
+// and returns the implied argument/parameter count (0 for `()`).
+std::size_t paren_list_arity(const Tokens& toks, std::size_t open) {
+  const std::size_t close = skip_balanced(toks, open);
+  if (close == open + 2) {
+    return 0;
+  }
+  std::size_t arity = 1;
+  int depth = 0;
+  for (std::size_t i = open; i + 1 < close; ++i) {
+    if (is_punct(toks[i], "(") || is_punct(toks[i], "[") || is_punct(toks[i], "{")) {
+      ++depth;
+    } else if (is_punct(toks[i], ")") || is_punct(toks[i], "]") ||
+               is_punct(toks[i], "}")) {
+      --depth;
+    } else if (depth == 1 && is_punct(toks[i], ",")) {
+      ++arity;
+    }
+  }
+  return arity;
+}
+
+// True when the parenthesized list at `open` belongs to a function
+// definition or declaration rather than a call: the matching `)` is
+// followed (past cv/ref/noexcept qualifiers) by `{`, or by `;` with a
+// return type in front of the name.
+bool is_function_heading(const Tokens& toks, std::size_t name, std::size_t open) {
+  std::size_t i = skip_balanced(toks, open);
+  while (i < toks.size() &&
+         (is_id(toks[i], "const") || is_id(toks[i], "noexcept") ||
+          is_id(toks[i], "override") || is_id(toks[i], "final") || is_punct(toks[i], "&") ||
+          is_punct(toks[i], "&&"))) {
+    ++i;
+  }
+  if (i < toks.size() && is_punct(toks[i], "{")) {
+    return true;  // definition body
+  }
+  // Declaration: a type-like token directly precedes the name (calls are
+  // preceded by punctuation such as `.`/`->`/`=`/`(`/`,`/`;` or `return`).
+  if (name > 0) {
+    const auto& prev = toks[name - 1];
+    if ((prev.kind == TokKind::kIdentifier && !non_type_keyword(prev.text)) ||
+        is_punct(prev, ">") || is_punct(prev, "*") || is_punct(prev, "&")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void rule_api1(const FileInfo& info, const Tokens& toks, const DeprecatedDecls& deprecated,
+               std::vector<Finding>& out) {
+  if (info.is_header || deprecated.decls.empty()) {
+    return;
+  }
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdentifier || !is_punct(toks[i + 1], "(")) {
+      continue;
+    }
+    const std::size_t arity = paren_list_arity(toks, i + 1);
+    if (!deprecated.matches(toks[i].text, arity) || is_function_heading(toks, i, i + 1)) {
+      continue;
+    }
+    out.push_back(Finding{
+        info.path, toks[i].line, "R-API1",
+        "call to deprecated entry point '" + std::string(toks[i].text) + "' (" +
+            std::to_string(arity) + " args, tagged seg-deprecated); migrate to the "
+            "replacement overload"});
+  }
+}
+
 // --- R-HDR1 / R-HDR2 ------------------------------------------------------
 
 void rule_headers(const FileInfo& info, const Tokens& toks, std::vector<Finding>& out) {
@@ -511,13 +583,53 @@ void collect_unordered_decls(const std::vector<Token>& tokens, UnorderedDecls& d
   }
 }
 
+bool DeprecatedDecls::matches(std::string_view name, std::size_t arity) const {
+  return std::any_of(decls.begin(), decls.end(), [&](const Decl& d) {
+    return d.arity == arity && d.name == name;
+  });
+}
+
+void collect_deprecated_decls(const LexResult& lex, DeprecatedDecls& decls) {
+  for (const std::size_t marker : lex.deprecated_markers) {
+    // First token past the marker line starts the tagged declaration; the
+    // declared name is the identifier directly before its parameter list.
+    std::size_t begin = 0;
+    while (begin < lex.tokens.size() && lex.tokens[begin].line <= marker) {
+      ++begin;
+    }
+    for (std::size_t i = begin; i + 1 < lex.tokens.size(); ++i) {
+      if (is_punct(lex.tokens[i], ";") || is_punct(lex.tokens[i], "{")) {
+        break;  // declaration ended without a parameter list
+      }
+      if (lex.tokens[i].kind != TokKind::kIdentifier ||
+          !is_punct(lex.tokens[i + 1], "(")) {
+        continue;
+      }
+      DeprecatedDecls::Decl decl;
+      decl.name = std::string(lex.tokens[i].text);
+      decl.arity = paren_list_arity(lex.tokens, i + 1);
+      const bool known = std::any_of(
+          decls.decls.begin(), decls.decls.end(),
+          [&](const DeprecatedDecls::Decl& d) {
+            return d.name == decl.name && d.arity == decl.arity;
+          });
+      if (!known) {
+        decls.decls.push_back(std::move(decl));
+      }
+      break;
+    }
+  }
+}
+
 std::vector<Finding> run_rules(const FileInfo& info, const LexResult& lex,
-                               const UnorderedDecls& decls) {
+                               const UnorderedDecls& decls,
+                               const DeprecatedDecls& deprecated) {
   std::vector<Finding> findings;
   rule_det1(info, lex.tokens, findings);
   rule_det2(info, lex.tokens, decls, findings);
   rule_race1(info, lex.tokens, findings);
   rule_race2(info, lex.tokens, findings);
+  rule_api1(info, lex.tokens, deprecated, findings);
   rule_headers(info, lex.tokens, findings);
 
   std::vector<Finding> kept;

@@ -16,6 +16,9 @@
 //           through an unpartitioned subscript.
 //   R-HDR1  every header starts its include story with #pragma once.
 //   R-HDR2  no `using namespace` at header scope.
+//   R-API1  no calls to deprecated entry points (declarations tagged with
+//           a `// seg-deprecated` marker comment in a header) from
+//           non-test code; arity disambiguates same-name overloads.
 //
 // Rules operate on the token stream from lexer.h plus a per-file
 // classification computed by the driver in linter.h. All matching is
@@ -64,10 +67,28 @@ struct UnorderedDecls {
 /// header so member types declared away from their use are still known.
 void collect_unordered_decls(const std::vector<Token>& tokens, UnorderedDecls& decls);
 
-/// Runs every rule over one file's token stream. `decls` should already
-/// contain the header-derived declarations. Suppressed findings are
-/// dropped before returning.
+/// Entry points tagged `// seg-deprecated`: the function declared directly
+/// below each marker, identified by name plus parameter count so the
+/// replacement overload with a different arity stays legal (R-API1).
+struct DeprecatedDecls {
+  struct Decl {
+    std::string name;
+    std::size_t arity = 0;
+  };
+  std::vector<Decl> decls;
+
+  bool matches(std::string_view name, std::size_t arity) const;
+};
+
+/// Scans a lexed file for `seg-deprecated` markers and records the tagged
+/// declarations. Called for the linted file and its reachable headers.
+void collect_deprecated_decls(const LexResult& lex, DeprecatedDecls& decls);
+
+/// Runs every rule over one file's token stream. `decls` and `deprecated`
+/// should already contain the header-derived declarations. Suppressed
+/// findings are dropped before returning.
 std::vector<Finding> run_rules(const FileInfo& info, const LexResult& lex,
-                               const UnorderedDecls& decls);
+                               const UnorderedDecls& decls,
+                               const DeprecatedDecls& deprecated);
 
 }  // namespace seg::lint

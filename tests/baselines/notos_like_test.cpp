@@ -20,8 +20,9 @@ class NotosLikeTest : public ::testing::Test {
     auto& w = world();
     const auto trace = w.generate_day(1, day);
     return core::Segugio::prepare_graph(
-        trace, w.psl(), w.blacklist().as_of(sim::BlacklistKind::kCommercial, day),
-        w.whitelist().all(), core::SegugioConfig::scaled_pruning_defaults());
+               trace, w.psl(), w.blacklist().as_of(sim::BlacklistKind::kCommercial, day),
+               w.whitelist().all())
+        .graph;
   }
 
   static NotosConfig fast_config() {

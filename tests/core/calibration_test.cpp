@@ -20,8 +20,8 @@ class CalibrationTest : public ::testing::Test {
     const auto trace = w.generate_day(0, day);
     return Segugio::prepare_graph(trace, w.psl(),
                                   w.blacklist().as_of(sim::BlacklistKind::kCommercial, day),
-                                  w.whitelist().all(),
-                                  SegugioConfig::scaled_pruning_defaults());
+                                  w.whitelist().all())
+        .graph;
   }
 
   static Segugio trained(const graph::MachineDomainGraph& graph) {

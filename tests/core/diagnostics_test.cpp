@@ -18,8 +18,10 @@ Segugio trained_detector(SegugioConfig config) {
   auto& w = test_world();
   const auto trace = w.generate_day(0, 0);
   const auto graph = Segugio::prepare_graph(
-      trace, w.psl(), w.blacklist().as_of(sim::BlacklistKind::kCommercial, 0),
-      w.whitelist().all(), SegugioConfig::scaled_pruning_defaults());
+                         trace, w.psl(),
+                         w.blacklist().as_of(sim::BlacklistKind::kCommercial, 0),
+                         w.whitelist().all())
+                         .graph;
   Segugio segugio(std::move(config));
   segugio.train(graph, w.activity(), w.pdns());
   return segugio;

@@ -1,0 +1,156 @@
+// Determinism tests for the streaming pipeline: a multi-day session must
+// be invisible in the output. Every streamed graph is byte-identical to a
+// from-scratch prepare_graph() of the same trace, and classify() scores
+// are bit-identical across thread counts and to the one-shot serial-store
+// flow.
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/segugio.h"
+#include "graph/graph_io.h"
+#include "sim/world.h"
+#include "util/parallel.h"
+
+namespace seg::core {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static sim::World& world() {
+    static sim::World instance{sim::ScenarioConfig::small()};
+    return instance;
+  }
+
+  static SegugioConfig fast_config() {
+    SegugioConfig config;
+    config.forest.num_trees = 20;
+    config.forest.num_threads = 1;
+    return config;
+  }
+
+  static std::string graph_bytes(const graph::MachineDomainGraph& graph) {
+    std::ostringstream blob;
+    graph::save_graph(graph, blob);
+    return std::move(blob).str();
+  }
+};
+
+TEST_F(PipelineTest, ThreeDayStreamedIngestMatchesFromScratchBuilds) {
+  auto& w = world();
+  const auto config = fast_config();
+  std::vector<dns::DayTrace> traces;
+  std::vector<graph::NameSet> blacklists;
+  for (dns::Day day = 0; day < 3; ++day) {
+    traces.push_back(w.generate_day(0, day));
+    blacklists.push_back(w.blacklist().as_of(sim::BlacklistKind::kCommercial, day));
+  }
+  const auto whitelist = w.whitelist().all();
+
+  Pipeline pipeline(w.psl(), config);
+  for (dns::Day day = 0; day < 3; ++day) {
+    pipeline.absorb_history(w.activity(), w.pdns());
+    const auto prepared =
+        pipeline.ingest_day(traces[static_cast<std::size_t>(day)],
+                            blacklists[static_cast<std::size_t>(day)], whitelist);
+    EXPECT_EQ(prepared.day, day);
+    const auto scratch =
+        Segugio::prepare_graph(traces[static_cast<std::size_t>(day)], w.psl(),
+                               blacklists[static_cast<std::size_t>(day)], whitelist,
+                               config.prepare_options());
+    EXPECT_EQ(graph_bytes(prepared.graph), graph_bytes(scratch.graph))
+        << "streamed day " << day << " diverges from the from-scratch build";
+    EXPECT_EQ(prepared.prune_stats.domains_after, scratch.prune_stats.domains_after);
+    EXPECT_EQ(prepared.prune_stats.edges_after, scratch.prune_stats.edges_after);
+  }
+
+  const auto& stats = pipeline.streaming_stats();
+  EXPECT_EQ(stats.days_ingested, 3u);
+  ASSERT_EQ(stats.reuse_ratios.size(), 3u);
+  // Consecutive days of the same network share most of their names, so the
+  // carried dictionary must pay off from day 2 on.
+  EXPECT_GT(stats.reuse_ratios.back(), 0.0);
+  EXPECT_GT(stats.cached_names, 0u);
+}
+
+TEST_F(PipelineTest, ScoresBitIdenticalAcrossThreadCountsAndSerialFlow) {
+  auto& w = world();
+  const auto config = fast_config();
+  const auto train_trace = w.generate_day(0, 5);
+  const auto train_blacklist = w.blacklist().as_of(sim::BlacklistKind::kCommercial, 5);
+  const auto test_trace = w.generate_day(0, 6);
+  const auto test_blacklist = w.blacklist().as_of(sim::BlacklistKind::kCommercial, 6);
+  const auto whitelist = w.whitelist().all();
+
+  const auto run_session = [&] {
+    Pipeline pipeline(w.psl(), w.activity(), w.pdns(), config);
+    const auto train_day = pipeline.ingest_day(train_trace, train_blacklist, whitelist);
+    pipeline.train(train_day);
+    const auto test_day = pipeline.ingest_day(test_trace, test_blacklist, whitelist);
+    auto report = pipeline.classify(test_day);
+    return std::make_pair(graph_bytes(test_day.graph), std::move(report));
+  };
+
+  util::set_parallelism(1);
+  const auto [serial_graph, serial_report] = run_session();
+  util::set_parallelism(8);
+  const auto [parallel_graph, parallel_report] = run_session();
+  util::set_parallelism(0);
+
+  EXPECT_EQ(serial_graph, parallel_graph);
+  ASSERT_EQ(serial_report.scores.size(), parallel_report.scores.size());
+  for (std::size_t i = 0; i < serial_report.scores.size(); ++i) {
+    EXPECT_EQ(serial_report.scores[i].name, parallel_report.scores[i].name);
+    EXPECT_EQ(serial_report.scores[i].score, parallel_report.scores[i].score);
+  }
+
+  // The streamed session must also match the one-shot flow over the
+  // serial stores exactly.
+  const auto train_prep = Segugio::prepare_graph(train_trace, w.psl(), train_blacklist,
+                                                 whitelist, config.prepare_options());
+  Segugio segugio(config);
+  segugio.train(train_prep.graph, w.activity(), w.pdns());
+  const auto test_prep = Segugio::prepare_graph(test_trace, w.psl(), test_blacklist,
+                                                whitelist, config.prepare_options());
+  const auto oneshot = segugio.classify(test_prep.graph, w.activity(), w.pdns());
+  ASSERT_EQ(oneshot.scores.size(), serial_report.scores.size());
+  for (std::size_t i = 0; i < oneshot.scores.size(); ++i) {
+    EXPECT_EQ(oneshot.scores[i].name, serial_report.scores[i].name);
+    EXPECT_EQ(oneshot.scores[i].score, serial_report.scores[i].score);
+  }
+}
+
+TEST_F(PipelineTest, ReportAttributionMatchesGraphLookup) {
+  auto& w = world();
+  const auto config = fast_config();
+  const auto train_trace = w.generate_day(0, 8);
+  const auto train_blacklist = w.blacklist().as_of(sim::BlacklistKind::kCommercial, 8);
+  const auto test_trace = w.generate_day(0, 9);
+  const auto test_blacklist = w.blacklist().as_of(sim::BlacklistKind::kCommercial, 9);
+  const auto whitelist = w.whitelist().all();
+
+  Pipeline pipeline(w.psl(), w.activity(), w.pdns(), config);
+  const auto train_day = pipeline.ingest_day(train_trace, train_blacklist, whitelist);
+  pipeline.train(train_day);
+  const auto test_day = pipeline.ingest_day(test_trace, test_blacklist, whitelist);
+  const auto report = pipeline.classify(test_day);
+
+  // Threshold 0 keeps every scored domain, exercising the full CSR.
+  const auto captured = report.detections_at(0.0);
+  const auto via_graph = report.detections_at(0.0, test_day.graph);
+  ASSERT_EQ(captured.size(), via_graph.size());
+  ASSERT_EQ(captured.size(), report.scores.size());
+  for (std::size_t i = 0; i < captured.size(); ++i) {
+    EXPECT_EQ(captured[i].domain.name, via_graph[i].domain.name);
+    EXPECT_EQ(captured[i].domain.score, via_graph[i].domain.score);
+    EXPECT_EQ(captured[i].machines, via_graph[i].machines);
+    EXPECT_FALSE(captured[i].machines.empty());
+  }
+}
+
+}  // namespace
+}  // namespace seg::core

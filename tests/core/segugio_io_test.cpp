@@ -22,8 +22,8 @@ class SegugioIoTest : public ::testing::Test {
     const auto trace = w.generate_day(0, day);
     return Segugio::prepare_graph(trace, w.psl(),
                                   w.blacklist().as_of(sim::BlacklistKind::kCommercial, day),
-                                  w.whitelist().all(),
-                                  SegugioConfig::scaled_pruning_defaults());
+                                  w.whitelist().all())
+        .graph;
   }
 };
 
@@ -54,6 +54,33 @@ TEST_F(SegugioIoTest, ForestModelRoundTrips) {
     EXPECT_EQ(a.scores[i].name, b.scores[i].name);
     EXPECT_DOUBLE_EQ(a.scores[i].score, b.scores[i].score);
   }
+}
+
+TEST_F(SegugioIoTest, LegacyHeaderlessModelStreamLoads) {
+  // Model files written before the `segf1` header existed start directly
+  // with the `segugio 1` body line; the body is otherwise unchanged, so a
+  // legacy stream is today's bytes minus the header with a v1 body tag.
+  SegugioConfig config;
+  config.forest.num_trees = 10;
+  config.forest.num_threads = 1;
+  const auto graph = prepared_graph(0);
+  Segugio segugio(config);
+  segugio.train(graph, world().activity(), world().pdns());
+
+  std::stringstream blob;
+  segugio.save(blob);
+  auto bytes = blob.str();
+  bytes = bytes.substr(bytes.find('\n') + 1);  // drop the segf1 header
+  const std::string modern_tag = "segugio " + std::to_string(Segugio::kModelFormatVersion);
+  ASSERT_EQ(bytes.rfind(modern_tag, 0), 0u);
+  bytes = "segugio 1" + bytes.substr(modern_tag.size());
+
+  std::istringstream legacy(bytes);
+  auto restored = Segugio::load(legacy);
+  EXPECT_TRUE(restored.is_trained());
+  features::FeatureVector probe{};
+  probe[features::kTotalMachines] = 3.0;
+  EXPECT_DOUBLE_EQ(restored.score(probe), segugio.score(probe));
 }
 
 TEST_F(SegugioIoTest, LogisticModelRoundTrips) {

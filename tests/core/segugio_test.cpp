@@ -22,10 +22,13 @@ class SegugioTest : public ::testing::Test {
                                                   graph::PruneStats* stats = nullptr) {
     auto& w = world();
     const auto trace = w.generate_day(0, day);
-    return Segugio::prepare_graph(trace, w.psl(),
-                                  w.blacklist().as_of(sim::BlacklistKind::kCommercial, day),
-                                  w.whitelist().all(),
-                                  SegugioConfig::scaled_pruning_defaults(), stats);
+    auto prep = Segugio::prepare_graph(
+        trace, w.psl(), w.blacklist().as_of(sim::BlacklistKind::kCommercial, day),
+        w.whitelist().all());
+    if (stats != nullptr) {
+      *stats = prep.prune_stats;
+    }
+    return std::move(prep.graph);
   }
 
   static SegugioConfig fast_config() {

@@ -1,0 +1,215 @@
+// Serial-vs-sharded equivalence for the streaming pipeline's history
+// stores: every answer, every byte of save() output, and every absorbed
+// observation must be independent of the shard count.
+#include "dns/sharded_store.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace seg::dns {
+namespace {
+
+std::string save_bytes(const DomainActivityIndex& index) {
+  std::ostringstream blob;
+  index.save(blob);
+  return std::move(blob).str();
+}
+
+std::string save_bytes(const ShardedActivityIndex& index) {
+  std::ostringstream blob;
+  index.save(blob);
+  return std::move(blob).str();
+}
+
+std::string save_bytes(const PassiveDnsDb& db) {
+  std::ostringstream blob;
+  db.save(blob);
+  return std::move(blob).str();
+}
+
+std::string save_bytes(const ShardedPassiveDnsDb& db) {
+  std::ostringstream blob;
+  db.save(blob);
+  return std::move(blob).str();
+}
+
+// A pre-versioning stream: the same bytes minus the `segf1 ...` first line.
+std::string as_legacy(const std::string& bytes) {
+  return bytes.substr(bytes.find('\n') + 1);
+}
+
+// Small IP pool spanning a handful of /24s so prefix lookups aggregate
+// observations across sibling IPs.
+IpV4 random_ip(util::Rng& rng) {
+  const auto prefix = static_cast<std::uint32_t>(rng.next_below(6)) << 8;
+  return IpV4((0x0A000000u | prefix) | static_cast<std::uint32_t>(rng.next_below(8)));
+}
+
+TEST(ShardedActivityIndexTest, MatchesSerialOnRandomizedWorkload) {
+  util::Rng rng(7);
+  std::vector<std::string> names;
+  for (int i = 0; i < 40; ++i) {
+    names.push_back("host" + std::to_string(i) + ".example.com");
+  }
+  DomainActivityIndex serial;
+  ShardedActivityIndex one(1);
+  ShardedActivityIndex few(3);
+  ShardedActivityIndex many(16);
+  for (int i = 0; i < 2000; ++i) {
+    const auto& name = names[rng.next_below(names.size())];
+    const auto day = static_cast<Day>(rng.next_int(-30, 30));
+    serial.mark_active(name, day);
+    one.mark_active(name, day);
+    few.mark_active(name, day);
+    many.mark_active(name, day);
+  }
+
+  std::vector<ShardedActivityIndex::Query> queries;
+  for (const auto& name : names) {
+    const auto from = static_cast<Day>(rng.next_int(-30, 0));
+    const auto to = static_cast<Day>(rng.next_int(0, 30));
+    queries.push_back({name, from, to, to});
+  }
+  for (const auto* sharded : {&one, &few, &many}) {
+    EXPECT_EQ(sharded->tracked_names(), serial.tracked_names());
+    const auto answers = sharded->query_batch(queries);
+    ASSERT_EQ(answers.size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const auto& q = queries[i];
+      EXPECT_EQ(answers[i].active_days, serial.active_days(q.name, q.from, q.to));
+      EXPECT_EQ(answers[i].consecutive_days, serial.consecutive_days_ending(q.name, q.ending));
+      EXPECT_EQ(sharded->active_days(q.name, q.from, q.to),
+                serial.active_days(q.name, q.from, q.to));
+      EXPECT_EQ(sharded->first_seen(q.name), serial.first_seen(q.name));
+    }
+  }
+}
+
+TEST(ShardedActivityIndexTest, SaveIsByteIdenticalToSerialAndRoundTrips) {
+  util::Rng rng(11);
+  DomainActivityIndex serial;
+  ShardedActivityIndex sharded(5);
+  for (int i = 0; i < 500; ++i) {
+    const auto name = "d" + std::to_string(rng.next_below(25)) + ".net";
+    const auto day = static_cast<Day>(rng.next_int(-10, 40));
+    serial.mark_active(name, day);
+    sharded.mark_active(name, day);
+  }
+  EXPECT_EQ(save_bytes(sharded), save_bytes(serial));
+
+  std::istringstream in(save_bytes(sharded));
+  const auto loaded = ShardedActivityIndex::load(in, 7);
+  EXPECT_EQ(loaded.tracked_names(), serial.tracked_names());
+  EXPECT_EQ(save_bytes(loaded), save_bytes(serial));
+}
+
+TEST(ShardedActivityIndexTest, AbsorbIsIdempotentAndLegacyStreamsLoad) {
+  DomainActivityIndex serial;
+  for (Day d : {1, 2, 3, 7}) {
+    serial.mark_active("a.com", d);
+  }
+  serial.mark_active("b.org", 5);
+
+  ShardedActivityIndex sharded(4);
+  sharded.absorb(serial);
+  sharded.absorb(serial);  // second absorb must change nothing
+  EXPECT_EQ(save_bytes(sharded), save_bytes(serial));
+  EXPECT_EQ(sharded.consecutive_days_ending("a.com", 3), 3);
+
+  std::istringstream legacy(as_legacy(save_bytes(serial)));
+  const auto loaded = ShardedActivityIndex::load(legacy, 3);
+  EXPECT_EQ(loaded.tracked_names(), 2u);
+  EXPECT_EQ(loaded.active_days("a.com", 1, 7), 4);
+  EXPECT_EQ(loaded.first_seen("b.org"), 5);
+}
+
+TEST(ShardedPassiveDnsDbTest, MatchesSerialOnRandomizedWorkload) {
+  util::Rng rng(13);
+  PassiveDnsDb serial;
+  ShardedPassiveDnsDb one(1);
+  ShardedPassiveDnsDb few(3);
+  ShardedPassiveDnsDb many(16);
+  constexpr PdnsAssociation kKinds[] = {PdnsAssociation::kMalware, PdnsAssociation::kUnknown,
+                                        PdnsAssociation::kBenign};
+  for (int i = 0; i < 2000; ++i) {
+    const auto ip = random_ip(rng);
+    const auto day = static_cast<Day>(rng.next_int(-60, 20));
+    const auto kind = kKinds[rng.next_below(3)];
+    serial.add_observation(day, ip, kind);
+    one.add_observation(day, ip, kind);
+    few.add_observation(day, ip, kind);
+    many.add_observation(day, ip, kind);
+  }
+
+  std::vector<ShardedPassiveDnsDb::AbuseQuery> queries;
+  for (int i = 0; i < 200; ++i) {
+    const auto from = static_cast<Day>(rng.next_int(-60, 0));
+    const auto to = static_cast<Day>(rng.next_int(0, 20));
+    queries.push_back({random_ip(rng), from, to});
+  }
+  for (const auto* sharded : {&one, &few, &many}) {
+    EXPECT_EQ(sharded->observation_count(), serial.observation_count());
+    EXPECT_EQ(sharded->distinct_ip_count(), serial.distinct_ip_count());
+    const auto answers = sharded->query_batch(queries);
+    ASSERT_EQ(answers.size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const auto& q = queries[i];
+      EXPECT_EQ(answers[i].ip_malware != 0, serial.ip_malware_associated(q.ip, q.from, q.to));
+      EXPECT_EQ(answers[i].ip_unknown != 0, serial.ip_unknown_associated(q.ip, q.from, q.to));
+      EXPECT_EQ(answers[i].prefix_malware != 0,
+                serial.prefix_malware_associated(q.ip, q.from, q.to));
+      EXPECT_EQ(answers[i].prefix_unknown != 0,
+                serial.prefix_unknown_associated(q.ip, q.from, q.to));
+      EXPECT_EQ(sharded->ip_malware_associated(q.ip, q.from, q.to),
+                serial.ip_malware_associated(q.ip, q.from, q.to));
+    }
+  }
+}
+
+TEST(ShardedPassiveDnsDbTest, SaveIsByteIdenticalToSerialAndRoundTrips) {
+  util::Rng rng(17);
+  PassiveDnsDb serial;
+  ShardedPassiveDnsDb sharded(6);
+  for (int i = 0; i < 800; ++i) {
+    const auto ip = random_ip(rng);
+    const auto day = static_cast<Day>(rng.next_int(-30, 30));
+    const auto kind = rng.next_bool(0.5) ? PdnsAssociation::kMalware : PdnsAssociation::kUnknown;
+    serial.add_observation(day, ip, kind);
+    sharded.add_observation(day, ip, kind);
+  }
+  EXPECT_EQ(save_bytes(sharded), save_bytes(serial));
+
+  std::istringstream in(save_bytes(sharded));
+  const auto loaded = ShardedPassiveDnsDb::load(in, 9);
+  EXPECT_EQ(loaded.observation_count(), serial.observation_count());
+  EXPECT_EQ(save_bytes(loaded), save_bytes(serial));
+}
+
+TEST(ShardedPassiveDnsDbTest, AbsorbIsIdempotentAndLegacyStreamsLoad) {
+  PassiveDnsDb serial;
+  serial.add_observation(-10, IpV4::parse("1.2.3.4"), PdnsAssociation::kMalware);
+  serial.add_observation(-5, IpV4::parse("1.2.3.9"), PdnsAssociation::kUnknown);
+  serial.add_observation(3, IpV4::parse("9.8.7.6"), PdnsAssociation::kMalware);
+
+  ShardedPassiveDnsDb sharded(4);
+  sharded.absorb(serial);
+  sharded.absorb(serial);  // second absorb must change nothing
+  EXPECT_EQ(save_bytes(sharded), save_bytes(serial));
+  EXPECT_EQ(sharded.observation_count(), serial.observation_count());
+  EXPECT_TRUE(sharded.prefix_malware_associated(IpV4::parse("1.2.3.250"), -20, 0));
+
+  std::istringstream legacy(as_legacy(save_bytes(serial)));
+  const auto loaded = ShardedPassiveDnsDb::load(legacy, 3);
+  EXPECT_EQ(loaded.observation_count(), 3u);
+  EXPECT_TRUE(loaded.ip_malware_associated(IpV4::parse("1.2.3.4"), -20, 0));
+  EXPECT_TRUE(loaded.ip_unknown_associated(IpV4::parse("1.2.3.9"), -5, -5));
+  EXPECT_FALSE(loaded.ip_malware_associated(IpV4::parse("5.5.5.5"), -100, 100));
+}
+
+}  // namespace
+}  // namespace seg::dns

@@ -282,6 +282,63 @@ TEST(RHdr2, SuppressionComment) {
   EXPECT_FALSE(has_rule(findings, "R-HDR2"));
 }
 
+// --- R-API1: calls to deprecated entry points --------------------------------
+
+namespace {
+constexpr std::string_view kDeprecatedHeader = R"cpp(
+  #pragma once
+  struct Report {
+    std::vector<Detection> detections_at(double threshold) const;
+    // seg-deprecated
+    std::vector<Detection> detections_at(double threshold, const Graph& graph) const;
+  };
+)cpp";
+}  // namespace
+
+TEST(RApi1, FlagsCallWithMatchingArity) {
+  const auto findings = run("src/core/use.cpp", R"cpp(
+    void emit(const Report& report, const Graph& graph) {
+      const auto hits = report.detections_at(0.5, graph);
+    }
+  )cpp",
+                            kDeprecatedHeader);
+  EXPECT_TRUE(has_rule(findings, "R-API1"));
+}
+
+TEST(RApi1, ReplacementOverloadWithDifferentArityPasses) {
+  const auto findings = run("src/core/use.cpp", R"cpp(
+    void emit(const Report& report) {
+      const auto hits = report.detections_at(0.5);
+    }
+  )cpp",
+                            kDeprecatedHeader);
+  EXPECT_FALSE(has_rule(findings, "R-API1"));
+}
+
+TEST(RApi1, DefinitionAndHeaderAreNotFlagged) {
+  const auto cpp_findings = run("src/core/report.cpp", R"cpp(
+    std::vector<Detection> Report::detections_at(double threshold,
+                                                 const Graph& graph) const {
+      return {};
+    }
+  )cpp",
+                                kDeprecatedHeader);
+  EXPECT_FALSE(has_rule(cpp_findings, "R-API1"));
+  const auto header_findings = run("src/core/report.h", kDeprecatedHeader);
+  EXPECT_FALSE(has_rule(header_findings, "R-API1"));
+}
+
+TEST(RApi1, SuppressionComment) {
+  const auto findings = run("src/core/use.cpp", R"cpp(
+    void emit(const Report& report, const Graph& graph) {
+      // seg-lint: allow(R-API1)
+      const auto hits = report.detections_at(0.5, graph);
+    }
+  )cpp",
+                            kDeprecatedHeader);
+  EXPECT_FALSE(has_rule(findings, "R-API1"));
+}
+
 // --- Engine plumbing ---------------------------------------------------------
 
 TEST(Engine, AllowFileSuppressesEveryInstance) {

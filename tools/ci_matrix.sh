@@ -60,6 +60,21 @@ run_config() {
     echo "    tests FAILED (see ${log})"
     return 1
   fi
+  if [ "${config}" = "thread" ]; then
+    # The streaming pipeline and sharded stores parallelize internally
+    # (query_batch, sharded build, parallel classify); run their suites
+    # explicitly under tsan so a filtered ctest invocation can't skip the
+    # race-contract coverage.
+    echo "=== [${config}] streaming pipeline + sharded store suites ==="
+    if ! "${build_dir}/tests/core_test" --gtest_filter='Pipeline*' >> "${log}" 2>&1; then
+      echo "    pipeline tests FAILED under tsan (see ${log})"
+      return 1
+    fi
+    if ! "${build_dir}/tests/dns_test" --gtest_filter='Sharded*' >> "${log}" 2>&1; then
+      echo "    sharded store tests FAILED under tsan (see ${log})"
+      return 1
+    fi
+  fi
   return 0
 }
 

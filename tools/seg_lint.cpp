@@ -21,7 +21,9 @@ void print_usage() {
   std::fprintf(stderr,
                "usage: seg_lint [--error-exit] [--rule R-XXX]... "
                "[--allow-timing SUBSTR]... PATH...\n"
-               "rules: R-DET1 R-DET2 R-RACE1 R-RACE2 R-HDR1 R-HDR2\n"
+               "rules: R-DET1 R-DET2 R-RACE1 R-RACE2 R-API1 R-HDR1 R-HDR2\n"
+               "mark deprecated entry points with // seg-deprecated above the "
+               "declaration\n"
                "suppress one site: // seg-lint: allow(R-XXX)   (same or next line)\n"
                "suppress a file:   // seg-lint: allow-file(R-XXX)\n");
 }

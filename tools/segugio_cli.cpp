@@ -34,6 +34,7 @@
 
 #include "core/diagnostics.h"
 #include "core/infection_report.h"
+#include "core/pipeline.h"
 #include "core/segugio.h"
 #include "graph/labeling.h"
 #include "sim/world.h"
@@ -139,10 +140,9 @@ int cmd_train(const util::Args& args) {
   }
 
   util::Stopwatch watch;
-  graph::PruneStats stats;
-  const auto graph = core::Segugio::prepare_graph(
-      trace, psl, blacklist, whitelist, config.pruning, &stats,
-      config.prober_filter ? &*config.prober_filter : nullptr);
+  const auto prep = core::Segugio::prepare_graph(trace, psl, blacklist, whitelist,
+                                                 config.prepare_options());
+  const auto& graph = prep.graph;
   core::Segugio segugio(config);
   segugio.train(graph, activity, pdns);
 
@@ -158,30 +158,42 @@ int cmd_train(const util::Args& args) {
   return 0;
 }
 
-int cmd_classify(const util::Args& args) {
+// Shared by classify/report: load everything and score the day through a
+// streaming Pipeline session seeded with the saved model.
+struct DayRun {
+  graph::MachineDomainGraph graph;
+  core::DetectionReport report;
+};
+
+DayRun run_day(const util::Args& args) {
   const auto trace = load_trace(args.get("trace"));
   const auto blacklist = load_name_set(args.get("blacklist"));
   const auto whitelist = load_name_set(args.get("whitelist"));
   const auto activity = load_activity(args.get("activity"));
   const auto pdns = load_pdns(args.get("pdns"));
   const auto psl = dns::PublicSuffixList::with_default_rules();
-
   std::ifstream model_in(args.get("model"));
   util::require_data(model_in.is_open(), "cannot open model file");
-  const auto segugio = core::Segugio::load(model_in);
+  auto segugio = core::Segugio::load(model_in);
 
+  core::Pipeline pipeline(psl, activity, pdns, segugio.config());
+  pipeline.detector() = std::move(segugio);
+  auto day = pipeline.ingest_day(trace, blacklist, whitelist);
+  auto report = pipeline.classify(day);
+  return {std::move(day.graph), std::move(report)};
+}
+
+int cmd_classify(const util::Args& args) {
   const double threshold = args.get_double_or("threshold", 0.5);
   const auto top = static_cast<std::size_t>(args.get_int_or("top", 25));
   const bool show_machines = args.flag("machines");
 
-  const auto graph = core::Segugio::prepare_graph(
-      trace, psl, blacklist, whitelist, segugio.config().pruning, nullptr,
-      segugio.config().prober_filter ? &*segugio.config().prober_filter : nullptr);
-  const auto report = segugio.classify(graph, activity, pdns);
-  const auto detections = report.detections_at(threshold, graph);
+  const auto run = run_day(args);
+  // The report carries its own machine attribution; no graph needed here.
+  const auto detections = run.report.detections_at(threshold);
 
   std::printf("# %zu unknown domains scored; %zu at or above threshold %.2f\n",
-              report.scores.size(), detections.size(), threshold);
+              run.report.scores.size(), detections.size(), threshold);
   std::printf("# score\tdomain\tmachines%s\n", show_machines ? "\tquerying_machines" : "");
   std::size_t shown = 0;
   for (const auto& detection : detections) {
@@ -201,35 +213,11 @@ int cmd_classify(const util::Args& args) {
   return 0;
 }
 
-// Shared by classify/report: load everything and score the day.
-struct DayRun {
-  graph::MachineDomainGraph graph;
-  core::Segugio segugio;
-  core::DetectionReport detections;
-};
-
-DayRun run_day(const util::Args& args) {
-  const auto trace = load_trace(args.get("trace"));
-  const auto blacklist = load_name_set(args.get("blacklist"));
-  const auto whitelist = load_name_set(args.get("whitelist"));
-  const auto activity = load_activity(args.get("activity"));
-  const auto pdns = load_pdns(args.get("pdns"));
-  const auto psl = dns::PublicSuffixList::with_default_rules();
-  std::ifstream model_in(args.get("model"));
-  util::require_data(model_in.is_open(), "cannot open model file");
-  auto segugio = core::Segugio::load(model_in);
-  auto graph = core::Segugio::prepare_graph(
-      trace, psl, blacklist, whitelist, segugio.config().pruning, nullptr,
-      segugio.config().prober_filter ? &*segugio.config().prober_filter : nullptr);
-  auto detections = segugio.classify(graph, activity, pdns);
-  return {std::move(graph), std::move(segugio), std::move(detections)};
-}
-
 int cmd_report(const util::Args& args) {
   const double threshold = args.get_double_or("threshold", 0.5);
   const auto top = static_cast<std::size_t>(args.get_int_or("top", 50));
   const auto run = run_day(args);
-  const auto report = core::enumerate_infections(run.graph, run.detections, threshold);
+  const auto report = core::enumerate_infections(run.graph, run.report, threshold);
   std::printf("# remediation worklist: %zu machines (%zu implicated only by new "
               "detections)\n",
               report.machines.size(), report.newly_implicated);
