@@ -1,8 +1,16 @@
 #include "core/pipeline.h"
 
+#include <istream>
+#include <ostream>
+
+#include "util/serialize.h"
 #include "util/stopwatch.h"
 
 namespace seg::core {
+
+namespace {
+constexpr int kSessionFormatVersion = 1;
+}
 
 Pipeline::Pipeline(const dns::PublicSuffixList& psl, SegugioConfig config)
     : psl_(&psl), detector_(std::move(config)) {}
@@ -35,6 +43,22 @@ PreparedDay Pipeline::ingest_day(const dns::DayTrace& trace, const graph::NameSe
   stats_.reuse_ratios.push_back(day.carry.reuse_ratio());
   stats_.cached_names = day.carry.cached_names;
   return day;
+}
+
+void Pipeline::save_session(std::ostream& out) const {
+  util::write_format_header(out, "pipeline-session", kSessionFormatVersion);
+  cache_.save(out);
+}
+
+void Pipeline::load_session(std::istream& in) {
+  const int version = util::read_format_header(in, "pipeline-session",
+                                               kSessionFormatVersion,
+                                               /*legacy_version=*/0);
+  util::require_data(version >= 1,
+                     "Pipeline::load_session: stream has no 'segf1 "
+                     "pipeline-session' header (no legacy session format exists)");
+  cache_ = graph::NameCache::load(in);
+  stats_.cached_names = cache_.size();
 }
 
 void Pipeline::train(const PreparedDay& day) { detector_.train(day.graph, activity_, pdns_); }

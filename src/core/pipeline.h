@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <vector>
 
 #include "core/segugio.h"
@@ -82,6 +83,26 @@ class Pipeline {
   /// Scores the day's unknown domains; the report is self-contained (see
   /// DetectionReport).
   DetectionReport classify(const PreparedDay& day) const;
+
+  /// Persists the session state that is NOT reconstructible from the serial
+  /// history stores: the carried name dictionary (`segf1 pipeline-session`
+  /// stream embedding a `segf1 namecache` payload). The activity/pdns
+  /// history keeps using the serial stores' own save/load plus
+  /// absorb_history(), so a restart is:
+  ///
+  ///   save:  activity.save(a); pdns.save(p); pipeline.save_session(s);
+  ///   load:  Pipeline fresh(psl, config);
+  ///          fresh.absorb_history(load(a), load(p));
+  ///          fresh.load_session(s);
+  ///
+  /// after which ingest_day() produces bit-identical graphs and reuse
+  /// ratios carry over instead of resetting to zero.
+  void save_session(std::ostream& out) const;
+
+  /// Restores a save_session() stream into this session, replacing the
+  /// carried dictionary. Throws util::ParseError on malformed or headerless
+  /// input (there is no legacy session format).
+  void load_session(std::istream& in);
 
   const Segugio& detector() const { return detector_; }
   Segugio& detector() { return detector_; }

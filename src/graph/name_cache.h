@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <iosfwd>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -76,6 +77,20 @@ class NameCache {
 
   /// Total stored keys (raw spellings plus normalized aliases).
   std::size_t size() const;
+
+  /// Writes the dictionary as a `segf1 namecache 1` text stream. Keys are
+  /// emitted in sorted order, so the bytes are identical for any shard
+  /// count and any merge history that produced the same key set. Keys and
+  /// facts are percent-escaped, so raw spellings containing whitespace
+  /// round-trip.
+  void save(std::ostream& out) const;
+
+  /// Reads a stream written by save() into a fresh cache with `num_shards`
+  /// shards (shard count affects merge parallelism only, never lookups, so
+  /// it is a load-time choice rather than part of the format). There are no
+  /// legacy headerless namecache files: a stream without the segf1 header
+  /// throws util::ParseError.
+  static NameCache load(std::istream& in, std::size_t num_shards = 64);
 
  private:
   struct Shard {

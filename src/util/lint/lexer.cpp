@@ -76,6 +76,66 @@ bool is_deprecated_marker(std::string_view comment) {
   return comment == "seg-deprecated";
 }
 
+// Parses the `#include` directive whose `#` sits at `hash` (directives that
+// reach here are already outside comments and literals). Tolerates
+// line-continuation backslashes between the `#`, the `include` keyword, and
+// the target, as macro-heavy headers produce. Returns false when the `#`
+// introduces some other directive.
+bool scan_include_directive(std::string_view source, std::size_t hash,
+                            std::size_t line, IncludeDirective& out) {
+  const std::size_t n = source.size();
+  std::size_t j = hash + 1;
+  const auto skip_blank = [&] {
+    while (j < n) {
+      if (source[j] == ' ' || source[j] == '\t') {
+        ++j;
+      } else if (source[j] == '\\' && j + 1 < n &&
+                 (source[j + 1] == '\n' ||
+                  (source[j + 1] == '\r' && j + 2 < n && source[j + 2] == '\n'))) {
+        j += source[j + 1] == '\n' ? 2 : 3;
+      } else {
+        break;
+      }
+    }
+  };
+  skip_blank();
+  constexpr std::string_view kInclude = "include";
+  if (source.substr(j, kInclude.size()) != kInclude) {
+    return false;
+  }
+  j += kInclude.size();
+  if (j < n && is_ident_char(source[j])) {
+    return false;  // e.g. `#include_next`
+  }
+  skip_blank();
+  if (j >= n || (source[j] != '"' && source[j] != '<')) {
+    return false;
+  }
+  const char close = source[j] == '"' ? '"' : '>';
+  const std::size_t start = j + 1;
+  const std::size_t end = source.find(close, start);
+  if (end == std::string_view::npos || source.substr(start, end - start).find('\n') !=
+                                           std::string_view::npos) {
+    return false;
+  }
+  out.target = std::string(source.substr(start, end - start));
+  out.line = line;
+  out.quoted = close == '"';
+  return true;
+}
+
+// Length of the raw-string prefix (`R`, `LR`, `uR`, `UR`, `u8R`) starting at
+// `i` when `i` begins a raw string literal, else 0.
+std::size_t raw_string_prefix(std::string_view source, std::size_t i) {
+  for (const std::string_view prefix : {"R", "LR", "uR", "UR", "u8R"}) {
+    if (source.substr(i, prefix.size()) == prefix &&
+        i + prefix.size() < source.size() && source[i + prefix.size()] == '"') {
+      return prefix.size();
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 LexResult lex(std::string_view source) {
@@ -97,6 +157,16 @@ LexResult lex(std::string_view source) {
     }
     if (std::isspace(static_cast<unsigned char>(c)) != 0) {
       ++i;
+      continue;
+    }
+    // Line-continuation backslash: whitespace, not an operator. Without
+    // this, `#define FOO \` would inject a stray `\` token and split macro
+    // bodies mid-directive.
+    if (c == '\\' && i + 1 < n &&
+        (source[i + 1] == '\n' ||
+         (source[i + 1] == '\r' && i + 2 < n && source[i + 2] == '\n'))) {
+      ++line;
+      i += source[i + 1] == '\n' ? 2 : 3;
       continue;
     }
     // Line comment.
@@ -124,12 +194,19 @@ LexResult lex(std::string_view source) {
       i = stop;
       continue;
     }
-    // Raw string literal: R"delim(...)delim".
-    if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
-      const std::size_t open = source.find('(', i + 2);
-      if (open != std::string_view::npos) {
+    // Raw string literal: [L|u|U|u8]R"delim(...)delim". The delimiter may be
+    // empty but may not contain parens, spaces, or backslashes; an
+    // unterminated or malformed opener falls through to ordinary lexing.
+    if (const std::size_t prefix = raw_string_prefix(source, i); prefix != 0) {
+      const std::size_t quote = i + prefix;
+      const std::size_t open = source.find('(', quote + 1);
+      const bool delim_ok =
+          open != std::string_view::npos && open - quote - 1 <= 16 &&
+          source.substr(quote + 1, open - quote - 1).find_first_of(" \\)\"\n") ==
+              std::string_view::npos;
+      if (delim_ok) {
         const std::string closer =
-            ")" + std::string(source.substr(i + 2, open - i - 2)) + "\"";
+            ")" + std::string(source.substr(quote + 1, open - quote - 1)) + "\"";
         const std::size_t end = source.find(closer, open + 1);
         const std::size_t stop =
             end == std::string_view::npos ? n : end + closer.size();
@@ -153,6 +230,15 @@ LexResult lex(std::string_view source) {
       i = j < n ? j + 1 : n;
       continue;
     }
+    // #include extraction (tokenization continues normally afterwards, so
+    // the token stream is unaffected; the quoted target is skipped by the
+    // string-literal handler below).
+    if (c == '#') {
+      IncludeDirective directive;
+      if (scan_include_directive(source, i, line, directive)) {
+        result.includes.push_back(std::move(directive));
+      }
+    }
     if (is_ident_start(c)) {
       std::size_t j = i + 1;
       while (j < n && is_ident_char(source[j])) {
@@ -167,7 +253,12 @@ LexResult lex(std::string_view source) {
       std::size_t j = i + 1;
       while (j < n && (is_ident_char(source[j]) || source[j] == '.' ||
                        ((source[j] == '+' || source[j] == '-') &&
-                        (source[j - 1] == 'e' || source[j - 1] == 'E')))) {
+                        (source[j - 1] == 'e' || source[j - 1] == 'E')) ||
+                       // Digit separator (1'000'000): part of the number, not
+                       // the start of a char literal that would swallow the
+                       // tokens after it.
+                       (source[j] == '\'' && j + 1 < n &&
+                        std::isalnum(static_cast<unsigned char>(source[j + 1])) != 0))) {
         ++j;
       }
       result.tokens.push_back(

@@ -42,12 +42,24 @@ struct Suppression {
   bool whole_file = false;  // allow-file(...) form
 };
 
+/// One `#include` directive, extracted during lexing so directives inside
+/// comments or string literals are never counted (the whole-program include
+/// graph in project_model.h is built from these). Line-continuation
+/// backslashes between `#`, `include`, and the target are handled.
+struct IncludeDirective {
+  std::string target;   // path between the quotes / angle brackets
+  std::size_t line = 0;  // line of the `#`
+  bool quoted = false;   // "..." (project include) vs <...> (system)
+};
+
 struct LexResult {
   std::vector<Token> tokens;
   std::vector<Suppression> suppressions;
   /// Lines carrying a `seg-deprecated` marker comment; the declaration
   /// that follows each marker is a deprecated entry point (R-API1).
   std::vector<std::size_t> deprecated_markers;
+  /// #include directives in order of appearance.
+  std::vector<IncludeDirective> includes;
   std::size_t line_count = 0;
 };
 

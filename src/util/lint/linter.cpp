@@ -5,8 +5,12 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <unordered_set>
+
+#include "util/lint/project_model.h"
+#include "util/lint/symbol_index.h"
 
 namespace seg::lint {
 
@@ -29,26 +33,6 @@ bool read_file(const fs::path& path, std::string& out) {
   buffer << in.rdbuf();
   out = buffer.str();
   return true;
-}
-
-// Quoted #include targets of `source`, in order of appearance.
-std::vector<std::string> quoted_includes(std::string_view source) {
-  std::vector<std::string> includes;
-  std::size_t pos = 0;
-  while ((pos = source.find("#include", pos)) != std::string_view::npos) {
-    pos += 8;
-    while (pos < source.size() && (source[pos] == ' ' || source[pos] == '\t')) {
-      ++pos;
-    }
-    if (pos < source.size() && source[pos] == '"') {
-      const std::size_t close = source.find('"', pos + 1);
-      if (close != std::string_view::npos) {
-        includes.emplace_back(source.substr(pos + 1, close - pos - 1));
-        pos = close + 1;
-      }
-    }
-  }
-  return includes;
 }
 
 // Resolves a quoted include against the including file's directory and the
@@ -85,8 +69,11 @@ void collect_decls_recursive(const std::string& source, const fs::path& dir,
   const LexResult lexed = lex(source);
   collect_unordered_decls(lexed.tokens, decls);
   collect_deprecated_decls(lexed, deprecated);
-  for (const auto& target : quoted_includes(source)) {
-    const fs::path resolved = resolve_include(target, dir, options);
+  for (const auto& directive : lexed.includes) {
+    if (!directive.quoted) {
+      continue;
+    }
+    const fs::path resolved = resolve_include(directive.target, dir, options);
     if (resolved.empty()) {
       continue;
     }
@@ -106,6 +93,15 @@ void collect_decls_recursive(const std::string& source, const fs::path& dir,
 
 bool is_header_path(std::string_view path) {
   return path.size() >= 2 && path.substr(path.size() - 2) == ".h";
+}
+
+bool is_test_path(std::string_view path) {
+  if (path.find("tests/") != std::string_view::npos) {
+    return true;
+  }
+  constexpr std::string_view kSuffix = "_test.cpp";
+  return path.size() >= kSuffix.size() &&
+         path.substr(path.size() - kSuffix.size()) == kSuffix;
 }
 
 std::vector<Finding> filter_rules(std::vector<Finding> findings,
@@ -161,6 +157,7 @@ std::vector<Finding> lint_text(std::string_view path, std::string_view text,
   info.is_header = is_header_path(path);
   info.emission = is_emission_file(path, lexed.tokens, options);
   info.timing_allowed = path_contains(path, options.timing_allowlist);
+  info.is_test = is_test_path(path);
 
   return filter_rules(run_rules(info, lexed, decls, deprecated), options);
 }
@@ -183,6 +180,7 @@ std::vector<Finding> lint_file(const std::string& path, const LintOptions& optio
   info.is_header = is_header_path(path);
   info.emission = is_emission_file(path, lexed.tokens, options);
   info.timing_allowed = path_contains(path, options.timing_allowlist);
+  info.is_test = is_test_path(path);
 
   return filter_rules(run_rules(info, lexed, decls, deprecated), options);
 }
@@ -212,6 +210,85 @@ std::vector<std::string> collect_sources(const std::vector<std::string>& roots) 
   std::sort(sources.begin(), sources.end());
   sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
   return sources;
+}
+
+std::vector<Finding> lint_project(const std::vector<std::string>& sources,
+                                  const LintOptions& options) {
+  LayersConfig layers;
+  if (!options.layers_file.empty()) {
+    std::string toml;
+    if (!read_file(options.layers_file, toml)) {
+      return {Finding{options.layers_file, 0, "CONFIG", "cannot read layers file"}};
+    }
+    try {
+      layers = parse_layers(toml);
+    } catch (const std::runtime_error& error) {
+      return {Finding{options.layers_file, 0, "CONFIG", error.what()}};
+    }
+  }
+
+  const ProjectModel model = ProjectModel::build(sources, options, layers);
+  const SymbolIndex index = SymbolIndex::build(model);
+
+  std::vector<Finding> findings;
+  for (std::size_t f = 0; f < model.files().size(); ++f) {
+    const ProjectFile& file = model.files()[f];
+    if (file.text.empty() && file.lex.tokens.empty()) {
+      continue;  // unreadable (build() records it empty) or genuinely empty
+    }
+
+    // Unordered-container declarations come from the file plus everything it
+    // reaches through the include graph — same scope the one-file driver
+    // gets from collect_decls_recursive, but with each header lexed once.
+    UnorderedDecls decls;
+    std::vector<char> seen(model.files().size(), 0);
+    std::vector<std::size_t> stack{f};
+    seen[f] = 1;
+    while (!stack.empty()) {
+      const std::size_t at = stack.back();
+      stack.pop_back();
+      collect_unordered_decls(model.files()[at].lex.tokens, decls);
+      for (const auto& edge : model.files()[at].edges) {
+        if (edge.target != ProjectModel::npos && seen[edge.target] == 0) {
+          seen[edge.target] = 1;
+          stack.push_back(edge.target);
+        }
+      }
+    }
+
+    FileInfo info;
+    info.path = file.path;
+    info.is_header = file.is_header;
+    info.emission = is_emission_file(file.path, file.lex.tokens, options);
+    info.timing_allowed = path_contains(file.path, options.timing_allowlist);
+    info.is_test = is_test_path(file.path);
+
+    // R-API1 resolves against the project-wide deprecated set, so calls
+    // through headers this file never includes are still caught.
+    auto file_findings = run_rules(info, file.lex, decls, index.deprecated());
+    findings.insert(findings.end(), std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+
+  auto arch = check_layering(model);
+  findings.insert(findings.end(), std::make_move_iterator(arch.begin()),
+                  std::make_move_iterator(arch.end()));
+  auto cycles = check_include_cycles(model);
+  findings.insert(findings.end(), std::make_move_iterator(cycles.begin()),
+                  std::make_move_iterator(cycles.end()));
+  auto odr = check_odr(index, model);
+  findings.insert(findings.end(), std::make_move_iterator(odr.begin()),
+                  std::make_move_iterator(odr.end()));
+
+  findings = filter_rules(std::move(findings), options);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  return findings;
 }
 
 }  // namespace seg::lint

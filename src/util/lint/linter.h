@@ -30,6 +30,9 @@ struct LintOptions {
   std::vector<std::string> include_roots;
   /// When non-empty, only findings for these rules are reported.
   std::vector<std::string> only_rules;
+  /// Path to the layers.toml layering spec for whole-program mode. Empty
+  /// disables R-ARCH1 (the include graph is still built for R-ARCH2/R-ODR1).
+  std::string layers_file;
 };
 
 /// Lints one in-memory source (used by the unit tests and the CLI's stdin
@@ -46,6 +49,15 @@ std::vector<Finding> lint_file(const std::string& path, const LintOptions& optio
 /// All .cpp/.h files under `roots` (files are accepted verbatim),
 /// lexicographically sorted so diagnostics order is stable.
 std::vector<std::string> collect_sources(const std::vector<std::string>& roots);
+
+/// Whole-program lint (seg-lint v2): loads every source once into the
+/// project model (project_model.h), runs the per-file rules with R-API1
+/// backed by the cross-TU symbol index, then the cross-file passes —
+/// R-ARCH1 layering (when `options.layers_file` is set), R-ARCH2 include
+/// cycles, and R-ODR1. Findings come back sorted by (file, line, rule).
+/// A malformed layers file yields a single CONFIG finding.
+std::vector<Finding> lint_project(const std::vector<std::string>& sources,
+                                  const LintOptions& options);
 
 /// Classification used for R-DET2 scoping; exposed for tests.
 bool is_emission_file(std::string_view path, const std::vector<Token>& tokens,

@@ -1,0 +1,523 @@
+#include "util/lint/project_model.h"
+
+#include "util/lint/report.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+
+namespace seg::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return std::string(s);
+}
+
+[[noreturn]] void layers_error(std::size_t line, const std::string& what) {
+  throw std::runtime_error("layers.toml:" + std::to_string(line) + ": " + what);
+}
+
+// Parses `"..."` starting at the first character of `s`.
+std::string parse_toml_string(std::string_view s, std::size_t line) {
+  if (s.size() < 2 || s.front() != '"' || s.find('"', 1) != s.size() - 1) {
+    layers_error(line, "expected a double-quoted string, got '" + std::string(s) + "'");
+  }
+  return std::string(s.substr(1, s.size() - 2));
+}
+
+std::vector<std::string> parse_toml_array(std::string_view s, std::size_t line) {
+  if (s.size() < 2 || s.front() != '[' || s.back() != ']') {
+    layers_error(line, "expected an inline array, got '" + std::string(s) + "'");
+  }
+  std::vector<std::string> out;
+  std::string_view body = s.substr(1, s.size() - 2);
+  while (true) {
+    const std::size_t comma = body.find(',');
+    const std::string item = trim(body.substr(0, comma));
+    if (!item.empty()) {
+      out.push_back(parse_toml_string(item, line));
+    }
+    if (comma == std::string_view::npos) {
+      break;
+    }
+    body.remove_prefix(comma + 1);
+  }
+  return out;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+bool is_cpp_path(std::string_view path) { return ends_with(path, ".cpp"); }
+
+bool read_file(const fs::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+// --- layers.toml ------------------------------------------------------------
+
+LayersConfig parse_layers(std::string_view toml_text) {
+  LayersConfig config;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= toml_text.size()) {
+    const std::size_t eol = toml_text.find('\n', pos);
+    const std::string line =
+        trim(toml_text.substr(pos, eol == std::string_view::npos ? eol : eol - pos));
+    pos = eol == std::string_view::npos ? toml_text.size() + 1 : eol + 1;
+    ++line_no;
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    if (line == "[[layer]]") {
+      config.layers.emplace_back();
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      layers_error(line_no, "expected `key = value` or [[layer]]");
+    }
+    if (config.layers.empty()) {
+      layers_error(line_no, "key outside any [[layer]] table");
+    }
+    const std::string key = trim(std::string_view(line).substr(0, eq));
+    // Strip a trailing comment outside the value's quotes: values here are
+    // simple enough that a '#' after the closing quote/bracket ends the line.
+    std::string value = trim(std::string_view(line).substr(eq + 1));
+    const char closer = value.empty() ? '\0' : (value.front() == '[' ? ']' : '"');
+    const std::size_t close = value.rfind(closer);
+    if (const std::size_t hash = value.find('#', close == std::string::npos ? 0 : close);
+        hash != std::string::npos && hash > 0) {
+      value = trim(std::string_view(value).substr(0, hash));
+    }
+    auto& layer = config.layers.back();
+    if (key == "name") {
+      layer.name = parse_toml_string(value, line_no);
+    } else if (key == "paths") {
+      layer.paths = parse_toml_array(value, line_no);
+    } else if (key == "allow") {
+      layer.allow = parse_toml_array(value, line_no);
+    } else {
+      layers_error(line_no, "unknown key '" + key + "'");
+    }
+  }
+  for (std::size_t i = 0; i < config.layers.size(); ++i) {
+    const auto& layer = config.layers[i];
+    if (layer.name.empty()) {
+      layers_error(0, "layer " + std::to_string(i) + " has no name");
+    }
+    for (const auto& allowed : layer.allow) {
+      if (allowed == "*") {
+        continue;
+      }
+      const bool known = std::any_of(
+          config.layers.begin(), config.layers.end(),
+          [&](const LayerSpec& other) { return other.name == allowed; });
+      if (!known) {
+        layers_error(0, "layer '" + layer.name + "' allows unknown layer '" + allowed + "'");
+      }
+    }
+  }
+  return config;
+}
+
+std::size_t LayersConfig::layer_of(std::string_view path) const {
+  std::size_t best = npos;
+  std::size_t best_len = 0;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    for (const auto& needle : layers[i].paths) {
+      if (needle.size() >= best_len && path.find(needle) != std::string_view::npos) {
+        best = i;
+        best_len = needle.size();
+      }
+    }
+  }
+  return best;
+}
+
+bool LayersConfig::allowed(std::size_t from, std::size_t to) const {
+  if (from == npos || to == npos || from == to) {
+    return true;  // unlayered files and same-layer includes are unconstrained
+  }
+  const auto& allow = layers[from].allow;
+  return std::any_of(allow.begin(), allow.end(), [&](const std::string& name) {
+    return name == "*" || name == layers[to].name;
+  });
+}
+
+// --- model construction ------------------------------------------------------
+
+ProjectModel ProjectModel::build(const std::vector<std::string>& sources,
+                                 const LintOptions& options, const LayersConfig& layers) {
+  ProjectModel model;
+  model.layers_ = layers;
+
+  // Canonical on-disk path -> file index, for include resolution.
+  std::map<std::string, std::size_t> by_canonical;
+  for (const auto& source : sources) {
+    std::string text;
+    if (!read_file(source, text)) {
+      continue;
+    }
+    ProjectFile file;
+    file.path = normalize_path(source);
+    file.disk_path = source;
+    file.text = std::move(text);
+    model.files_.push_back(std::move(file));
+  }
+  std::sort(model.files_.begin(), model.files_.end(),
+            [](const ProjectFile& a, const ProjectFile& b) { return a.path < b.path; });
+  for (std::size_t i = 0; i < model.files_.size(); ++i) {
+    auto& file = model.files_[i];
+    file.lex = lex(file.text);
+    file.is_header = ends_with(file.path, ".h");
+    std::error_code ec;
+    const fs::path canonical = fs::weakly_canonical(file.disk_path, ec);
+    by_canonical.emplace((ec ? fs::path(file.disk_path) : canonical).string(), i);
+  }
+
+  for (auto& file : model.files_) {
+    const fs::path dir = fs::path(file.disk_path).parent_path();
+    for (const auto& directive : file.lex.includes) {
+      if (!directive.quoted) {
+        continue;
+      }
+      ProjectFile::Edge edge;
+      edge.raw_target = directive.target;
+      edge.line = directive.line;
+      std::error_code ec;
+      std::vector<fs::path> candidates;
+      candidates.push_back(dir / directive.target);
+      for (const auto& root : options.include_roots) {
+        candidates.push_back(fs::path(root) / directive.target);
+        candidates.push_back(fs::path(root).parent_path() / directive.target);
+      }
+      for (const auto& candidate : candidates) {
+        const fs::path canonical = fs::weakly_canonical(candidate, ec);
+        const auto it = by_canonical.find((ec ? candidate : canonical).string());
+        if (it != by_canonical.end()) {
+          edge.target = it->second;
+          break;
+        }
+      }
+      file.edges.push_back(std::move(edge));
+    }
+  }
+  model.assign_layers();
+  return model;
+}
+
+ProjectModel ProjectModel::from_memory(
+    const std::vector<std::pair<std::string, std::string>>& files,
+    const LayersConfig& layers) {
+  ProjectModel model;
+  model.layers_ = layers;
+  for (const auto& [path, text] : files) {
+    ProjectFile file;
+    file.path = path;
+    file.disk_path = path;
+    file.text = text;
+    model.files_.push_back(std::move(file));
+  }
+  std::sort(model.files_.begin(), model.files_.end(),
+            [](const ProjectFile& a, const ProjectFile& b) { return a.path < b.path; });
+  for (auto& file : model.files_) {
+    file.lex = lex(file.text);
+    file.is_header = ends_with(file.path, ".h");
+  }
+  for (auto& file : model.files_) {
+    for (const auto& directive : file.lex.includes) {
+      if (!directive.quoted) {
+        continue;
+      }
+      ProjectFile::Edge edge;
+      edge.raw_target = directive.target;
+      edge.line = directive.line;
+      edge.target = model.index_of(directive.target);
+      file.edges.push_back(std::move(edge));
+    }
+  }
+  model.assign_layers();
+  return model;
+}
+
+void ProjectModel::assign_layers() {
+  for (auto& file : files_) {
+    file.layer = layers_.layer_of(file.path);
+  }
+}
+
+std::size_t ProjectModel::index_of(std::string_view path) const {
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    if (files_[i].path == path || ends_with(files_[i].path, "/" + std::string(path))) {
+      return i;
+    }
+  }
+  return npos;
+}
+
+std::vector<std::size_t> ProjectModel::chain_to(std::size_t file) const {
+  // BFS over reverse include edges from `file` toward the nearest .cpp
+  // translation unit; ties break toward the lowest file index, which is
+  // lexicographic path order.
+  std::vector<std::vector<std::size_t>> reverse(files_.size());
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    for (const auto& edge : files_[i].edges) {
+      if (edge.target != npos) {
+        reverse[edge.target].push_back(i);
+      }
+    }
+  }
+  std::vector<std::size_t> parent(files_.size(), npos);
+  std::vector<char> seen(files_.size(), 0);
+  std::queue<std::size_t> frontier;
+  frontier.push(file);
+  seen[file] = 1;
+  while (!frontier.empty()) {
+    const std::size_t at = frontier.front();
+    frontier.pop();
+    if (is_cpp_path(files_[at].path)) {
+      std::vector<std::size_t> chain;
+      for (std::size_t hop = at; hop != npos; hop = parent[hop]) {
+        chain.push_back(hop);
+      }
+      return chain;  // .cpp first, `file` last
+    }
+    auto& preds = reverse[at];
+    std::sort(preds.begin(), preds.end());
+    for (const std::size_t pred : preds) {
+      if (seen[pred] == 0) {
+        seen[pred] = 1;
+        parent[pred] = at;
+        frontier.push(pred);
+      }
+    }
+  }
+  return {file};
+}
+
+// --- R-ARCH1 ----------------------------------------------------------------
+
+std::vector<Finding> check_layering(const ProjectModel& model) {
+  std::vector<Finding> all;
+  const auto& layers = model.layers();
+  for (std::size_t i = 0; i < model.files().size(); ++i) {
+    const auto& file = model.files()[i];
+    std::vector<Finding> per_file;
+    for (const auto& edge : file.edges) {
+      if (edge.target == ProjectModel::npos) {
+        continue;
+      }
+      const auto& target = model.files()[edge.target];
+      if (layers.allowed(file.layer, target.layer)) {
+        continue;
+      }
+      std::string allowed_names;
+      for (const auto& name : layers.layers[file.layer].allow) {
+        allowed_names += allowed_names.empty() ? name : ", " + name;
+      }
+      std::string chain;
+      for (const std::size_t hop : model.chain_to(i)) {
+        chain += (chain.empty() ? "" : " -> ") + model.files()[hop].path;
+      }
+      chain += " -> " + target.path;
+      per_file.push_back(Finding{
+          file.path, edge.line, "R-ARCH1",
+          "layering violation: '" + layers.layers[file.layer].name +
+              "' code includes \"" + edge.raw_target + "\" from layer '" +
+              layers.layers[target.layer].name + "' (allowed: " +
+              (allowed_names.empty() ? "none" : allowed_names) +
+              "); include chain: " + chain});
+    }
+    per_file = apply_suppressions(std::move(per_file), file.lex.suppressions);
+    all.insert(all.end(), std::make_move_iterator(per_file.begin()),
+               std::make_move_iterator(per_file.end()));
+  }
+  return all;
+}
+
+// --- R-ARCH2 ----------------------------------------------------------------
+
+namespace {
+
+// Iterative Tarjan SCC over the quoted-include graph.
+struct Tarjan {
+  const ProjectModel& model;
+  std::vector<std::size_t> index, lowlink;
+  std::vector<char> on_stack;
+  std::vector<std::size_t> stack;
+  std::vector<std::vector<std::size_t>> sccs;
+  std::size_t next_index = 0;
+
+  explicit Tarjan(const ProjectModel& m)
+      : model(m),
+        index(m.files().size(), ProjectModel::npos),
+        lowlink(m.files().size(), 0),
+        on_stack(m.files().size(), 0) {}
+
+  void run(std::size_t root) {
+    struct Frame {
+      std::size_t node;
+      std::size_t edge = 0;
+    };
+    std::vector<Frame> frames{{root}};
+    while (!frames.empty()) {
+      auto& frame = frames.back();
+      const std::size_t v = frame.node;
+      if (frame.edge == 0) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = 1;
+      }
+      bool descended = false;
+      const auto& edges = model.files()[v].edges;
+      while (frame.edge < edges.size()) {
+        const std::size_t w = edges[frame.edge].target;
+        ++frame.edge;
+        if (w == ProjectModel::npos) {
+          continue;
+        }
+        if (index[w] == ProjectModel::npos) {
+          frames.push_back(Frame{w});
+          descended = true;
+          break;
+        }
+        if (on_stack[w] != 0) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      }
+      if (descended) {
+        continue;
+      }
+      if (lowlink[v] == index[v]) {
+        std::vector<std::size_t> scc;
+        while (true) {
+          const std::size_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = 0;
+          scc.push_back(w);
+          if (w == v) {
+            break;
+          }
+        }
+        std::sort(scc.begin(), scc.end());
+        sccs.push_back(std::move(scc));
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink[frames.back().node] = std::min(lowlink[frames.back().node], lowlink[v]);
+      }
+    }
+  }
+};
+
+// Shortest path from `from` back to `from` through the include edges that
+// stay inside `members` (which is sorted).
+std::vector<std::size_t> cycle_path(const ProjectModel& model,
+                                    const std::vector<std::size_t>& members,
+                                    std::size_t from) {
+  const auto in_scc = [&](std::size_t node) {
+    return std::binary_search(members.begin(), members.end(), node);
+  };
+  std::vector<std::size_t> parent(model.files().size(), ProjectModel::npos);
+  std::vector<char> seen(model.files().size(), 0);
+  std::queue<std::size_t> frontier;
+  frontier.push(from);
+  while (!frontier.empty()) {
+    const std::size_t at = frontier.front();
+    frontier.pop();
+    for (const auto& edge : model.files()[at].edges) {
+      const std::size_t w = edge.target;
+      if (w == ProjectModel::npos || !in_scc(w)) {
+        continue;
+      }
+      if (w == from) {
+        std::vector<std::size_t> path;
+        for (std::size_t hop = at; hop != ProjectModel::npos; hop = parent[hop]) {
+          path.push_back(hop);
+        }
+        std::reverse(path.begin(), path.end());
+        path.insert(path.begin(), from);
+        path.push_back(from);
+        // `from` may appear twice at the front when the first hop closed
+        // the loop immediately (self-include).
+        if (path.size() >= 2 && path[0] == path[1]) {
+          path.erase(path.begin());
+        }
+        return path;
+      }
+      if (seen[w] == 0) {
+        seen[w] = 1;
+        parent[w] = at;
+        frontier.push(w);
+      }
+    }
+  }
+  return {from, from};
+}
+
+}  // namespace
+
+std::vector<Finding> check_include_cycles(const ProjectModel& model) {
+  Tarjan tarjan(model);
+  for (std::size_t i = 0; i < model.files().size(); ++i) {
+    if (tarjan.index[i] == ProjectModel::npos) {
+      tarjan.run(i);
+    }
+  }
+  std::vector<Finding> findings;
+  for (auto& scc : tarjan.sccs) {
+    bool cyclic = scc.size() > 1;
+    if (!cyclic) {
+      for (const auto& edge : model.files()[scc[0]].edges) {
+        cyclic |= edge.target == scc[0];  // self-include
+      }
+    }
+    if (!cyclic) {
+      continue;
+    }
+    const std::size_t head = scc[0];
+    const auto path = cycle_path(model, scc, head);
+    std::string display;
+    for (const std::size_t hop : path) {
+      display += (display.empty() ? "" : " -> ") + model.files()[hop].path;
+    }
+    std::size_t line = 1;
+    for (const auto& edge : model.files()[head].edges) {
+      if (path.size() >= 2 && edge.target == path[1]) {
+        line = edge.line;
+        break;
+      }
+    }
+    findings.push_back(Finding{model.files()[head].path, line, "R-ARCH2",
+                               "include cycle: " + display});
+  }
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    return a.file != b.file ? a.file < b.file : a.line < b.line;
+  });
+  return findings;
+}
+
+}  // namespace seg::lint

@@ -1,0 +1,360 @@
+#include "util/lint/report.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+namespace seg::lint {
+
+namespace {
+
+constexpr char kKeySep = '\x1f';
+
+constexpr std::array<std::string_view, 5> kProjectRoots = {
+    "src/", "tools/", "bench/", "tests/", "examples/",
+};
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string_view rule_description(std::string_view rule) {
+  if (rule == "R-DET1") return "no ambient time or randomness in pipeline code";
+  if (rule == "R-DET2") return "no unordered-container iteration on emission paths";
+  if (rule == "R-RACE1") return "no std::vector<bool> (racy packed-bit proxy)";
+  if (rule == "R-RACE2") return "no shared-capture growth inside parallel lambdas";
+  if (rule == "R-HDR1") return "headers must start with #pragma once";
+  if (rule == "R-HDR2") return "no using namespace at header scope";
+  if (rule == "R-API1") return "no calls to seg-deprecated entry points";
+  if (rule == "R-ARCH1") return "include targets must respect layers.toml layering";
+  if (rule == "R-ARCH2") return "the quoted-include graph must stay acyclic";
+  if (rule == "R-ODR1") return "one definition per external symbol across TUs";
+  if (rule == "R-LIFE1") return "no views or references escaping local storage";
+  return "seg-lint diagnostic";
+}
+
+// --- minimal JSON reader (objects / arrays / strings / numbers / literals),
+// just enough to parse write_json's own output back in. ---------------------
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of document");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (!at_end() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          fail("dangling escape");
+        }
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              fail("truncated \\u escape");
+            }
+            unsigned value = 0;
+            for (int k = 0; k < 4; ++k) {
+              const char h = text_[pos_++];
+              value <<= 4;
+              if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') value |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') value |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u escape");
+            }
+            // Only the control-plane escapes write_json emits matter here.
+            out += static_cast<char>(value & 0xff);
+            break;
+          }
+          default: out += esc;
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= text_.size()) {
+      fail("unterminated string");
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  // Parses and discards any value.
+  void skip_value() {
+    const char c = peek();
+    if (c == '"') {
+      parse_string();
+    } else if (c == '{') {
+      ++pos_;
+      if (!consume('}')) {
+        do {
+          parse_string();
+          expect(':');
+          skip_value();
+        } while (consume(','));
+        expect('}');
+      }
+    } else if (c == '[') {
+      ++pos_;
+      if (!consume(']')) {
+        do {
+          skip_value();
+        } while (consume(','));
+        expect(']');
+      }
+    } else {
+      // number / true / false / null
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
+              text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.')) {
+        ++pos_;
+      }
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("baseline JSON: " + what + " at offset " +
+                             std::to_string(pos_));
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string normalize_path(std::string_view path) {
+  std::string p(path);
+  std::replace(p.begin(), p.end(), '\\', '/');
+  std::size_t best = std::string::npos;
+  for (const auto root : kProjectRoots) {
+    for (std::size_t at = p.find(root); at != std::string::npos;
+         at = p.find(root, at + 1)) {
+      if (at == 0 || p[at - 1] == '/') {
+        best = std::min(best, at);
+        break;  // earliest occurrence of this root is enough
+      }
+    }
+  }
+  return best == std::string::npos ? p : p.substr(best);
+}
+
+std::string finding_key(const Finding& finding) {
+  std::string key = normalize_path(finding.file);
+  key += kKeySep;
+  key += finding.rule;
+  key += kKeySep;
+  key += finding.message;
+  return key;
+}
+
+void write_text(std::ostream& out, const std::vector<Finding>& findings) {
+  for (const auto& finding : findings) {
+    out << finding.file << ":" << finding.line << ": [" << finding.rule << "] "
+        << finding.message << "\n";
+  }
+}
+
+void write_json(std::ostream& out, const std::vector<Finding>& findings) {
+  out << "{\n  \"version\": 1,\n  \"tool\": \"seg-lint\",\n  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const auto& finding = findings[i];
+    out << (i == 0 ? "" : ",") << "\n    {\"file\": \""
+        << json_escape(normalize_path(finding.file)) << "\", \"line\": "
+        << finding.line << ", \"rule\": \"" << json_escape(finding.rule)
+        << "\", \"message\": \"" << json_escape(finding.message) << "\"}";
+  }
+  out << (findings.empty() ? "" : "\n  ") << "]\n}\n";
+}
+
+void write_sarif(std::ostream& out, const std::vector<Finding>& findings) {
+  // Rule metadata: each distinct rule id once, in sorted order.
+  std::map<std::string, std::string_view> rules;
+  for (const auto& finding : findings) {
+    rules.emplace(finding.rule, rule_description(finding.rule));
+  }
+
+  out << "{\n"
+      << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"seg-lint\",\n"
+      << "          \"version\": \"2.0.0\",\n"
+      << "          \"informationUri\": \"docs/static-analysis.md\",\n"
+      << "          \"rules\": [";
+  std::size_t rule_index = 0;
+  for (const auto& [id, description] : rules) {
+    out << (rule_index++ == 0 ? "" : ",") << "\n            {\"id\": \""
+        << json_escape(id) << "\", \"shortDescription\": {\"text\": \""
+        << json_escape(description) << "\"}}";
+  }
+  out << (rules.empty() ? "" : "\n          ") << "]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const auto& finding = findings[i];
+    out << (i == 0 ? "" : ",") << "\n        {\n"
+        << "          \"ruleId\": \"" << json_escape(finding.rule) << "\",\n"
+        << "          \"level\": \"error\",\n"
+        << "          \"message\": {\"text\": \"" << json_escape(finding.message)
+        << "\"},\n"
+        << "          \"locations\": [\n"
+        << "            {\"physicalLocation\": {\"artifactLocation\": {\"uri\": \""
+        << json_escape(normalize_path(finding.file))
+        << "\"}, \"region\": {\"startLine\": "
+        << std::max<std::size_t>(finding.line, 1) << "}}}\n"
+        << "          ]\n"
+        << "        }";
+  }
+  out << (findings.empty() ? "" : "\n      ") << "]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+}
+
+std::vector<std::string> load_baseline_keys(std::string_view json_text) {
+  JsonReader reader(json_text);
+  std::vector<std::string> keys;
+  reader.expect('{');
+  if (!reader.consume('}')) {
+    do {
+      const std::string field = reader.parse_string();
+      reader.expect(':');
+      if (field != "findings") {
+        reader.skip_value();
+        continue;
+      }
+      reader.expect('[');
+      if (reader.consume(']')) {
+        continue;
+      }
+      do {
+        Finding finding;
+        reader.expect('{');
+        if (!reader.consume('}')) {
+          do {
+            const std::string name = reader.parse_string();
+            reader.expect(':');
+            if (name == "file") {
+              finding.file = reader.parse_string();
+            } else if (name == "rule") {
+              finding.rule = reader.parse_string();
+            } else if (name == "message") {
+              finding.message = reader.parse_string();
+            } else {
+              reader.skip_value();
+            }
+          } while (reader.consume(','));
+          reader.expect('}');
+        }
+        if (finding.file.empty() || finding.rule.empty()) {
+          reader.fail("finding entry missing \"file\" or \"rule\"");
+        }
+        keys.push_back(finding_key(finding));
+      } while (reader.consume(','));
+      reader.expect(']');
+    } while (reader.consume(','));
+    reader.expect('}');
+  }
+  return keys;
+}
+
+std::vector<Finding> subtract_baseline(std::vector<Finding> findings,
+                                       const std::vector<std::string>& baseline_keys) {
+  std::map<std::string, std::size_t> budget;
+  for (const auto& key : baseline_keys) {
+    ++budget[key];
+  }
+  std::vector<Finding> fresh;
+  for (auto& finding : findings) {
+    const auto it = budget.find(finding_key(finding));
+    if (it != budget.end() && it->second > 0) {
+      --it->second;
+      continue;
+    }
+    fresh.push_back(std::move(finding));
+  }
+  return fresh;
+}
+
+}  // namespace seg::lint

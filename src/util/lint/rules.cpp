@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <array>
+#include <cctype>
 #include <string_view>
 
 namespace seg::lint {
-
-namespace {
 
 using Tokens = std::vector<Token>;
 
@@ -17,6 +16,74 @@ bool is_id(const Token& tok, std::string_view text) {
 bool is_punct(const Token& tok, std::string_view text) {
   return tok.kind == TokKind::kPunct && tok.text == text;
 }
+
+std::size_t skip_balanced(const Tokens& toks, std::size_t open) {
+  const std::string_view opener = toks[open].text;
+  const std::string_view closer = opener == "(" ? ")" : opener == "[" ? "]" : "}";
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (is_punct(toks[i], opener)) {
+      ++depth;
+    } else if (is_punct(toks[i], closer)) {
+      if (--depth == 0) {
+        return i + 1;
+      }
+    }
+  }
+  return toks.size();
+}
+
+bool non_type_keyword(std::string_view id) {
+  static constexpr std::array<std::string_view, 12> kKeywords = {
+      "return", "co_return", "throw",    "delete", "new",      "case",
+      "goto",   "operator",  "else",     "do",     "co_await", "co_yield"};
+  return std::find(kKeywords.begin(), kKeywords.end(), id) != kKeywords.end();
+}
+
+std::size_t paren_list_arity(const Tokens& toks, std::size_t open) {
+  const std::size_t close = skip_balanced(toks, open);
+  if (close == open + 2) {
+    return 0;
+  }
+  std::size_t arity = 1;
+  int depth = 0;
+  for (std::size_t i = open; i + 1 < close; ++i) {
+    if (is_punct(toks[i], "(") || is_punct(toks[i], "[") || is_punct(toks[i], "{")) {
+      ++depth;
+    } else if (is_punct(toks[i], ")") || is_punct(toks[i], "]") ||
+               is_punct(toks[i], "}")) {
+      --depth;
+    } else if (depth == 1 && is_punct(toks[i], ",")) {
+      ++arity;
+    }
+  }
+  return arity;
+}
+
+bool is_function_heading(const Tokens& toks, std::size_t name, std::size_t open) {
+  std::size_t i = skip_balanced(toks, open);
+  while (i < toks.size() &&
+         (is_id(toks[i], "const") || is_id(toks[i], "noexcept") ||
+          is_id(toks[i], "override") || is_id(toks[i], "final") || is_punct(toks[i], "&") ||
+          is_punct(toks[i], "&&"))) {
+    ++i;
+  }
+  if (i < toks.size() && is_punct(toks[i], "{")) {
+    return true;  // definition body
+  }
+  // Declaration: a type-like token directly precedes the name (calls are
+  // preceded by punctuation such as `.`/`->`/`=`/`(`/`,`/`;` or `return`).
+  if (name > 0) {
+    const auto& prev = toks[name - 1];
+    if ((prev.kind == TokKind::kIdentifier && !non_type_keyword(prev.text)) ||
+        is_punct(prev, ">") || is_punct(prev, "*") || is_punct(prev, "&")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
 
 bool contains(const std::vector<std::string>& haystack, std::string_view needle) {
   return std::find(haystack.begin(), haystack.end(), needle) != haystack.end();
@@ -43,24 +110,6 @@ std::size_t skip_template_args(const Tokens& toks, std::size_t open) {
     }
   }
   return open;
-}
-
-// Returns the index just past the token matching the opener at `open`
-// (one of ( [ {), or toks.size() when unbalanced.
-std::size_t skip_balanced(const Tokens& toks, std::size_t open) {
-  const std::string_view opener = toks[open].text;
-  const std::string_view closer = opener == "(" ? ")" : opener == "[" ? "]" : "}";
-  int depth = 0;
-  for (std::size_t i = open; i < toks.size(); ++i) {
-    if (is_punct(toks[i], opener)) {
-      ++depth;
-    } else if (is_punct(toks[i], closer)) {
-      if (--depth == 0) {
-        return i + 1;
-      }
-    }
-  }
-  return toks.size();
 }
 
 bool is_unordered_container(std::string_view id) {
@@ -203,14 +252,6 @@ struct LambdaCtx {
     return default_ref && !is_local(id);
   }
 };
-
-// Identifiers that can precede a declared name without being a type.
-bool non_type_keyword(std::string_view id) {
-  static constexpr std::array<std::string_view, 12> kKeywords = {
-      "return", "co_return", "throw",    "delete", "new",      "case",
-      "goto",   "operator",  "else",     "do",     "co_await", "co_yield"};
-  return std::find(kKeywords.begin(), kKeywords.end(), id) != kKeywords.end();
-}
 
 // Collects names declared inside the body [begin, end): initialized
 // declarations (`Type name = ...`), range-for bindings (`auto& v : ...`),
@@ -417,58 +458,11 @@ void rule_race2(const FileInfo& info, const Tokens& toks, std::vector<Finding>& 
 
 // --- R-API1 ---------------------------------------------------------------
 
-// Counts the top-level commas of the parenthesized list opening at `open`
-// and returns the implied argument/parameter count (0 for `()`).
-std::size_t paren_list_arity(const Tokens& toks, std::size_t open) {
-  const std::size_t close = skip_balanced(toks, open);
-  if (close == open + 2) {
-    return 0;
-  }
-  std::size_t arity = 1;
-  int depth = 0;
-  for (std::size_t i = open; i + 1 < close; ++i) {
-    if (is_punct(toks[i], "(") || is_punct(toks[i], "[") || is_punct(toks[i], "{")) {
-      ++depth;
-    } else if (is_punct(toks[i], ")") || is_punct(toks[i], "]") ||
-               is_punct(toks[i], "}")) {
-      --depth;
-    } else if (depth == 1 && is_punct(toks[i], ",")) {
-      ++arity;
-    }
-  }
-  return arity;
-}
-
-// True when the parenthesized list at `open` belongs to a function
-// definition or declaration rather than a call: the matching `)` is
-// followed (past cv/ref/noexcept qualifiers) by `{`, or by `;` with a
-// return type in front of the name.
-bool is_function_heading(const Tokens& toks, std::size_t name, std::size_t open) {
-  std::size_t i = skip_balanced(toks, open);
-  while (i < toks.size() &&
-         (is_id(toks[i], "const") || is_id(toks[i], "noexcept") ||
-          is_id(toks[i], "override") || is_id(toks[i], "final") || is_punct(toks[i], "&") ||
-          is_punct(toks[i], "&&"))) {
-    ++i;
-  }
-  if (i < toks.size() && is_punct(toks[i], "{")) {
-    return true;  // definition body
-  }
-  // Declaration: a type-like token directly precedes the name (calls are
-  // preceded by punctuation such as `.`/`->`/`=`/`(`/`,`/`;` or `return`).
-  if (name > 0) {
-    const auto& prev = toks[name - 1];
-    if ((prev.kind == TokKind::kIdentifier && !non_type_keyword(prev.text)) ||
-        is_punct(prev, ">") || is_punct(prev, "*") || is_punct(prev, "&")) {
-      return true;
-    }
-  }
-  return false;
-}
-
 void rule_api1(const FileInfo& info, const Tokens& toks, const DeprecatedDecls& deprecated,
                std::vector<Finding>& out) {
-  if (info.is_header || deprecated.decls.empty()) {
+  // Test code is exempt: the deprecated path keeps its regression coverage
+  // until the entry point is deleted outright.
+  if (info.is_header || info.is_test || deprecated.decls.empty()) {
     return;
   }
   for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
@@ -484,6 +478,234 @@ void rule_api1(const FileInfo& info, const Tokens& toks, const DeprecatedDecls& 
         "call to deprecated entry point '" + std::string(toks[i].text) + "' (" +
             std::to_string(arity) + " args, tagged seg-deprecated); migrate to the "
             "replacement overload"});
+  }
+}
+
+// --- R-LIFE1 ---------------------------------------------------------------
+
+// Value-typed names a `return <name>;` must not escape by reference: locals
+// and by-value parameters whose declarations carry no `&`, `*`, or view
+// type of their own (returning a string_view *parameter* by value is a
+// copy, not a dangle).
+struct OwningNames {
+  std::vector<std::string> names;
+  bool contains_name(std::string_view id) const { return contains(names, id); }
+};
+
+bool is_view_type(std::string_view id) {
+  return id == "string_view" || id == "span";
+}
+
+// Records the by-value owning parameters of the list opening at `open`.
+void collect_value_params(const Tokens& toks, std::size_t open, OwningNames& out) {
+  const std::size_t close = skip_balanced(toks, open);
+  std::size_t seg_begin = open + 1;
+  int depth = 0;
+  for (std::size_t i = open; i < close; ++i) {
+    if (is_punct(toks[i], "(") || is_punct(toks[i], "[") || is_punct(toks[i], "{") ||
+        is_punct(toks[i], "<")) {
+      ++depth;
+    } else if (is_punct(toks[i], ")") || is_punct(toks[i], "]") ||
+               is_punct(toks[i], "}") || is_punct(toks[i], ">")) {
+      --depth;
+    }
+    if ((depth == 1 && is_punct(toks[i], ",")) || (depth == 0 && i + 1 == close)) {
+      // One parameter segment [seg_begin, i).
+      bool by_value = true;
+      std::size_t name = kNpos;
+      for (std::size_t j = seg_begin; j < i; ++j) {
+        if (is_punct(toks[j], "&") || is_punct(toks[j], "&&") ||
+            is_punct(toks[j], "*") ||
+            (toks[j].kind == TokKind::kIdentifier && is_view_type(toks[j].text))) {
+          by_value = false;
+        }
+        if (is_punct(toks[j], "=")) {
+          break;  // default argument: the name came before it
+        }
+        if (toks[j].kind == TokKind::kIdentifier) {
+          name = j;
+        }
+      }
+      // A lone segment token is a type with no name (`(int)`), not a param.
+      if (by_value && name != kNpos && name > seg_begin &&
+          !contains(out.names, toks[name].text)) {
+        out.names.emplace_back(toks[name].text);
+      }
+      seg_begin = i + 1;
+    }
+  }
+}
+
+// Records owning locals declared inside [begin, end): `Type name =`,
+// `Type name;`, `Type name(...)` / `Type name{...}` where the token before
+// the name is type-like and not a reference/pointer/view, and the
+// declaration is not `static`.
+void collect_owning_locals(const Tokens& toks, std::size_t begin, std::size_t end,
+                           OwningNames& out) {
+  for (std::size_t i = begin; i < end; ++i) {
+    if (toks[i].kind != TokKind::kIdentifier || i == begin || i + 1 >= end) {
+      continue;
+    }
+    const auto& prev = toks[i - 1];
+    const auto& next = toks[i + 1];
+    const bool declarator_next = is_punct(next, "=") || is_punct(next, ";") ||
+                                 is_punct(next, "{");
+    if (!declarator_next) {
+      continue;
+    }
+    const bool type_like_prev = prev.kind == TokKind::kIdentifier &&
+                                !non_type_keyword(prev.text) &&
+                                !is_view_type(prev.text) && !is_id(prev, "static");
+    const bool template_close_prev = is_punct(prev, ">");
+    if (!type_like_prev && !template_close_prev) {
+      continue;
+    }
+    // Scan the whole declaration statement (back to the previous `;`, `{`,
+    // or `}`) for `static`: a static local outlives the return, so
+    // `static sim::World world{...}; return world;` is legal.
+    bool is_static = false;
+    for (std::size_t j = i; j > begin; --j) {
+      const auto& t = toks[j - 1];
+      if (is_punct(t, ";") || is_punct(t, "{") || is_punct(t, "}")) {
+        break;
+      }
+      if (is_id(t, "static")) {
+        is_static = true;
+        break;
+      }
+    }
+    if (!is_static && !contains(out.names, toks[i].text)) {
+      out.names.emplace_back(toks[i].text);
+    }
+  }
+}
+
+void rule_life1(const FileInfo& info, const Tokens& toks, std::vector<Finding>& out) {
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdentifier || !is_punct(toks[i + 1], "(") ||
+        !is_function_heading(toks, i, i + 1)) {
+      continue;
+    }
+    // Return-type window: walk back over type-ish tokens to the statement
+    // boundary and look for a reference or view.
+    std::size_t start = i;
+    while (start > 0) {
+      const auto& t = toks[start - 1];
+      const bool type_ish =
+          (t.kind == TokKind::kIdentifier && !non_type_keyword(t.text)) ||
+          is_punct(t, "::") || is_punct(t, "<") || is_punct(t, ">") ||
+          is_punct(t, "*") || is_punct(t, "&") || is_punct(t, ",");
+      if (!type_ish) {
+        break;
+      }
+      --start;
+    }
+    // Only a reference or view at the *top level* of the return type counts:
+    // `std::vector<std::string_view>` owns its elements' views are into the
+    // caller's data, so angle-bracket-nested matches are ignored.
+    bool returns_ref_or_view = false;
+    int angle = 0;
+    for (std::size_t j = start; j < i; ++j) {
+      if (is_punct(toks[j], "<")) {
+        ++angle;
+      } else if (is_punct(toks[j], ">")) {
+        --angle;
+      } else if (is_punct(toks[j], ">>")) {
+        angle -= 2;
+      } else if (angle <= 0 &&
+                 (is_punct(toks[j], "&") || is_punct(toks[j], "&&") ||
+                  (toks[j].kind == TokKind::kIdentifier && is_view_type(toks[j].text)))) {
+        returns_ref_or_view = true;
+        break;
+      }
+    }
+    if (!returns_ref_or_view) {
+      continue;
+    }
+    std::size_t after = skip_balanced(toks, i + 1);
+    while (after < toks.size() &&
+           (is_id(toks[after], "const") || is_id(toks[after], "noexcept") ||
+            is_id(toks[after], "override") || is_id(toks[after], "final") ||
+            is_punct(toks[after], "&") || is_punct(toks[after], "&&"))) {
+      ++after;
+    }
+    if (after >= toks.size() || !is_punct(toks[after], "{")) {
+      continue;  // declaration only
+    }
+    const std::size_t body_end = skip_balanced(toks, after);
+
+    OwningNames owning;
+    collect_value_params(toks, i + 1, owning);
+    collect_owning_locals(toks, after + 1, body_end - 1, owning);
+
+    for (std::size_t j = after + 1; j + 1 < body_end; ++j) {
+      if (is_punct(toks[j], "[")) {
+        // A `return` inside a nested lambda body returns from the lambda,
+        // not from this function — skip `[..](..){..}` wholesale. A `[` that
+        // is just a subscript (no `{` after the bracket/parameter clause)
+        // skips only to its `]`.
+        std::size_t k = skip_balanced(toks, j);  // just past ']'
+        if (k < body_end && is_punct(toks[k], "(")) {
+          k = skip_balanced(toks, k);
+        }
+        while (k < body_end &&
+               (is_id(toks[k], "mutable") || is_id(toks[k], "noexcept") ||
+                is_id(toks[k], "constexpr"))) {
+          ++k;
+        }
+        if (k < body_end && is_punct(toks[k], "->")) {
+          while (k < body_end && !is_punct(toks[k], "{") && !is_punct(toks[k], ";")) {
+            ++k;
+          }
+        }
+        j = (k < body_end && is_punct(toks[k], "{") ? skip_balanced(toks, k)
+                                                    : skip_balanced(toks, j)) -
+            1;
+        continue;
+      }
+      if (!is_id(toks[j], "return")) {
+        continue;
+      }
+      std::size_t stmt_end = j + 1;
+      int depth = 0;
+      while (stmt_end < body_end && !(depth == 0 && is_punct(toks[stmt_end], ";"))) {
+        if (is_punct(toks[stmt_end], "(") || is_punct(toks[stmt_end], "[") ||
+            is_punct(toks[stmt_end], "{")) {
+          ++depth;
+        } else if (is_punct(toks[stmt_end], ")") || is_punct(toks[stmt_end], "]") ||
+                   is_punct(toks[stmt_end], "}")) {
+          --depth;
+        }
+        ++stmt_end;
+      }
+      // `return <local>;` — the reference/view outlives the storage.
+      if (stmt_end == j + 2 && toks[j + 1].kind == TokKind::kIdentifier &&
+          owning.contains_name(toks[j + 1].text)) {
+        out.push_back(Finding{
+            info.path, toks[j + 1].line, "R-LIFE1",
+            "returning a reference/view to function-local '" +
+                std::string(toks[j + 1].text) +
+                "'; the storage dies when the function returns — return by "
+                "value or take the owner from the caller"});
+      }
+      // `return ... something_batch(...) ...;` — a view into the
+      // by-value batch result of the parallel feature path.
+      for (std::size_t k = j + 1; k + 1 < stmt_end; ++k) {
+        if (toks[k].kind == TokKind::kIdentifier && is_punct(toks[k + 1], "(") &&
+            toks[k].text.size() > 6 &&
+            toks[k].text.substr(toks[k].text.size() - 6) == "_batch") {
+          out.push_back(Finding{
+              info.path, toks[k].line, "R-LIFE1",
+              "returning a reference/view into the temporary returned by '" +
+                  std::string(toks[k].text) +
+                  "(...)'; batch queries return by value, so the view dangles "
+                  "— materialize the result first"});
+          break;
+        }
+      }
+      j = stmt_end;
+    }
+    i = body_end - 1;
   }
 }
 
@@ -621,23 +843,39 @@ void collect_deprecated_decls(const LexResult& lex, DeprecatedDecls& decls) {
   }
 }
 
-std::vector<Finding> run_rules(const FileInfo& info, const LexResult& lex,
-                               const UnorderedDecls& decls,
-                               const DeprecatedDecls& deprecated) {
-  std::vector<Finding> findings;
-  rule_det1(info, lex.tokens, findings);
-  rule_det2(info, lex.tokens, decls, findings);
-  rule_race1(info, lex.tokens, findings);
-  rule_race2(info, lex.tokens, findings);
-  rule_api1(info, lex.tokens, deprecated, findings);
-  rule_headers(info, lex.tokens, findings);
+bool suppression_covers(std::string_view directive_rule, std::string_view rule) {
+  if (directive_rule == rule) {
+    return true;
+  }
+  // Category form: "arch" covers R-ARCH1/R-ARCH2. The category is the
+  // lowercase run of letters between "R-" and the trailing digits.
+  if (rule.substr(0, 2) != "R-") {
+    return false;
+  }
+  std::string_view category = rule.substr(2);
+  while (!category.empty() &&
+         std::isdigit(static_cast<unsigned char>(category.back())) != 0) {
+    category.remove_suffix(1);
+  }
+  if (category.size() != directive_rule.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < category.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(category[i])) != directive_rule[i]) {
+      return false;
+    }
+  }
+  return true;
+}
 
+std::vector<Finding> apply_suppressions(std::vector<Finding> findings,
+                                        const std::vector<Suppression>& suppressions) {
   std::vector<Finding> kept;
   kept.reserve(findings.size());
   for (auto& finding : findings) {
     bool suppressed = false;
-    for (const auto& s : lex.suppressions) {
-      if (s.rule != finding.rule) {
+    for (const auto& s : suppressions) {
+      if (!suppression_covers(s.rule, finding.rule)) {
         continue;
       }
       if (s.whole_file || finding.line == s.line || finding.line == s.line + 1) {
@@ -649,6 +887,22 @@ std::vector<Finding> run_rules(const FileInfo& info, const LexResult& lex,
       kept.push_back(std::move(finding));
     }
   }
+  return kept;
+}
+
+std::vector<Finding> run_rules(const FileInfo& info, const LexResult& lex,
+                               const UnorderedDecls& decls,
+                               const DeprecatedDecls& deprecated) {
+  std::vector<Finding> findings;
+  rule_det1(info, lex.tokens, findings);
+  rule_det2(info, lex.tokens, decls, findings);
+  rule_race1(info, lex.tokens, findings);
+  rule_race2(info, lex.tokens, findings);
+  rule_api1(info, lex.tokens, deprecated, findings);
+  rule_life1(info, lex.tokens, findings);
+  rule_headers(info, lex.tokens, findings);
+
+  std::vector<Finding> kept = apply_suppressions(std::move(findings), lex.suppressions);
   std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
     return a.line != b.line ? a.line < b.line : a.rule < b.rule;
   });

@@ -18,7 +18,14 @@
 //   R-HDR2  no `using namespace` at header scope.
 //   R-API1  no calls to deprecated entry points (declarations tagged with
 //           a `// seg-deprecated` marker comment in a header) from
-//           non-test code; arity disambiguates same-name overloads.
+//           non-test code; arity disambiguates same-name overloads. In
+//           whole-program mode (project_model.h) the deprecated set comes
+//           from the cross-TU symbol index, so calls through headers the
+//           caller never includes are still caught.
+//   R-LIFE1 no returning a reference, string_view, or span that points at
+//           function-local storage or at the temporary returned by a
+//           `*_batch` call (the parallel feature path hands out batch
+//           results by value; a view into one dangles immediately).
 //
 // Rules operate on the token stream from lexer.h plus a per-file
 // classification computed by the driver in linter.h. All matching is
@@ -49,6 +56,9 @@ struct FileInfo {
   bool emission = false;
   /// File is on the timing/instrumentation allowlist (R-DET1 exempt).
   bool timing_allowed = false;
+  /// Test code (under tests/ or named *_test.cpp): exempt from R-API1 so
+  /// deprecated entry points keep regression coverage until deleted.
+  bool is_test = false;
 };
 
 /// Identifiers known (from this file and its reachable project headers) to
@@ -90,5 +100,32 @@ void collect_deprecated_decls(const LexResult& lex, DeprecatedDecls& decls);
 std::vector<Finding> run_rules(const FileInfo& info, const LexResult& lex,
                                const UnorderedDecls& decls,
                                const DeprecatedDecls& deprecated);
+
+/// Token-stream structural helpers, shared with the cross-TU passes in
+/// project_model.cpp / symbol_index.cpp.
+bool is_id(const Token& tok, std::string_view text);
+bool is_punct(const Token& tok, std::string_view text);
+/// Identifiers that can precede a declared name without being a type.
+bool non_type_keyword(std::string_view id);
+/// Index just past the token matching the opener at `open` (one of `([{`),
+/// or toks.size() when unbalanced.
+std::size_t skip_balanced(const std::vector<Token>& toks, std::size_t open);
+/// Argument/parameter count of the parenthesized list opening at `open`.
+std::size_t paren_list_arity(const std::vector<Token>& toks, std::size_t open);
+/// True when the parenthesized list at `open` belongs to a function
+/// definition or declaration rather than a call.
+bool is_function_heading(const std::vector<Token>& toks, std::size_t name,
+                         std::size_t open);
+
+/// True when a suppression directive covers `rule`: exact match
+/// ("R-ARCH1"), or the rule's lowercase category ("arch" covers R-ARCH1 and
+/// R-ARCH2).
+bool suppression_covers(std::string_view directive_rule, std::string_view rule);
+
+/// Drops findings covered by a suppression on their own line or the line
+/// above, or by an allow-file directive. Shared by the per-file driver and
+/// the whole-program passes in project_model.h.
+std::vector<Finding> apply_suppressions(std::vector<Finding> findings,
+                                        const std::vector<Suppression>& suppressions);
 
 }  // namespace seg::lint

@@ -13,8 +13,10 @@
 
 #include "core/segugio.h"
 #include "graph/graph_io.h"
+#include "graph/name_cache.h"
 #include "sim/world.h"
 #include "util/parallel.h"
+#include "util/serialize.h"
 
 namespace seg::core {
 namespace {
@@ -150,6 +152,136 @@ TEST_F(PipelineTest, ReportAttributionMatchesGraphLookup) {
     EXPECT_EQ(captured[i].machines, via_graph[i].machines);
     EXPECT_FALSE(captured[i].machines.empty());
   }
+}
+
+TEST_F(PipelineTest, SessionSurvivesRestartWithIdenticalOutput) {
+  auto& w = world();
+  const auto config = fast_config();
+  const auto day1_trace = w.generate_day(0, 11);
+  const auto day1_blacklist = w.blacklist().as_of(sim::BlacklistKind::kCommercial, 11);
+  const auto day2_trace = w.generate_day(0, 12);
+  const auto day2_blacklist = w.blacklist().as_of(sim::BlacklistKind::kCommercial, 12);
+  const auto whitelist = w.whitelist().all();
+
+  // Continuous session: day 1 then day 2.
+  Pipeline continuous(w.psl(), w.activity(), w.pdns(), config);
+  const auto cont_day1 = continuous.ingest_day(day1_trace, day1_blacklist, whitelist);
+  const auto cont_day2 = continuous.ingest_day(day2_trace, day2_blacklist, whitelist);
+
+  // Restarted session: day 1, save_session, new process (fresh Pipeline),
+  // load_session, day 2.
+  Pipeline before_restart(w.psl(), w.activity(), w.pdns(), config);
+  const auto pre_day1 = before_restart.ingest_day(day1_trace, day1_blacklist, whitelist);
+  EXPECT_EQ(graph_bytes(pre_day1.graph), graph_bytes(cont_day1.graph));
+  std::ostringstream session_blob;
+  before_restart.save_session(session_blob);
+
+  Pipeline after_restart(w.psl(), w.activity(), w.pdns(), config);
+  std::istringstream session_in(session_blob.str());
+  after_restart.load_session(session_in);
+  // The carried dictionary came back in full, not rebuilt from scratch.
+  EXPECT_EQ(after_restart.streaming_stats().cached_names,
+            before_restart.streaming_stats().cached_names);
+  EXPECT_GT(after_restart.streaming_stats().cached_names, 0u);
+
+  const auto post_day2 = after_restart.ingest_day(day2_trace, day2_blacklist, whitelist);
+  EXPECT_EQ(graph_bytes(post_day2.graph), graph_bytes(cont_day2.graph))
+      << "post-restart ingest diverges from the continuous session";
+  // Day-2 reuse must carry over: the restarted session serves day-2 names
+  // from the reloaded dictionary exactly like the continuous one does.
+  EXPECT_EQ(post_day2.carry.new_names, cont_day2.carry.new_names);
+  EXPECT_EQ(post_day2.carry.distinct_domains, cont_day2.carry.distinct_domains);
+  EXPECT_GT(post_day2.carry.reuse_ratio(), 0.0);
+}
+
+TEST_F(PipelineTest, SessionSaveIsDeterministicAndShardCountInvariant) {
+  auto& w = world();
+  Pipeline pipeline(w.psl(), w.activity(), w.pdns(), fast_config());
+  const auto trace = w.generate_day(0, 13);
+  const auto blacklist = w.blacklist().as_of(sim::BlacklistKind::kCommercial, 13);
+  pipeline.ingest_day(trace, blacklist, w.whitelist().all());
+
+  std::ostringstream first;
+  pipeline.save_session(first);
+  std::ostringstream second;
+  pipeline.save_session(second);
+  EXPECT_EQ(first.str(), second.str());
+
+  // Reloading into a different shard count and saving again must produce
+  // the same bytes: shard count is merge parallelism, not session state.
+  std::istringstream in(first.str());
+  const int version = util::read_format_header(in, "pipeline-session", 1, 0);
+  ASSERT_EQ(version, 1);
+  const auto reloaded = graph::NameCache::load(in, /*num_shards=*/3);
+  std::ostringstream resaved;
+  reloaded.save(resaved);
+  const std::string original = first.str();
+  const std::string header_line = "segf1 pipeline-session 1\n";
+  ASSERT_EQ(original.substr(0, header_line.size()), header_line);
+  EXPECT_EQ(resaved.str(), original.substr(header_line.size()));
+}
+
+TEST_F(PipelineTest, LoadSessionRejectsHeaderlessAndForeignStreams) {
+  auto& w = world();
+  Pipeline pipeline(w.psl(), fast_config());
+
+  // No legacy (headerless) session format exists: unlike pdns/activity
+  // loaders, a stream without the segf1 header must throw, not silently
+  // parse as version 1.
+  std::istringstream headerless("namecache 1\nexample.com 1 example.com example.com\n");
+  EXPECT_THROW(pipeline.load_session(headerless), util::ParseError);
+
+  std::istringstream foreign("segf1 pdns 1\npdns 0\n");
+  EXPECT_THROW(pipeline.load_session(foreign), util::ParseError);
+
+  std::istringstream truncated("segf1 pipeline-session 1\nsegf1 namecache 1\nnamecache 5\n");
+  EXPECT_THROW(pipeline.load_session(truncated), util::ParseError);
+
+  // A failed load must not have poisoned the session: it still ingests.
+  const auto trace = w.generate_day(0, 14);
+  const auto blacklist = w.blacklist().as_of(sim::BlacklistKind::kCommercial, 14);
+  pipeline.absorb_history(w.activity(), w.pdns());
+  const auto day = pipeline.ingest_day(trace, blacklist, w.whitelist().all());
+  EXPECT_GT(day.graph.domain_count(), 0u);
+}
+
+TEST_F(PipelineTest, NameCacheRoundTripsEscapedSpellings) {
+  // Raw spellings are attacker-controlled: whitespace and '%' must survive
+  // a save/load round trip byte-for-byte.
+  graph::NameCache cache(2);
+  std::vector<std::vector<graph::NameCache::NewName>> batch(1);
+  batch[0].push_back({"bad name.example", "", "", false});
+  batch[0].push_back({"tab\tname", "", "", false});
+  batch[0].push_back({"percent%name", "", "", false});
+  batch[0].push_back({"WWW.Example.COM.", "www.example.com", "example.com", true});
+  cache.merge(batch);
+
+  std::ostringstream blob;
+  cache.save(blob);
+  std::istringstream in(blob.str());
+  const auto reloaded = graph::NameCache::load(in, /*num_shards=*/5);
+  ASSERT_EQ(reloaded.size(), cache.size());
+  for (const auto* original :
+       {cache.find("bad name.example"), cache.find("tab\tname"),
+        cache.find("percent%name")}) {
+    ASSERT_NE(original, nullptr);
+    EXPECT_FALSE(original->valid);
+  }
+  const auto* spaced = reloaded.find("bad name.example");
+  ASSERT_NE(spaced, nullptr);
+  EXPECT_FALSE(spaced->valid);
+  const auto* tabbed = reloaded.find("tab\tname");
+  ASSERT_NE(tabbed, nullptr);
+  const auto* percent = reloaded.find("percent%name");
+  ASSERT_NE(percent, nullptr);
+  const auto* valid = reloaded.find("WWW.Example.COM.");
+  ASSERT_NE(valid, nullptr);
+  EXPECT_TRUE(valid->valid);
+  EXPECT_EQ(valid->normalized, "www.example.com");
+  EXPECT_EQ(valid->e2ld, "example.com");
+  const auto* alias = reloaded.find("www.example.com");
+  ASSERT_NE(alias, nullptr);
+  EXPECT_TRUE(alias->valid);
 }
 
 }  // namespace

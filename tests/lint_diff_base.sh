@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# seg-lint --diff-base end-to-end test: builds a scratch git repo whose base
+# commit already carries one contract violation, introduces a second one in
+# the working tree, and checks that diff mode reports ONLY the new finding.
+set -euo pipefail
+
+SEG_LINT="$1"
+[ -x "$SEG_LINT" ] || { echo "seg_lint binary '$SEG_LINT' not executable"; exit 1; }
+
+SCRATCH="$(mktemp -d /tmp/seg-lint-diff-test-XXXXXX)"
+trap 'rm -rf "$SCRATCH"' EXIT
+cd "$SCRATCH"
+
+git init -q .
+git config user.email lint@test
+git config user.name lint-test
+
+mkdir -p src/util
+# Base commit: one pre-existing R-RACE1 violation.
+cat > src/util/old.cpp <<'EOF'
+#include <vector>
+std::vector<bool> preexisting_flags;
+EOF
+git add -A
+git commit -qm base
+
+# Working tree: the old violation persists and a new one appears.
+cat > src/util/new.cpp <<'EOF'
+#include <vector>
+std::vector<bool> fresh_flags;
+EOF
+
+# Full run sees both findings...
+full_output="$("$SEG_LINT" src || true)"
+echo "$full_output" | grep -q "old.cpp" || { echo "FAIL: full run missed the base finding"; exit 1; }
+echo "$full_output" | grep -q "new.cpp" || { echo "FAIL: full run missed the new finding"; exit 1; }
+
+# ...diff mode subtracts the base finding and fails only on the new one.
+set +e
+diff_output="$("$SEG_LINT" --error-exit --diff-base HEAD src)"
+diff_status=$?
+set -e
+[ "$diff_status" -eq 1 ] || { echo "FAIL: diff run expected exit 1, got $diff_status"; exit 1; }
+echo "$diff_output" | grep -q "new.cpp" || { echo "FAIL: diff run missed the new finding"; exit 1; }
+if echo "$diff_output" | grep -q "old.cpp"; then
+  echo "FAIL: diff run reported the pre-existing finding"
+  exit 1
+fi
+
+# JSON diff output carries exactly the new finding.
+json_output="$("$SEG_LINT" --format=json --diff-base HEAD src || true)"
+echo "$json_output" | grep -q '"file": "src/util/new.cpp"' || {
+  echo "FAIL: json diff output missing the new finding"; exit 1; }
+if echo "$json_output" | grep -q 'old.cpp'; then
+  echo "FAIL: json diff output contains the pre-existing finding"
+  exit 1
+fi
+
+# After reverting the new file, diff mode is clean and exits 0.
+rm src/util/new.cpp
+"$SEG_LINT" --error-exit --diff-base HEAD src || {
+  echo "FAIL: clean diff run expected exit 0"; exit 1; }
+
+echo "PASS"

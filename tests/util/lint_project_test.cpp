@@ -1,0 +1,395 @@
+// Whole-program seg-lint v2 tests: project model, layering, include
+// cycles, cross-TU symbol index / ODR, and the report/baseline layer.
+#include "util/lint/project_model.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/lint/report.h"
+#include "util/lint/symbol_index.h"
+
+namespace seg::lint {
+namespace {
+
+using Files = std::vector<std::pair<std::string, std::string>>;
+
+constexpr std::string_view kLayersToml = R"toml(
+# test layering: util -> dns -> core
+[[layer]]
+name = "util"
+paths = ["src/util/"]
+allow = []
+
+[[layer]]
+name = "dns"
+paths = ["src/dns/"]
+allow = ["util"]
+
+[[layer]]
+name = "core"
+paths = ["src/core/"]
+allow = ["util", "dns"]
+
+[[layer]]
+name = "tools"
+paths = ["tools/"]
+allow = ["*"]
+)toml";
+
+LayersConfig test_layers() { return parse_layers(kLayersToml); }
+
+std::vector<Finding> findings_for(const Files& files, const char* rule) {
+  const auto model = ProjectModel::from_memory(files, test_layers());
+  std::vector<Finding> all;
+  if (std::string_view(rule) == "R-ARCH1") {
+    all = check_layering(model);
+  } else if (std::string_view(rule) == "R-ARCH2") {
+    all = check_include_cycles(model);
+  } else if (std::string_view(rule) == "R-ODR1") {
+    all = check_odr(SymbolIndex::build(model), model);
+  }
+  return all;
+}
+
+TEST(LayersToml, ParsesNamesPathsAndAllows) {
+  const auto layers = test_layers();
+  ASSERT_EQ(layers.layers.size(), 4u);
+  EXPECT_EQ(layers.layers[1].name, "dns");
+  EXPECT_EQ(layers.layer_of("src/dns/query_log.cpp"), 1u);
+  EXPECT_EQ(layers.layer_of("/abs/path/src/core/segugio.h"), 2u);
+  EXPECT_EQ(layers.layer_of("README.md"), LayersConfig::npos);
+  EXPECT_TRUE(layers.allowed(1, 0));   // dns -> util
+  EXPECT_FALSE(layers.allowed(1, 2));  // dns -> core
+  EXPECT_TRUE(layers.allowed(3, 2));   // tools -> anything via "*"
+  EXPECT_TRUE(layers.allowed(1, 1));   // same layer
+  EXPECT_TRUE(layers.allowed(LayersConfig::npos, 2));  // unlayered file
+}
+
+TEST(LayersToml, RejectsMalformedInput) {
+  EXPECT_THROW(parse_layers("name = \"x\"\n"), std::runtime_error);  // key before table
+  EXPECT_THROW(parse_layers("[[layer]]\nname = unquoted\n"), std::runtime_error);
+  EXPECT_THROW(parse_layers("[[layer]]\nbogus = \"x\"\n"), std::runtime_error);
+  EXPECT_THROW(parse_layers("[[layer]]\nname = \"a\"\nallow = [\"ghost\"]\n"),
+               std::runtime_error);  // allow references unknown layer
+}
+
+TEST(Layering, CrossLayerIncludeFailsWithChain) {
+  // Seeded violation from the issue spec: dns-layer code includes core.
+  const Files files = {
+      {"src/core/pipeline.h", "#pragma once\nint core_api();\n"},
+      {"src/dns/resolver.h",
+       "#pragma once\n#include \"core/pipeline.h\"\nint resolve();\n"},
+      {"src/dns/resolver.cpp", "#include \"dns/resolver.h\"\nint resolve() { return core_api(); }\n"},
+  };
+  const auto findings = findings_for(files, "R-ARCH1");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "R-ARCH1");
+  EXPECT_EQ(findings[0].file, "src/dns/resolver.h");
+  EXPECT_EQ(findings[0].line, 2u);  // the #include line
+  EXPECT_NE(findings[0].message.find("'dns' code includes \"core/pipeline.h\""),
+            std::string::npos);
+  EXPECT_NE(findings[0].message.find("allowed: util"), std::string::npos);
+  // The chain names how a translation unit reaches the bad edge.
+  EXPECT_NE(findings[0].message.find("src/dns/resolver.cpp -> src/dns/resolver.h "
+                                     "-> src/core/pipeline.h"),
+            std::string::npos);
+}
+
+TEST(Layering, AllowedAndWildcardIncludesPass) {
+  const Files files = {
+      {"src/util/strings.h", "#pragma once\nint trim();\n"},
+      {"src/dns/name.h", "#pragma once\n#include \"util/strings.h\"\n"},
+      {"src/core/top.h", "#pragma once\n#include \"dns/name.h\"\n"},
+      {"tools/cli.cpp", "#include \"core/top.h\"\nint main() { return 0; }\n"},
+  };
+  EXPECT_TRUE(findings_for(files, "R-ARCH1").empty());
+}
+
+TEST(Layering, ArchCategorySuppressionCoversDeliberateException) {
+  const Files files = {
+      {"src/core/pipeline.h", "#pragma once\n"},
+      {"src/dns/resolver.h",
+       "#pragma once\n"
+       "// seg-lint: allow(arch) -- deliberate exception for the test\n"
+       "#include \"core/pipeline.h\"\n"},
+  };
+  EXPECT_TRUE(findings_for(files, "R-ARCH1").empty());
+  // The category form covers both ARCH rules; an unrelated rule does not.
+  EXPECT_TRUE(suppression_covers("arch", "R-ARCH1"));
+  EXPECT_TRUE(suppression_covers("arch", "R-ARCH2"));
+  EXPECT_FALSE(suppression_covers("arch", "R-ODR1"));
+  EXPECT_TRUE(suppression_covers("R-ARCH1", "R-ARCH1"));
+  EXPECT_FALSE(suppression_covers("R-ARCH1", "R-ARCH2"));
+}
+
+TEST(IncludeCycles, TwoFileCycleReportedOnceWithPath) {
+  const Files files = {
+      {"src/util/a.h", "#pragma once\n#include \"util/b.h\"\n"},
+      {"src/util/b.h", "#pragma once\n#include \"util/a.h\"\n"},
+      {"src/util/a.cpp", "#include \"util/a.h\"\n"},
+  };
+  const auto findings = findings_for(files, "R-ARCH2");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "R-ARCH2");
+  // Reported once, on the lexicographically first member.
+  EXPECT_EQ(findings[0].file, "src/util/a.h");
+  EXPECT_NE(findings[0].message.find(
+                "src/util/a.h -> src/util/b.h -> src/util/a.h"),
+            std::string::npos);
+}
+
+TEST(IncludeCycles, SelfIncludeAndAcyclicTree) {
+  const Files cyclic = {{"src/util/self.h", "#pragma once\n#include \"util/self.h\"\n"}};
+  const auto findings = findings_for(cyclic, "R-ARCH2");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("src/util/self.h -> src/util/self.h"),
+            std::string::npos);
+
+  const Files acyclic = {
+      {"src/util/base.h", "#pragma once\n"},
+      {"src/util/mid.h", "#pragma once\n#include \"util/base.h\"\n"},
+      {"src/util/top.cpp", "#include \"util/mid.h\"\n#include \"util/base.h\"\n"},
+  };
+  EXPECT_TRUE(findings_for(acyclic, "R-ARCH2").empty());
+}
+
+TEST(SymbolIndex, RecordsQualifiedNamesArityAndLinkage) {
+  const Files files = {{"src/util/sym.cpp", R"cpp(
+namespace seg::util {
+int free_fn(int a, double b) { return a + static_cast<int>(b); }
+class Widget {
+ public:
+  int method(int x) { return x; }
+};
+namespace {
+int hidden() { return 1; }
+}  // namespace
+static int file_local(int) { return 2; }
+}  // namespace seg::util
+)cpp"}};
+  const auto model = ProjectModel::from_memory(files, test_layers());
+  const auto index = SymbolIndex::build(model);
+
+  const auto find = [&](std::string_view qualified) -> const SymbolRecord* {
+    for (const auto& record : index.records()) {
+      if (record.qualified_name == qualified) {
+        return &record;
+      }
+    }
+    return nullptr;
+  };
+  const auto* free_fn = find("seg::util::free_fn");
+  ASSERT_NE(free_fn, nullptr);
+  EXPECT_EQ(free_fn->arity, 2u);
+  EXPECT_TRUE(free_fn->has_body);
+  EXPECT_FALSE(free_fn->is_inline);
+  EXPECT_FALSE(free_fn->internal);
+
+  const auto* method = find("seg::util::Widget::method");
+  ASSERT_NE(method, nullptr);
+  EXPECT_TRUE(method->is_inline) << "class-member definitions are implicitly inline";
+
+  const auto* hidden = find("seg::util::hidden");
+  ASSERT_NE(hidden, nullptr);
+  EXPECT_TRUE(hidden->internal) << "anonymous namespace has internal linkage";
+
+  const auto* file_local = find("seg::util::file_local");
+  ASSERT_NE(file_local, nullptr);
+  EXPECT_TRUE(file_local->internal) << "static functions have internal linkage";
+}
+
+TEST(Odr, DivergentInlineBodiesAcrossTUsNamesBothDefinitions) {
+  // Seeded ODR pair from the issue spec: same inline function, different
+  // bodies, reached from two translation units.
+  const Files files = {
+      {"src/util/first.h", "#pragma once\ninline int answer() { return 41; }\n"},
+      {"src/util/second.h", "#pragma once\ninline int answer() { return 42; }\n"},
+      {"src/util/one.cpp", "#include \"util/first.h\"\nint one() { return answer(); }\n"},
+      {"src/util/two.cpp", "#include \"util/second.h\"\nint two() { return answer(); }\n"},
+  };
+  const auto findings = findings_for(files, "R-ODR1");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "R-ODR1");
+  EXPECT_NE(findings[0].message.find("divergent inline definitions of 'answer(0 args)'"),
+            std::string::npos);
+  EXPECT_NE(findings[0].message.find("src/util/first.h:2"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("src/util/second.h:2"), std::string::npos);
+}
+
+TEST(Odr, IdenticalInlineBodiesAreLegal) {
+  const Files files = {
+      {"src/util/first.h", "#pragma once\ninline int answer() { return 42; }\n"},
+      {"src/util/second.h", "#pragma once\ninline int answer() { return 42; }\n"},
+      {"src/util/one.cpp", "#include \"util/first.h\"\n"},
+      {"src/util/two.cpp", "#include \"util/second.h\"\n"},
+  };
+  EXPECT_TRUE(findings_for(files, "R-ODR1").empty());
+}
+
+TEST(Odr, MultipleNonInlineDefinitionsAcrossTUs) {
+  const Files files = {
+      {"src/util/one.cpp", "int shared_fn(int v) { return v; }\n"},
+      {"src/util/two.cpp", "int shared_fn(int v) { return v + 1; }\n"},
+  };
+  const auto findings = findings_for(files, "R-ODR1");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("multiple definitions of 'shared_fn(1 args)'"),
+            std::string::npos);
+  EXPECT_NE(findings[0].message.find("src/util/one.cpp:1"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("src/util/two.cpp:1"), std::string::npos);
+}
+
+TEST(Odr, DifferentSignaturesAreOverloadsNotViolations) {
+  const Files files = {
+      {"src/util/one.cpp", "int shared_fn(int v) { return v; }\n"},
+      {"src/util/two.cpp", "int shared_fn(double v) { return static_cast<int>(v); }\n"},
+  };
+  // Same name and arity but different parameter types: distinct overloads.
+  EXPECT_TRUE(findings_for(files, "R-ODR1").empty());
+}
+
+TEST(Odr, ParameterNamesDoNotSplitSignatures) {
+  const Files files = {
+      {"src/util/one.cpp", "int shared_fn(int alpha) { return alpha; }\n"},
+      {"src/util/two.cpp", "int shared_fn(int beta) { return beta + 1; }\n"},
+  };
+  EXPECT_EQ(findings_for(files, "R-ODR1").size(), 1u)
+      << "signatures must normalize away parameter names";
+}
+
+TEST(Odr, NonInlineHeaderDefinitionIncludedByTwoTUs) {
+  const Files files = {
+      {"src/util/helper.h", "#pragma once\nint helper(int v) { return v; }\n"},
+      {"src/util/one.cpp", "#include \"util/helper.h\"\n"},
+      {"src/util/two.cpp", "#include \"util/helper.h\"\n"},
+  };
+  const auto findings = findings_for(files, "R-ODR1");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/util/helper.h");
+  EXPECT_NE(findings[0].message.find("included by 2 translation units"),
+            std::string::npos);
+  EXPECT_NE(findings[0].message.find("mark it inline"), std::string::npos);
+
+  // The same header reached from a single TU is fine.
+  const Files single = {
+      {"src/util/helper.h", "#pragma once\nint helper(int v) { return v; }\n"},
+      {"src/util/one.cpp", "#include \"util/helper.h\"\n"},
+  };
+  EXPECT_TRUE(findings_for(single, "R-ODR1").empty());
+}
+
+TEST(Odr, InternalLinkageAndMacroShapesAreExempt) {
+  const Files files = {
+      {"src/util/one.cpp",
+       "namespace { int worker() { return 1; } }\nstatic int local() { return 2; }\n"},
+      {"src/util/two.cpp",
+       "namespace { int worker() { return 3; } }\nstatic int local() { return 4; }\n"},
+      {"tests/util/a_test.cpp", "TEST(Suite, Name) { int x = 0; }\n"},
+      {"tests/util/b_test.cpp", "TEST(Suite, Name) { int y = 1; }\n"},
+  };
+  EXPECT_TRUE(findings_for(files, "R-ODR1").empty());
+}
+
+TEST(Report, NormalizePathStripsCheckoutPrefixes) {
+  EXPECT_EQ(normalize_path("/root/repo/src/util/a.h"), "src/util/a.h");
+  EXPECT_EQ(normalize_path("/tmp/seg-lint-diff-x/tests/core/t.cpp"),
+            "tests/core/t.cpp");
+  EXPECT_EQ(normalize_path("src/util/a.h"), "src/util/a.h");
+  EXPECT_EQ(normalize_path("no/known/root.cpp"), "no/known/root.cpp");
+  // Same finding from an absolute checkout and a scratch tree: same key.
+  const Finding abs_form{"/root/repo/src/util/a.h", 3, "R-HDR1", "msg"};
+  const Finding scratch_form{"/tmp/x/src/util/a.h", 9, "R-HDR1", "msg"};
+  EXPECT_EQ(finding_key(abs_form), finding_key(scratch_form));
+  // Line numbers are excluded from keys; rule and message are not.
+  const Finding other_rule{"/root/repo/src/util/a.h", 3, "R-HDR2", "msg"};
+  EXPECT_NE(finding_key(abs_form), finding_key(other_rule));
+}
+
+TEST(Report, JsonRoundTripsThroughBaselineKeys) {
+  const std::vector<Finding> findings = {
+      {"src/util/a.h", 3, "R-DET2", "iterating 'seen' (std::unordered_map)"},
+      {"src/core/b.cpp", 7, "R-RACE1", "std::vector<bool> with \"quotes\"\nand newline"},
+  };
+  std::ostringstream out;
+  write_json(out, findings);
+  const auto keys = load_baseline_keys(out.str());
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], finding_key(findings[0]));
+  EXPECT_EQ(keys[1], finding_key(findings[1]));
+
+  // Subtracting a finding list from its own baseline leaves nothing…
+  EXPECT_TRUE(subtract_baseline(findings, keys).empty());
+  // …and subtraction is multiset-style: two equal findings, one baselined.
+  std::vector<Finding> doubled = {findings[0], findings[0]};
+  const auto remaining =
+      subtract_baseline(doubled, {finding_key(findings[0])});
+  ASSERT_EQ(remaining.size(), 1u);
+  EXPECT_EQ(remaining[0].rule, "R-DET2");
+}
+
+TEST(Report, LoadBaselineRejectsMalformedJson) {
+  EXPECT_THROW(load_baseline_keys("{"), std::runtime_error);
+  EXPECT_THROW(load_baseline_keys("{\"findings\": [{\"rule\": \"R-X\"}]}"),
+               std::runtime_error);  // entry missing "file"
+  EXPECT_THROW(load_baseline_keys("{\"findings\": [3"), std::runtime_error);
+  // Unknown fields and absent findings arrays are tolerated.
+  EXPECT_TRUE(load_baseline_keys("{\"version\": 1, \"extra\": [1, {\"a\": true}]}")
+                  .empty());
+  EXPECT_TRUE(load_baseline_keys("{\"findings\": []}").empty());
+}
+
+TEST(Report, SarifGoldenDocument) {
+  const std::vector<Finding> findings = {
+      {"/root/repo/src/util/a.h", 2, "R-ARCH2",
+       "include cycle: src/util/a.h -> src/util/b.h -> src/util/a.h"},
+  };
+  std::ostringstream out;
+  write_sarif(out, findings);
+  const std::string golden = R"({
+  "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+  "version": "2.1.0",
+  "runs": [
+    {
+      "tool": {
+        "driver": {
+          "name": "seg-lint",
+          "version": "2.0.0",
+          "informationUri": "docs/static-analysis.md",
+          "rules": [
+            {"id": "R-ARCH2", "shortDescription": {"text": "the quoted-include graph must stay acyclic"}}
+          ]
+        }
+      },
+      "results": [
+        {
+          "ruleId": "R-ARCH2",
+          "level": "error",
+          "message": {"text": "include cycle: src/util/a.h -> src/util/b.h -> src/util/a.h"},
+          "locations": [
+            {"physicalLocation": {"artifactLocation": {"uri": "src/util/a.h"}, "region": {"startLine": 2}}}
+          ]
+        }
+      ]
+    }
+  ]
+}
+)";
+  EXPECT_EQ(out.str(), golden);
+}
+
+TEST(Report, EmptyFindingsProduceValidDocuments) {
+  std::ostringstream json;
+  write_json(json, {});
+  EXPECT_TRUE(load_baseline_keys(json.str()).empty());
+  std::ostringstream sarif;
+  write_sarif(sarif, {});
+  EXPECT_NE(sarif.str().find("\"results\": []"), std::string::npos);
+  EXPECT_NE(sarif.str().find("\"rules\": []"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace seg::lint

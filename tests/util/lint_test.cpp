@@ -368,5 +368,70 @@ TEST(Engine, FindingsCarryFileAndLine) {
   EXPECT_EQ(findings[0].rule, "R-RACE1");
 }
 
+// --- lexer edge cases --------------------------------------------------------
+
+TEST(Lexer, RawStringsAreStrippedWhole) {
+  // A rule trigger inside a raw string must not fire, including delimiters
+  // with custom tags and embedded `)"` lookalikes.
+  const auto findings = run("src/core/gen.cpp",
+                            "const char* a = R\"(std::vector<bool> x; rand();)\";\n"
+                            "const char* b = R\"tag(first )\" still inside )tag\";\n"
+                            "std::vector<int> after_raw;\n");
+  EXPECT_FALSE(has_rule(findings, "R-RACE1"));
+  EXPECT_FALSE(has_rule(findings, "R-DET1"));
+
+  // Lexing resumes correctly after the raw string: a real finding on the
+  // next line still fires.
+  const auto real = run("src/core/gen.cpp",
+                        "const char* a = R\"(text)\";\nstd::vector<bool> flags;\n");
+  ASSERT_TRUE(has_rule(real, "R-RACE1"));
+  EXPECT_EQ(real[0].line, 2u);
+}
+
+TEST(Lexer, EncodingPrefixedRawStrings) {
+  const auto findings = run("src/core/gen.cpp",
+                            "auto a = u8R\"(rand();)\";\n"
+                            "auto b = LR\"x(std::vector<bool> v;)x\";\n"
+                            "auto c = uR\"(time(nullptr))\";\n"
+                            "auto d = UR\"(std::random_device rd;)\";\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(Lexer, DigitSeparatorsDoNotDesyncTheTokenStream) {
+  // `1'000'000` once opened a bogus char literal that swallowed following
+  // code; everything after the number must still lex (and match rules).
+  const auto findings = run("src/core/gen.cpp",
+                            "const int big = 1'000'000;\n"
+                            "const double f = 1'234.5'6;\n"
+                            "std::vector<bool> flags;\n");
+  ASSERT_TRUE(has_rule(findings, "R-RACE1"));
+  EXPECT_EQ(findings[0].line, 3u);
+}
+
+TEST(Lexer, LineContinuationBackslashes) {
+  // A backslash-newline splices lines; the directive still parses and the
+  // rule trigger on the continued line still fires.
+  const auto findings = run("src/core/gen.cpp",
+                            "std::vector<\\\nbool> flags;\n");
+  EXPECT_TRUE(has_rule(findings, "R-RACE1"));
+}
+
+TEST(Lexer, IncludeDirectivesExtractedOutsideLiteralsOnly) {
+  const auto lexed = lex(
+      "#include \"graph/graph.h\"\n"
+      "#  include   <vector>\n"
+      "# \\\ninclude \"util/split.h\"\n"
+      "// #include \"comment/skipped.h\"\n"
+      "const char* s = \"#include \\\"string/skipped.h\\\"\";\n"
+      "const char* r = R\"(#include \"raw/skipped.h\")\";\n");
+  ASSERT_EQ(lexed.includes.size(), 3u);
+  EXPECT_EQ(lexed.includes[0].target, "graph/graph.h");
+  EXPECT_TRUE(lexed.includes[0].quoted);
+  EXPECT_EQ(lexed.includes[0].line, 1u);
+  EXPECT_EQ(lexed.includes[1].target, "vector");
+  EXPECT_FALSE(lexed.includes[1].quoted);
+  EXPECT_EQ(lexed.includes[2].target, "util/split.h");
+}
+
 }  // namespace
 }  // namespace seg::lint

@@ -5,7 +5,12 @@
 # race-freedom contract; seg-lint runs inside every leg as a tier-1 test.
 #
 # Usage:
-#   tools/ci_matrix.sh [config ...]        # default: plain thread address undefined
+#   tools/ci_matrix.sh [config ...]   # default: plain thread address undefined lint-diff
+#
+# The lint-diff leg runs seg-lint v2 in whole-program diff mode against
+# origin/main (falls back to HEAD outside a clone with that ref): CI fails
+# only on findings *introduced* by the change under test, and a SARIF
+# artifact lands in ${LOG_DIR}/seg-lint.sarif for code-scanning upload.
 #
 # Environment:
 #   SEG_CI_JOBS     parallel build/test jobs (default: nproc)
@@ -19,7 +24,7 @@ cd "$(dirname "$0")/.."
 
 CONFIGS=("$@")
 if [ ${#CONFIGS[@]} -eq 0 ]; then
-  CONFIGS=(plain thread address undefined)
+  CONFIGS=(plain thread address undefined lint-diff)
 fi
 
 JOBS="${SEG_CI_JOBS:-$(nproc 2>/dev/null || echo 2)}"
@@ -29,6 +34,37 @@ mkdir -p "${LOG_DIR}"
 declare -A RESULTS
 FAILED=0
 
+run_lint_diff() {
+  local log="${LOG_DIR}/lint-diff.log"
+  local build_dir="build-plain"
+  : > "${log}"
+
+  echo "=== [lint-diff] build seg_lint (${build_dir}) ==="
+  if ! cmake -B "${build_dir}" -S . >> "${log}" 2>&1 ||
+     ! cmake --build "${build_dir}" -j "${JOBS}" --target seg_lint >> "${log}" 2>&1; then
+    echo "    seg_lint build FAILED (see ${log})"
+    return 1
+  fi
+  local seg_lint="${build_dir}/tools/seg_lint"
+
+  local base="origin/main"
+  if ! git rev-parse --verify --quiet "${base}" > /dev/null; then
+    base="HEAD"
+  fi
+
+  echo "=== [lint-diff] seg_lint --diff-base ${base} (json gate + sarif artifact) ==="
+  "${seg_lint}" --format=sarif --layers tools/layers.toml \
+    src tools bench tests examples > "${LOG_DIR}/seg-lint.sarif" 2>> "${log}"
+  if ! "${seg_lint}" --error-exit --format=json --diff-base "${base}" \
+       --layers tools/layers.toml --baseline tools/lint-baseline.json \
+       src tools bench tests examples > "${LOG_DIR}/seg-lint-diff.json" 2>> "${log}"; then
+    echo "    new lint findings vs ${base} (see ${LOG_DIR}/seg-lint-diff.json)"
+    cat "${LOG_DIR}/seg-lint-diff.json" >> "${log}"
+    return 1
+  fi
+  return 0
+}
+
 run_config() {
   local config="$1"
   local build_dir log sanitize
@@ -37,8 +73,9 @@ run_config() {
     thread)    build_dir="build-tsan";      sanitize="thread" ;;
     address)   build_dir="build-asan";      sanitize="address" ;;
     undefined) build_dir="build-ubsan";     sanitize="undefined" ;;
+    lint-diff) run_lint_diff; return $? ;;
     *)
-      echo "ci_matrix: unknown config '${config}' (plain|thread|address|undefined)" >&2
+      echo "ci_matrix: unknown config '${config}' (plain|thread|address|undefined|lint-diff)" >&2
       return 2
       ;;
   esac

@@ -1,31 +1,167 @@
-// seg-lint: project-specific static checker for the Segugio determinism
-// and race-freedom contracts. See docs/static-analysis.md.
+// seg-lint: project-specific static checker for the Segugio determinism,
+// race-freedom, layering, and ODR contracts. See docs/static-analysis.md.
 //
 // Usage:
-//   seg_lint [--error-exit] [--rule R-XXX]... [--allow-timing SUBSTR]... PATH...
+//   seg_lint [--error-exit] [--format text|json|sarif] [--rule R-XXX]...
+//            [--layers FILE] [--baseline FILE] [--diff-base REV]
+//            [--allow-timing SUBSTR]... PATH...
 //
 // PATH arguments are files or directories (directories are walked for
-// .cpp/.h). Diagnostics print as `file:line: [RULE] message`. With
-// --error-exit the process exits 1 when any finding is reported, which is
-// how the ctest gate and the `lint` build target consume it.
+// .cpp/.h). v2 always runs in whole-program mode: every file is lexed once
+// into the project model, per-file rules run with the cross-TU symbol
+// index backing R-API1, and the include graph feeds R-ARCH2 (cycles) and
+// R-ODR1. R-ARCH1 layering activates when --layers names a layers.toml.
+//
+// --baseline subtracts the checked-in known-findings set (line-free keys;
+// see report.h). --diff-base REV lints the same roots inside a
+// `git archive REV` scratch tree and subtracts those findings, so CI fails
+// only on findings *introduced* by the change under test. With
+// --error-exit the process exits 1 when any finding survives subtraction.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "util/lint/linter.h"
+#include "util/lint/report.h"
 
 namespace {
 
+namespace fs = std::filesystem;
+
 void print_usage() {
-  std::fprintf(stderr,
-               "usage: seg_lint [--error-exit] [--rule R-XXX]... "
-               "[--allow-timing SUBSTR]... PATH...\n"
-               "rules: R-DET1 R-DET2 R-RACE1 R-RACE2 R-API1 R-HDR1 R-HDR2\n"
-               "mark deprecated entry points with // seg-deprecated above the "
-               "declaration\n"
-               "suppress one site: // seg-lint: allow(R-XXX)   (same or next line)\n"
-               "suppress a file:   // seg-lint: allow-file(R-XXX)\n");
+  std::fprintf(
+      stderr,
+      "usage: seg_lint [--error-exit] [--format text|json|sarif]\n"
+      "                [--rule R-XXX]... [--layers FILE] [--baseline FILE]\n"
+      "                [--diff-base REV] [--allow-timing SUBSTR]... PATH...\n"
+      "rules: R-DET1 R-DET2 R-RACE1 R-RACE2 R-API1 R-HDR1 R-HDR2 R-ARCH1\n"
+      "       R-ARCH2 R-ODR1 R-LIFE1\n"
+      "mark deprecated entry points with // seg-deprecated above the "
+      "declaration\n"
+      "suppress one site: // seg-lint: allow(R-XXX)   (same or next line)\n"
+      "suppress a file:   // seg-lint: allow-file(R-XXX)\n"
+      "suppress a category: // seg-lint: allow(arch)  (covers R-ARCH1/2)\n");
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+std::string shell_quote(const std::string& text) {
+  std::string quoted = "'";
+  for (const char c : text) {
+    if (c == '\'') {
+      quoted += "'\\''";
+    } else {
+      quoted += c;
+    }
+  }
+  quoted += "'";
+  return quoted;
+}
+
+// First line of `command`'s stdout, or empty on failure.
+std::string run_capture(const std::string& command) {
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) {
+    return {};
+  }
+  char buffer[4096];
+  std::string line;
+  if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    line = buffer;
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+  }
+  const int status = pclose(pipe);
+  return status == 0 ? line : std::string{};
+}
+
+// Lints the same roots inside a `git archive <rev>` scratch checkout and
+// returns the finding keys of everything that already existed there.
+// Returns false (with a message on stderr) when the rev cannot be exported.
+bool collect_diff_base_keys(const std::string& rev,
+                            const std::vector<std::string>& roots,
+                            const seg::lint::LintOptions& options,
+                            std::vector<std::string>& keys) {
+  const std::string repo_root = run_capture("git rev-parse --show-toplevel 2>/dev/null");
+  if (repo_root.empty()) {
+    std::fprintf(stderr, "seg_lint: --diff-base requires running inside a git repo\n");
+    return false;
+  }
+
+  char tmpl[] = "/tmp/seg-lint-diff-XXXXXX";
+  char* tmp = mkdtemp(tmpl);
+  if (tmp == nullptr) {
+    std::fprintf(stderr, "seg_lint: cannot create scratch directory\n");
+    return false;
+  }
+  const std::string scratch = tmp;
+
+  const std::string extract = "git -C " + shell_quote(repo_root) + " archive " +
+                              shell_quote(rev) + " 2>/dev/null | tar -x -C " +
+                              shell_quote(scratch);
+  if (std::system(extract.c_str()) != 0) {
+    std::fprintf(stderr, "seg_lint: git archive %s failed\n", rev.c_str());
+    std::error_code ec;
+    fs::remove_all(scratch, ec);
+    return false;
+  }
+
+  // Map each lint root into the scratch tree: absolute roots are
+  // re-anchored via their repo-relative suffix, relative roots reattach
+  // directly. Roots absent at the base rev simply contribute nothing.
+  std::vector<std::string> old_roots;
+  for (const auto& root : roots) {
+    std::error_code ec;
+    fs::path rel = fs::path(root);
+    if (rel.is_absolute()) {
+      rel = fs::relative(rel, repo_root, ec);
+      if (ec || rel.empty() || rel.native().rfind("..", 0) == 0) {
+        rel = fs::path(seg::lint::normalize_path(root));
+      }
+    }
+    const fs::path mapped = fs::path(scratch) / rel;
+    if (fs::exists(mapped, ec)) {
+      old_roots.push_back(mapped.string());
+    }
+  }
+
+  seg::lint::LintOptions old_options = options;
+  old_options.include_roots = old_roots;
+  if (!options.layers_file.empty()) {
+    // Prefer the base rev's own layering spec; a base that predates
+    // layers.toml is linted without R-ARCH1 (every violation is "new").
+    const fs::path old_layers =
+        fs::path(scratch) / seg::lint::normalize_path(options.layers_file);
+    std::error_code ec;
+    old_options.layers_file =
+        fs::is_regular_file(old_layers, ec) ? old_layers.string() : std::string{};
+  }
+
+  const auto old_sources = seg::lint::collect_sources(old_roots);
+  const auto old_findings = seg::lint::lint_project(old_sources, old_options);
+  for (const auto& finding : old_findings) {
+    keys.push_back(seg::lint::finding_key(finding));
+  }
+
+  std::error_code ec;
+  fs::remove_all(scratch, ec);
+  return true;
 }
 
 }  // namespace
@@ -33,6 +169,9 @@ void print_usage() {
 int main(int argc, char** argv) {
   seg::lint::LintOptions options;
   std::vector<std::string> roots;
+  std::string format = "text";
+  std::string baseline_path;
+  std::string diff_base;
   bool error_exit = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -43,6 +182,16 @@ int main(int argc, char** argv) {
       options.only_rules.emplace_back(argv[++i]);
     } else if (arg == "--allow-timing" && i + 1 < argc) {
       options.timing_allowlist.emplace_back(argv[++i]);
+    } else if (arg == "--layers" && i + 1 < argc) {
+      options.layers_file = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--diff-base" && i + 1 < argc) {
+      diff_base = argv[++i];
+    } else if (arg == "--format" && i + 1 < argc) {
+      format = argv[++i];
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(std::strlen("--format="));
     } else if (arg == "--help" || arg == "-h") {
       print_usage();
       return 0;
@@ -58,6 +207,10 @@ int main(int argc, char** argv) {
     print_usage();
     return 2;
   }
+  if (format != "text" && format != "json" && format != "sarif") {
+    std::fprintf(stderr, "seg_lint: unknown format '%s'\n", format.c_str());
+    return 2;
+  }
   // Quoted includes in this project are rooted at src/; let every linted
   // root double as an include root so `seg_lint src tools bench` resolves
   // them no matter which subset is passed.
@@ -69,18 +222,47 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::size_t total = 0;
-  for (const auto& source : sources) {
-    const auto findings = seg::lint::lint_file(source, options);
-    for (const auto& finding : findings) {
-      std::printf("%s:%zu: [%s] %s\n", finding.file.c_str(), finding.line,
-                  finding.rule.c_str(), finding.message.c_str());
+  auto findings = seg::lint::lint_project(sources, options);
+  if (!findings.empty() && findings.front().rule == "CONFIG") {
+    std::fprintf(stderr, "seg_lint: %s: %s\n", findings.front().file.c_str(),
+                 findings.front().message.c_str());
+    return 2;
+  }
+
+  if (!baseline_path.empty()) {
+    std::string baseline_text;
+    if (!read_file(baseline_path, baseline_text)) {
+      std::fprintf(stderr, "seg_lint: cannot read baseline '%s'\n",
+                   baseline_path.c_str());
+      return 2;
     }
-    total += findings.size();
+    try {
+      findings = seg::lint::subtract_baseline(
+          std::move(findings), seg::lint::load_baseline_keys(baseline_text));
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "seg_lint: %s: %s\n", baseline_path.c_str(), error.what());
+      return 2;
+    }
   }
-  if (total != 0) {
-    std::printf("seg_lint: %zu finding%s in %zu files scanned\n", total,
-                total == 1 ? "" : "s", sources.size());
+
+  if (!diff_base.empty()) {
+    std::vector<std::string> base_keys;
+    if (!collect_diff_base_keys(diff_base, roots, options, base_keys)) {
+      return 2;
+    }
+    findings = seg::lint::subtract_baseline(std::move(findings), base_keys);
   }
-  return error_exit && total != 0 ? 1 : 0;
+
+  if (format == "json") {
+    seg::lint::write_json(std::cout, findings);
+  } else if (format == "sarif") {
+    seg::lint::write_sarif(std::cout, findings);
+  } else {
+    seg::lint::write_text(std::cout, findings);
+    if (!findings.empty()) {
+      std::printf("seg_lint: %zu finding%s in %zu files scanned\n", findings.size(),
+                  findings.size() == 1 ? "" : "s", sources.size());
+    }
+  }
+  return error_exit && !findings.empty() ? 1 : 0;
 }
