@@ -12,7 +12,7 @@
 #include "baselines/lbp.h"
 #include "bench_common.h"
 #include "graph/labeling.h"
-#include "util/stopwatch.h"
+#include "util/obs/trace.h"
 #include "util/strings.h"
 
 int main() {
@@ -24,9 +24,9 @@ int main() {
   const auto bundle = bench::make_bundle(world, 0, 2, 0, 15);
 
   // --- Segugio via the standard protocol.
-  util::Stopwatch watch;
+  obs::Span segugio_span("bench/segugio");
   const auto result = core::run_cross_day(bundle->inputs, config);
-  const double segugio_seconds = watch.elapsed_seconds();
+  const double segugio_seconds = segugio_span.close();
   const auto segugio_roc = result.roc();
 
   // --- LBP on the identical hidden-label test graph: rebuild it the same
@@ -51,9 +51,9 @@ int main() {
   }
   graph::relabel_machines(hidden);
 
-  watch.restart();
+  obs::Span lbp_span("bench/lbp");
   const auto lbp = baselines::run_loopy_belief_propagation(hidden);
-  const double lbp_seconds = watch.elapsed_seconds();
+  const double lbp_seconds = lbp_span.close();
 
   std::vector<int> labels;
   std::vector<double> scores;

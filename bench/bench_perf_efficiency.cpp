@@ -21,8 +21,10 @@
 
 #include "bench_common.h"
 #include "core/pipeline.h"
+#include "util/obs/metrics.h"
+#include "util/obs/process.h"
+#include "util/obs/trace.h"
 #include "util/parallel.h"
-#include "util/stopwatch.h"
 
 namespace {
 
@@ -95,9 +97,9 @@ StageTotals run_pipeline(std::size_t threads, std::vector<double>* scores_out) {
       totals.train_feature_seconds += segugio.timings().train_feature_seconds;
       totals.fit_seconds += segugio.timings().train_fit_seconds;
 
-      util::Stopwatch watch;
+      obs::Span classify_span("bench/classify");
       const auto report = segugio.classify(graph, world.activity(), world.pdns());
-      totals.classify_seconds += watch.elapsed_seconds();
+      totals.classify_seconds += classify_span.close();
 
       totals.unknown_domains += report.scores.size();
       ++totals.days;
@@ -167,12 +169,12 @@ StreamingTotals run_streaming(std::size_t threads) {
         pdns_queries.push_back({ip, t_now - config.features.pdns_window_days, t_now - 1});
       }
     }
-    util::Stopwatch watch;
+    obs::Span activity_span("bench/activity_batch");
     (void)pipeline.activity().query_batch(activity_queries);
-    const double activity_seconds = watch.elapsed_seconds();
-    watch.restart();
+    const double activity_seconds = activity_span.close();
+    obs::Span pdns_span("bench/pdns_batch");
     (void)pipeline.pdns().query_batch(pdns_queries);
-    const double pdns_seconds = watch.elapsed_seconds();
+    const double pdns_seconds = pdns_span.close();
     if (activity_seconds > 0.0) {
       totals.activity_queries_per_second =
           static_cast<double>(activity_queries.size()) / activity_seconds;
@@ -203,9 +205,29 @@ void print_totals(const char* label, const StageTotals& t) {
               static_cast<double>(t.unknown_domains) / t.classify_seconds);
 }
 
+// Shard-imbalance snapshot of the parallel leg plus process peak memory —
+// the concrete fields the ROADMAP multi-core measurement item asks for.
+struct ObsSection {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t shard_observations = 0;
+  std::uint64_t rss_peak_kb = 0;
+};
+
+ObsSection collect_obs_section() {
+  ObsSection section;
+  auto& hist = seg::obs::Registry::instance().histogram(
+      "seg_build_shard_edges", seg::obs::exponential_bounds(64, 4.0, 12));
+  section.bounds = hist.bounds();
+  section.buckets = hist.bucket_counts();
+  section.shard_observations = hist.count();
+  section.rss_peak_kb = seg::obs::sample_process().rss_peak_kb;
+  return section;
+}
+
 void write_json(const char* path, const StageTotals& serial, const StageTotals& parallel,
-                const StreamingTotals& streaming, std::size_t parallel_threads,
-                bool identical) {
+                const StreamingTotals& streaming, const ObsSection& obs_section,
+                std::size_t parallel_threads, bool identical) {
   std::FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "warning: cannot write %s\n", path);
@@ -289,6 +311,18 @@ void write_json(const char* path, const StageTotals& serial, const StageTotals& 
                "    \"pdns_batch_queries_per_sec\": %.1f\n  }",
                streaming.cached_names, streaming.activity_queries_per_second,
                streaming.pdns_queries_per_second);
+  std::fprintf(out, ",\n  \"obs\": {\n    \"shard_edge_histogram\": {\n      \"bounds\": ");
+  array(obs_section.bounds);
+  std::fprintf(out, ",\n      \"buckets\": [");
+  for (std::size_t i = 0; i < obs_section.buckets.size(); ++i) {
+    std::fprintf(out, "%s%llu", i == 0 ? "" : ", ",
+                 static_cast<unsigned long long>(obs_section.buckets[i]));
+  }
+  std::fprintf(out,
+               "],\n      \"shard_observations\": %llu\n    },\n"
+               "    \"rss_peak_kb\": %llu\n  }",
+               static_cast<unsigned long long>(obs_section.shard_observations),
+               static_cast<unsigned long long>(obs_section.rss_peak_kb));
   std::fprintf(out, ",\n  \"scores_bit_identical\": %s\n}\n",
                identical ? "true" : "false");
   std::fclose(out);
@@ -320,9 +354,13 @@ int main() {
   const auto serial = run_pipeline(1, &serial_scores);
   print_totals("1 thread", serial);
 
+  // Reset the metric registry so the shard-imbalance histogram snapshots
+  // exactly the parallel leg's builds.
+  seg::obs::Registry::instance().reset();
   std::vector<double> parallel_scores;
   const auto parallel = run_pipeline(parallel_threads, &parallel_scores);
   print_totals((std::to_string(parallel_threads) + " threads").c_str(), parallel);
+  const auto obs_section = collect_obs_section();
 
   const auto streaming = run_streaming(parallel_threads);
   seg::util::set_parallelism(0);
@@ -361,6 +399,7 @@ int main() {
               "paper's 60min-vs-3min split (about 20x).\n",
               parallel.learning_seconds() / parallel.classify_seconds);
 
-  write_json("BENCH_pipeline.json", serial, parallel, streaming, parallel_threads, identical);
+  write_json("BENCH_pipeline.json", serial, parallel, streaming, obs_section,
+             parallel_threads, identical);
   return identical ? 0 : 1;
 }

@@ -10,7 +10,7 @@
 
 #include "bench_common.h"
 #include "core/pipeline.h"
-#include "util/stopwatch.h"
+#include "util/obs/trace.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -27,18 +27,18 @@ int main() {
     const auto trace = world.generate_day(0, 2);
     const auto config = bench::bench_config();
 
-    util::Stopwatch learn;
+    obs::Span learn_span("bench/learn");
     core::Pipeline pipeline(world.psl(), world.activity(), world.pdns(), config);
     const auto day = pipeline.ingest_day(
         trace, world.blacklist().as_of(sim::BlacklistKind::kCommercial, 2),
         world.whitelist().all());
     const auto& graph = day.graph;
     pipeline.train(day);
-    const double learn_seconds = learn.elapsed_seconds();
+    const double learn_seconds = learn_span.close();
 
-    util::Stopwatch classify;
+    obs::Span classify_span("bench/classify");
     const auto report = pipeline.classify(day);
-    const double classify_seconds = classify.elapsed_seconds();
+    const double classify_seconds = classify_span.close();
 
     table.add_row({std::to_string(machines), util::format_count(trace.records.size()),
                    util::format_count(graph.edge_count()),

@@ -14,7 +14,7 @@
 
 #include "core/pipeline.h"
 #include "sim/world.h"
-#include "util/stopwatch.h"
+#include "util/obs/trace.h"
 
 int main() {
   using namespace seg;
@@ -27,13 +27,13 @@ int main() {
   config.forest.num_threads = 1;
 
   // --- Day 0: learn.
-  util::Stopwatch watch;
+  obs::Span train_span("example/train_day");
   const auto train_trace = world.generate_day(/*isp=*/0, /*day=*/0);
   core::Pipeline pipeline(world.psl(), world.activity(), world.pdns(), config);
   const auto day0 = pipeline.ingest_day(
       train_trace, world.blacklist().as_of(sim::BlacklistKind::kCommercial, 0), whitelist);
   pipeline.train(day0);
-  const double train_seconds = watch.elapsed_seconds();
+  const double train_seconds = train_span.close();
   const auto& train_graph = day0.graph;
   const auto& prune_stats = day0.prune_stats;
   const auto& segugio = pipeline.detector();
@@ -53,13 +53,13 @@ int main() {
 
   // --- Day 1: detect. The same session carries the name dictionary and
   // history stores forward; only genuinely new names pay full intern cost.
-  watch.restart();
+  obs::Span detect_span("example/detect_day");
   const auto test_trace = world.generate_day(0, 1);
   pipeline.absorb_history(world.activity(), world.pdns());
   const auto day1 = pipeline.ingest_day(
       test_trace, world.blacklist().as_of(sim::BlacklistKind::kCommercial, 1), whitelist);
   const auto report = pipeline.classify(day1);
-  const double classify_seconds = watch.elapsed_seconds();
+  const double classify_seconds = detect_span.close();
   std::printf("name dictionary reuse on day 1: %.1f%% of %zu distinct names\n",
               100.0 * day1.carry.reuse_ratio(), day1.carry.distinct_domains);
 

@@ -5,7 +5,7 @@
 #include "graph/labeling.h"
 #include "util/require.h"
 #include "util/rng.h"
-#include "util/stopwatch.h"
+#include "util/obs/trace.h"
 
 namespace seg::core {
 
@@ -110,7 +110,7 @@ EvaluationResult evaluate_with_test_set(const ExperimentInputs& inputs,
   result.test_prune = test_prune;
 
   // --- Training.
-  util::Stopwatch train_watch;
+  obs::Span train_span("experiment/train");
   auto train_prep = Segugio::prepare_graph(*inputs.train_trace, *inputs.psl, train_blacklist,
                                            inputs.whitelist, config.prepare_options());
   result.train_prune = train_prep.prune_stats;
@@ -119,10 +119,10 @@ EvaluationResult evaluate_with_test_set(const ExperimentInputs& inputs,
   local.training.exclude = &selection.names;
   Segugio segugio(local);
   segugio.train(train_graph, *inputs.activity, *inputs.pdns);
-  result.train_seconds = train_watch.elapsed_seconds();
+  result.train_seconds = train_span.close();
 
   // --- Testing: hide all test-domain labels at once, relabel machines.
-  util::Stopwatch test_watch;
+  obs::Span test_span("experiment/test");
   auto hidden = test_graph;  // work on a copy; the caller may reuse test_graph
   for (const auto& [d, label] : selection.rows) {
     hidden.set_domain_label(d, graph::Label::kUnknown);
@@ -141,7 +141,7 @@ EvaluationResult evaluate_with_test_set(const ExperimentInputs& inputs,
     outcome.score = segugio.score(outcome.features);
     result.outcomes.push_back(std::move(outcome));
   }
-  result.test_seconds = test_watch.elapsed_seconds();
+  result.test_seconds = test_span.close();
   result.timings = segugio.timings();
   return result;
 }
@@ -298,15 +298,15 @@ std::vector<EvaluationResult> run_in_day_cross_validation(
     }
     graph::relabel_machines(hidden);
 
-    util::Stopwatch watch;
+    obs::Span fold_train_span("experiment/fold_train");
     Segugio segugio(config);
     segugio.train(hidden, activity, pdns);
 
     EvaluationResult result;
     result.train_prune = prune_stats;
     result.test_prune = prune_stats;
-    result.train_seconds = watch.elapsed_seconds();
-    watch.restart();
+    result.train_seconds = fold_train_span.close();
+    obs::Span fold_test_span("experiment/fold_test");
     const features::FeatureExtractor extractor(hidden, activity, pdns, config.features);
     for (const auto& [d, label] : rows) {
       TestOutcome outcome;
@@ -317,7 +317,7 @@ std::vector<EvaluationResult> run_in_day_cross_validation(
       outcome.score = segugio.score(outcome.features);
       result.outcomes.push_back(std::move(outcome));
     }
-    result.test_seconds = watch.elapsed_seconds();
+    result.test_seconds = fold_test_span.close();
     result.timings = segugio.timings();
     results.push_back(std::move(result));
   }

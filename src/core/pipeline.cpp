@@ -3,8 +3,9 @@
 #include <istream>
 #include <ostream>
 
+#include "util/obs/metrics.h"
+#include "util/obs/trace.h"
 #include "util/serialize.h"
-#include "util/stopwatch.h"
 
 namespace seg::core {
 
@@ -29,7 +30,7 @@ void Pipeline::absorb_history(const dns::DomainActivityIndex& activity,
 
 PreparedDay Pipeline::ingest_day(const dns::DayTrace& trace, const graph::NameSet& cc_blacklist,
                                  const graph::NameSet& e2ld_whitelist) {
-  util::Stopwatch watch;
+  obs::Span span("pipeline/ingest_day");
   PreparedDay day;
   auto prepared = detail::prepare_day(trace, *psl_, cc_blacklist, e2ld_whitelist,
                                       detector_.config().prepare_options(), &cache_, &day.carry);
@@ -39,9 +40,10 @@ PreparedDay Pipeline::ingest_day(const dns::DayTrace& trace, const graph::NameSe
   day.day = day.graph.day();
 
   ++stats_.days_ingested;
-  stats_.ingest_seconds.push_back(watch.elapsed_seconds());
+  stats_.ingest_seconds.push_back(span.close());
   stats_.reuse_ratios.push_back(day.carry.reuse_ratio());
   stats_.cached_names = day.carry.cached_names;
+  obs::Registry::instance().counter("seg_pipeline_days_ingested_total").add(1);
   return day;
 }
 
@@ -61,9 +63,13 @@ void Pipeline::load_session(std::istream& in) {
   stats_.cached_names = cache_.size();
 }
 
-void Pipeline::train(const PreparedDay& day) { detector_.train(day.graph, activity_, pdns_); }
+void Pipeline::train(const PreparedDay& day) {
+  SEG_SPAN("pipeline/train");
+  detector_.train(day.graph, activity_, pdns_);
+}
 
 DetectionReport Pipeline::classify(const PreparedDay& day) const {
+  SEG_SPAN("pipeline/classify");
   return detector_.classify(day.graph, activity_, pdns_);
 }
 

@@ -6,10 +6,11 @@
 
 #include "graph/labeling.h"
 #include "ml/metrics.h"
+#include "util/obs/metrics.h"
+#include "util/obs/trace.h"
 #include "util/parallel.h"
 #include "util/require.h"
 #include "util/serialize.h"
-#include "util/stopwatch.h"
 
 namespace seg::core {
 
@@ -81,19 +82,21 @@ PrepareResult prepare_day(const dns::DayTrace& trace, const dns::PublicSuffixLis
     *carry = builder.last_carry();
   }
 
-  util::Stopwatch watch;
-  graph::apply_labels(graph, cc_blacklist, e2ld_whitelist);
-  t.label_seconds = watch.elapsed_seconds();
-
-  if (options.prober_filter.has_value()) {
-    watch.restart();
-    graph = graph::remove_probers(graph, *options.prober_filter);
-    t.prober_seconds = watch.elapsed_seconds();
+  {
+    obs::Span span("prepare/label");
+    graph::apply_labels(graph, cc_blacklist, e2ld_whitelist);
+    t.label_seconds = span.close();
   }
 
-  watch.restart();
+  if (options.prober_filter.has_value()) {
+    obs::Span span("prepare/prober");
+    graph = graph::remove_probers(graph, *options.prober_filter);
+    t.prober_seconds = span.close();
+  }
+
+  obs::Span prune_span("prepare/prune");
   result.graph = graph::prune(graph, options.pruning, &result.prune_stats);
-  t.prune_seconds = watch.elapsed_seconds();
+  t.prune_seconds = prune_span.close();
   return result;
 }
 
@@ -110,33 +113,35 @@ PrepareResult Segugio::prepare_graph(const dns::DayTrace& trace,
 
 void Segugio::train(const graph::MachineDomainGraph& graph,
                     const dns::DomainActivityIndex& activity, const dns::PassiveDnsDb& pdns) {
-  util::Stopwatch watch;
+  obs::Span span("train/features");
   const features::FeatureExtractor extractor(graph, activity, pdns, config_.features);
-  timings_.train_feature_seconds = watch.elapsed_seconds();
+  timings_.train_feature_seconds = span.close();
   train_impl(graph, extractor);
 }
 
 void Segugio::train(const graph::MachineDomainGraph& graph,
                     const dns::ShardedActivityIndex& activity,
                     const dns::ShardedPassiveDnsDb& pdns) {
-  util::Stopwatch watch;
+  obs::Span span("train/features");
   const features::FeatureExtractor extractor(graph, activity, pdns, config_.features);
-  timings_.train_feature_seconds = watch.elapsed_seconds();
+  timings_.train_feature_seconds = span.close();
   train_impl(graph, extractor);
 }
 
 void Segugio::train_impl(const graph::MachineDomainGraph& graph,
                          const features::FeatureExtractor& extractor) {
-  util::Stopwatch watch;
+  obs::Span features_span("train/features");
   auto training = features::build_training_set(graph, extractor, config_.training);
   util::require(training.malware_rows > 0,
                 "Segugio::train: no known malware domains in the training graph");
   util::require(training.benign_rows > 0,
                 "Segugio::train: no known benign domains in the training graph");
-  timings_.train_feature_seconds += watch.elapsed_seconds();
-  timings_.train_rows = training.malware_rows + training.benign_rows;
+  timings_.train_feature_seconds += features_span.close();
+  obs::Registry::instance()
+      .counter("seg_train_rows_total")
+      .add(training.malware_rows + training.benign_rows);
 
-  watch.restart();
+  obs::Span fit_span("train/fit");
   ml::Dataset dataset = config_.feature_subset.empty()
                             ? std::move(training.dataset)
                             : training.dataset.select_features(config_.feature_subset);
@@ -149,7 +154,7 @@ void Segugio::train_impl(const graph::MachineDomainGraph& graph,
     logistic_->train(dataset);
     forest_.reset();
   }
-  timings_.train_fit_seconds = watch.elapsed_seconds();
+  timings_.train_fit_seconds = fit_span.close();
 }
 
 bool Segugio::is_trained() const {
@@ -180,9 +185,9 @@ DetectionReport Segugio::classify(const graph::MachineDomainGraph& graph,
                                   const dns::DomainActivityIndex& activity,
                                   const dns::PassiveDnsDb& pdns) const {
   util::require(is_trained(), "Segugio::classify: classifier not trained");
-  util::Stopwatch watch;
+  obs::Span span("classify/features");
   const features::FeatureExtractor extractor(graph, activity, pdns, config_.features);
-  timings_.classify_feature_seconds = watch.elapsed_seconds();
+  timings_.classify_feature_seconds = span.close();
   return classify_impl(graph, extractor);
 }
 
@@ -190,19 +195,19 @@ DetectionReport Segugio::classify(const graph::MachineDomainGraph& graph,
                                   const dns::ShardedActivityIndex& activity,
                                   const dns::ShardedPassiveDnsDb& pdns) const {
   util::require(is_trained(), "Segugio::classify: classifier not trained");
-  util::Stopwatch watch;
+  obs::Span span("classify/features");
   const features::FeatureExtractor extractor(graph, activity, pdns, config_.features);
-  timings_.classify_feature_seconds = watch.elapsed_seconds();
+  timings_.classify_feature_seconds = span.close();
   return classify_impl(graph, extractor);
 }
 
 DetectionReport Segugio::classify_impl(const graph::MachineDomainGraph& graph,
                                        const features::FeatureExtractor& extractor) const {
-  util::Stopwatch watch;
+  obs::Span features_span("classify/features");
   auto unknown = features::build_unknown_set(graph, extractor);
-  timings_.classify_feature_seconds += watch.elapsed_seconds();
+  timings_.classify_feature_seconds += features_span.close();
 
-  watch.restart();
+  obs::Span score_span("classify/score");
   DetectionReport report;
   report.scores.resize(unknown.domain_ids.size());
   // Rows are scored in parallel but each writes only its own slot, so the
@@ -214,8 +219,8 @@ DetectionReport Segugio::classify_impl(const graph::MachineDomainGraph& graph,
     const auto d = unknown.domain_ids[row];
     report.scores[row] = {std::string(graph.domain_name(d)), d, malware_score};
   });
-  timings_.classify_score_seconds = watch.elapsed_seconds();
-  timings_.classify_rows = unknown.domain_ids.size();
+  timings_.classify_score_seconds = score_span.close();
+  obs::Registry::instance().counter("seg_classify_rows_total").add(unknown.domain_ids.size());
 
   // Capture machine attribution so the report outlives the graph: CSR
   // offsets by serial prefix sum, refs filled in parallel (disjoint

@@ -88,26 +88,21 @@ struct PrepareOptions {
   std::optional<graph::ProberFilterConfig> prober_filter;
 };
 
-/// Wall-clock breakdown of the last train()/classify() calls (Section IV-G),
-/// with row counts so callers can report per-stage throughput.
+/// Wall-clock breakdown of the last train()/classify() calls (Section IV-G).
+/// A view over the obs spans "train/features", "train/fit",
+/// "classify/features", "classify/score"; row counts live in the obs
+/// registry as seg_train_rows_total / seg_classify_rows_total.
 struct PipelineTimings {
   double train_feature_seconds = 0.0;
   double train_fit_seconds = 0.0;
   double classify_feature_seconds = 0.0;
   double classify_score_seconds = 0.0;
-  std::size_t train_rows = 0;     ///< labeled feature rows measured by train()
-  std::size_t classify_rows = 0;  ///< unknown domains scored by classify()
-
-  /// Deployment-time throughput of the last classify() (domains/sec; 0 when
-  /// nothing was timed).
-  double classify_domains_per_second() const {
-    const double t = classify_feature_seconds + classify_score_seconds;
-    return t > 0.0 ? static_cast<double>(classify_rows) / t : 0.0;
-  }
 };
 
 /// Wall-clock breakdown of one prepare_graph() call: the learning-side
 /// stages that precede training (Section IV-G's graph build + pruning).
+/// A view over the obs spans "prepare/label", "prepare/prober",
+/// "prepare/prune" plus the builder's BuildTimings.
 struct PrepareTimings {
   graph::BuildTimings build;     ///< sharded construction breakdown
   double label_seconds = 0.0;    ///< blacklist/whitelist annotation

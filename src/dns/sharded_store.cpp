@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "util/obs/metrics.h"
+#include "util/obs/trace.h"
 #include "util/parallel.h"
 #include "util/require.h"
 
@@ -44,6 +46,8 @@ std::size_t ShardedActivityIndex::tracked_names() const {
 
 std::vector<ShardedActivityIndex::Answer> ShardedActivityIndex::query_batch(
     std::span<const Query> queries) const {
+  SEG_SPAN("dns/activity_query_batch");
+  obs::Registry::instance().counter("seg_activity_queries_total").add(queries.size());
   std::vector<Answer> answers(queries.size());
   util::parallel_for(queries.size(), [&](std::size_t i) {
     const auto& q = queries[i];
@@ -148,6 +152,8 @@ std::size_t ShardedPassiveDnsDb::distinct_ip_count() const {
 
 std::vector<ShardedPassiveDnsDb::AbuseAnswer> ShardedPassiveDnsDb::query_batch(
     std::span<const AbuseQuery> queries) const {
+  SEG_SPAN("dns/pdns_query_batch");
+  obs::Registry::instance().counter("seg_pdns_queries_total").add(queries.size());
   std::vector<AbuseAnswer> answers(queries.size());
   util::parallel_for(queries.size(), [&](std::size_t i) {
     const auto& q = queries[i];

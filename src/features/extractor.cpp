@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/obs/trace.h"
 #include "util/parallel.h"
 #include "util/require.h"
 
@@ -41,6 +42,7 @@ void FeatureExtractor::precompute_machine_degrees() {
 
 void FeatureExtractor::precompute_history(const dns::ShardedActivityIndex& activity,
                                           const dns::ShardedPassiveDnsDb& pdns) {
+  SEG_SPAN("features/precompute_history");
   const std::size_t num_domains = graph_->domain_count();
   const std::size_t num_e2lds = graph_->e2ld_count();
   const dns::Day t_now = graph_->day();

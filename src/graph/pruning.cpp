@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <limits>
 
+#include "util/obs/trace.h"
 #include "util/parallel.h"
 #include "util/require.h"
 
@@ -182,6 +183,7 @@ MachineDomainGraph prune(const MachineDomainGraph& graph, const PruningConfig& c
 
   // --- R2 threshold: theta_d = percentile of the machine-degree
   // distribution.
+  obs::Span machine_span("prepare/prune/R1R2");
   std::vector<std::uint64_t> degrees(nm);
   util::parallel_for(nm, [&](std::size_t m) {
     degrees[m] = graph.domains_of(static_cast<MachineId>(m)).size();
@@ -241,8 +243,10 @@ MachineDomainGraph prune(const MachineDomainGraph& graph, const PruningConfig& c
     s.machines_removed_r2 += acc.removed_r2;
     s.malware_machines_kept_by_exception += acc.kept_by_exception;
   }
+  machine_span.close();
 
   // --- Domain degrees over surviving machines.
+  obs::Span domain_span("prepare/prune/R3R4");
   std::vector<std::uint64_t> domain_degree(nd, 0);
   util::parallel_for(nd, [&](std::size_t i) {
     const auto d = static_cast<DomainId>(i);
@@ -318,7 +322,9 @@ MachineDomainGraph prune(const MachineDomainGraph& graph, const PruningConfig& c
     s.domains_removed_r4 += acc.removed_r4;
     s.malware_domains_kept_by_exception += acc.kept_by_exception;
   }
+  domain_span.close();
 
+  SEG_SPAN("prepare/prune/compact");
   MachineDomainGraph out = prune_impl(graph, keep_machine, keep_domain);
   s.machines_after = out.machine_count();
   s.domains_after = out.domain_count();

@@ -6,8 +6,9 @@
 
 #include "dns/domain_name.h"
 #include "graph/intern.h"
+#include "util/obs/metrics.h"
+#include "util/obs/trace.h"
 #include "util/parallel.h"
-#include "util/stopwatch.h"
 
 namespace seg::graph {
 
@@ -164,7 +165,7 @@ void ShardedGraphBuilder::add_trace(const dns::DayTrace& trace) {
 }
 
 MachineDomainGraph ShardedGraphBuilder::build() {
-  util::Stopwatch watch;
+  SEG_SPAN("build");
   timings_ = BuildTimings{};
   carry_ = CarryStats{};
   skipped_ = 0;
@@ -183,6 +184,7 @@ MachineDomainGraph ShardedGraphBuilder::build() {
   shards = std::max<std::size_t>(1, std::min(shards, std::max<std::size_t>(1, total)));
 
   // --- Phase 1: parallel shard scan.
+  obs::Span scan_span("build/scan");
   std::vector<Shard> shard_state(shards);
   const std::size_t per_shard = (total + shards - 1) / shards;
   util::parallel_for(shards, [&](std::size_t s) {
@@ -208,8 +210,24 @@ MachineDomainGraph ShardedGraphBuilder::build() {
       shard.add_query(record.machine, record.qname, record.resolved_ips);
     }
   });
-  timings_.shard_scan_seconds = watch.elapsed_seconds();
-  watch.restart();
+  timings_.shard_scan_seconds = scan_span.close();
+
+  // Per-shard load observations feed the imbalance histograms surfaced in
+  // the run report and BENCH_pipeline.json's "obs" section.
+  {
+    auto& registry = obs::Registry::instance();
+    auto& edge_hist =
+        registry.histogram("seg_build_shard_edges", obs::exponential_bounds(64, 4.0, 12));
+    auto& intern_hist = registry.histogram("seg_build_shard_interned_names",
+                                           obs::exponential_bounds(64, 4.0, 12));
+    for (const auto& shard : shard_state) {
+      edge_hist.observe(static_cast<double>(shard.edges.size()));
+      intern_hist.observe(
+          static_cast<double>(shard.machine_names.size() + shard.domain_names.size()));
+    }
+  }
+
+  obs::Span merge_span("build/merge");
 
   // --- Phase 1.5 (streaming only): merge the day's new names into the
   // carried dictionary so assemble-phase lookups by normalized name always
@@ -293,10 +311,10 @@ MachineDomainGraph ShardedGraphBuilder::build() {
   parallel_slice_sort(edges, edge_bounds);
   edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
   timings_.edges = edges.size();
-  timings_.merge_seconds = watch.elapsed_seconds();
-  watch.restart();
+  timings_.merge_seconds = merge_span.close();
 
   // --- Phase 3: assemble CSR directions, IP sets, e2LD annotations.
+  obs::Span assemble_span("build/assemble");
   graph.machine_offsets_.assign(num_machines + 1, 0);
   for (const auto& [m, d] : edges) {
     ++graph.machine_offsets_[m + 1];
@@ -367,7 +385,10 @@ MachineDomainGraph ShardedGraphBuilder::build() {
 
   graph.machine_labels_.assign(num_machines, Label::kUnknown);
   graph.domain_labels_.assign(num_domains, Label::kUnknown);
-  timings_.assemble_seconds = watch.elapsed_seconds();
+  timings_.assemble_seconds = assemble_span.close();
+
+  obs::Registry::instance().counter("seg_build_records_total").add(total);
+  obs::Registry::instance().counter("seg_build_edges_total").add(edges.size());
 
   segments_.clear();
   day_ = 0;

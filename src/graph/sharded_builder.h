@@ -37,6 +37,8 @@
 namespace seg::graph {
 
 /// Wall-clock breakdown of the last ShardedGraphBuilder::build() call.
+/// A view over the builder's obs spans ("build/scan", "build/merge",
+/// "build/assemble") — not a second timing mechanism.
 struct BuildTimings {
   double shard_scan_seconds = 0.0;  ///< parallel per-shard intern + buffer
   double merge_seconds = 0.0;       ///< dictionary merge + edge sort/dedup
@@ -46,11 +48,6 @@ struct BuildTimings {
 
   double total_seconds() const {
     return shard_scan_seconds + merge_seconds + assemble_seconds;
-  }
-  /// Input ingest rate over the whole build (0 when nothing was timed).
-  double records_per_second() const {
-    const double t = total_seconds();
-    return t > 0.0 ? static_cast<double>(records) / t : 0.0;
   }
 };
 

@@ -7,12 +7,14 @@
 #include <numeric>
 #include <ostream>
 
+#include "util/obs/trace.h"
 #include "util/require.h"
 #include "util/thread_pool.h"
 
 namespace seg::ml {
 
 void RandomForest::train(const Dataset& dataset) {
+  SEG_SPAN("ml/forest_train");
   util::require(dataset.num_rows() > 0, "RandomForest::train: empty dataset");
   util::require(dataset.count_label(0) > 0 && dataset.count_label(1) > 0,
                 "RandomForest::train: need both classes present");

@@ -158,6 +158,7 @@ std::vector<Finding> lint_text(std::string_view path, std::string_view text,
   info.emission = is_emission_file(path, lexed.tokens, options);
   info.timing_allowed = path_contains(path, options.timing_allowlist);
   info.is_test = is_test_path(path);
+  info.obs_allowed = path_contains(path, options.obs_allowlist);
 
   return filter_rules(run_rules(info, lexed, decls, deprecated), options);
 }
@@ -181,6 +182,7 @@ std::vector<Finding> lint_file(const std::string& path, const LintOptions& optio
   info.emission = is_emission_file(path, lexed.tokens, options);
   info.timing_allowed = path_contains(path, options.timing_allowlist);
   info.is_test = is_test_path(path);
+  info.obs_allowed = path_contains(path, options.obs_allowlist);
 
   return filter_rules(run_rules(info, lexed, decls, deprecated), options);
 }
@@ -262,6 +264,7 @@ std::vector<Finding> lint_project(const std::vector<std::string>& sources,
     info.emission = is_emission_file(file.path, file.lex.tokens, options);
     info.timing_allowed = path_contains(file.path, options.timing_allowlist);
     info.is_test = is_test_path(file.path);
+    info.obs_allowed = path_contains(file.path, options.obs_allowlist);
 
     // R-API1 resolves against the project-wide deprecated set, so calls
     // through headers this file never includes are still caught.

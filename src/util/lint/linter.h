@@ -19,8 +19,12 @@ namespace seg::lint {
 struct LintOptions {
   /// Path substrings whose files may read clocks / entropy (R-DET1).
   std::vector<std::string> timing_allowlist = {
-      "util/stopwatch", "util/logging", "util/lint", "bench_common",
+      "util/obs", "util/logging", "util/lint", "bench_common",
   };
+  /// Path substrings whose files may touch raw timing primitives
+  /// (steady_clock, Stopwatch) directly; everything else must go through
+  /// the seg::obs span/metric layer (R-OBS1).
+  std::vector<std::string> obs_allowlist = {"util/obs/"};
   /// Extra path substrings forced into R-DET2's emission scope. Files are
   /// auto-classified as emission when they use stream/printf output or live
   /// under a feature-extraction / serialization path.

@@ -63,6 +63,7 @@ std::string_view rule_description(std::string_view rule) {
   if (rule == "R-ARCH2") return "the quoted-include graph must stay acyclic";
   if (rule == "R-ODR1") return "one definition per external symbol across TUs";
   if (rule == "R-LIFE1") return "no views or references escaping local storage";
+  if (rule == "R-OBS1") return "no raw timing primitives outside the obs layer";
   return "seg-lint diagnostic";
 }
 

@@ -162,7 +162,33 @@ void rule_det1(const FileInfo& info, const Tokens& toks, std::vector<Finding>& o
     } else if (t.text == "system_clock" && i + 2 < toks.size() &&
                is_punct(toks[i + 1], "::") && is_id(toks[i + 2], "now")) {
       flag(i, "system_clock::now() in pipeline code makes output depend on run "
-              "time; use util::Stopwatch (steady_clock) for instrumentation");
+              "time; open a seg::obs::Span for instrumentation");
+    }
+  }
+}
+
+// --- R-OBS1 ---------------------------------------------------------------
+
+void rule_obs1(const FileInfo& info, const Tokens& toks, std::vector<Finding>& out) {
+  if (info.obs_allowed) {
+    return;
+  }
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const auto& t = toks[i];
+    if (t.kind != TokKind::kIdentifier) {
+      continue;
+    }
+    if (t.text == "steady_clock" || t.text == "high_resolution_clock") {
+      out.push_back(Finding{
+          info.path, t.line, "R-OBS1",
+          std::string(t.text) + " read outside the obs layer: open a "
+          "seg::obs::Span (or a metric) so the timing shows up in traces and "
+          "run reports"});
+    } else if (t.text == "Stopwatch") {
+      out.push_back(Finding{
+          info.path, t.line, "R-OBS1",
+          "Stopwatch is obs-internal; time the region with a seg::obs::Span "
+          "so the measurement is exported with the trace/run report"});
     }
   }
 }
@@ -895,6 +921,7 @@ std::vector<Finding> run_rules(const FileInfo& info, const LexResult& lex,
                                const DeprecatedDecls& deprecated) {
   std::vector<Finding> findings;
   rule_det1(info, lex.tokens, findings);
+  rule_obs1(info, lex.tokens, findings);
   rule_det2(info, lex.tokens, decls, findings);
   rule_race1(info, lex.tokens, findings);
   rule_race2(info, lex.tokens, findings);

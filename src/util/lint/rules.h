@@ -26,6 +26,10 @@
 //           function-local storage or at the temporary returned by a
 //           `*_batch` call (the parallel feature path hands out batch
 //           results by value; a view into one dangles immediately).
+//   R-OBS1  no raw timing primitives (steady_clock, high_resolution_clock,
+//           Stopwatch) outside src/util/obs/ — instrumentation goes through
+//           the seg::obs span/metric layer so every timing number is
+//           visible to the trace/run-report exporters.
 //
 // Rules operate on the token stream from lexer.h plus a per-file
 // classification computed by the driver in linter.h. All matching is
@@ -59,6 +63,9 @@ struct FileInfo {
   /// Test code (under tests/ or named *_test.cpp): exempt from R-API1 so
   /// deprecated entry points keep regression coverage until deleted.
   bool is_test = false;
+  /// File lives inside the obs layer and may use raw timing primitives
+  /// (R-OBS1 exempt).
+  bool obs_allowed = false;
 };
 
 /// Identifiers known (from this file and its reachable project headers) to

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <iomanip>
 
+#include "util/obs/trace.h"
+
 namespace seg::util {
 
 std::string_view log_level_name(LogLevel level) {
@@ -21,12 +23,16 @@ std::string_view log_level_name(LogLevel level) {
   return "?";
 }
 
+std::uint32_t log_thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 Logger& Logger::instance() {
   static Logger logger;
   return logger;
 }
-
-Logger::Logger() : start_(std::chrono::steady_clock::now()) {}
 
 void Logger::set_level(LogLevel level) {
   std::lock_guard lock(mutex_);
@@ -43,20 +49,29 @@ void Logger::set_sink(Sink sink) {
   sink_ = std::move(sink);
 }
 
-void Logger::log(LogLevel level, std::string_view message) {
+bool Logger::has_custom_sink() const {
   std::lock_guard lock(mutex_);
-  if (level < level_ || level_ == LogLevel::kOff) {
+  return static_cast<bool>(sink_);
+}
+
+void Logger::log(LogLevel level, std::string_view message) {
+  // Copy the sink under the lock, invoke it outside: a sink that logs (or
+  // installs another sink) must not deadlock against mutex_.
+  Sink sink;
+  {
+    std::lock_guard lock(mutex_);
+    if (level < level_ || level_ == LogLevel::kOff) {
+      return;
+    }
+    sink = sink_;
+  }
+  if (sink) {
+    sink(level, message);
     return;
   }
-  if (sink_) {
-    sink_(level, message);
-    return;
-  }
-  const auto elapsed =
-      std::chrono::duration_cast<std::chrono::milliseconds>(std::chrono::steady_clock::now() - start_);
   std::ostringstream line;
-  line << "[" << std::fixed << std::setprecision(3) << static_cast<double>(elapsed.count()) / 1000.0
-       << "s " << log_level_name(level) << "] " << message << "\n";
+  line << "[" << std::fixed << std::setprecision(3) << obs::uptime_seconds() << "s t"
+       << log_thread_id() << " " << log_level_name(level) << "] " << message << "\n";
   std::fputs(line.str().c_str(), stderr);
 }
 

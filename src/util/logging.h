@@ -2,10 +2,14 @@
 //
 // A single process-wide logger with a configurable level and sink. Designed
 // for long-running pipeline stages: messages carry a monotonic elapsed-time
-// stamp so reports read like the paper's timing section (IV-G).
+// stamp (from the obs trace epoch) and a dense thread id, so interleaved
+// parallel-stage output is attributable and reports read like the paper's
+// timing section (IV-G). For per-item warnings inside hot loops, use
+// SEG_LOG_EVERY_N to rate-limit a call site.
 #pragma once
 
-#include <chrono>
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <sstream>
@@ -19,6 +23,10 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// Returns a short uppercase tag for a level ("DEBUG", "INFO", ...).
 std::string_view log_level_name(LogLevel level);
 
+/// Dense id of the calling thread (0 for the first thread to log, 1 for the
+/// second, ...). Stable for the thread's lifetime.
+std::uint32_t log_thread_id();
+
 /// Process-wide logger. Thread-safe. By default logs kInfo and above to
 /// stderr; a custom sink may be installed for tests.
 class Logger {
@@ -30,19 +38,23 @@ class Logger {
   void set_level(LogLevel level);
   LogLevel level() const;
 
-  /// Installs a sink; pass nullptr to restore the default stderr sink.
+  /// Installs a sink; pass nullptr to restore the default stderr sink
+  /// (has_custom_sink() verifiably flips back to false).
   void set_sink(Sink sink);
 
-  /// Emits a message if `level` is at or above the configured level.
+  /// True while a custom sink (set_sink with a callable) is installed.
+  bool has_custom_sink() const;
+
+  /// Emits a message if `level` is at or above the configured level. The
+  /// sink runs outside the logger's lock, so a sink may itself log.
   void log(LogLevel level, std::string_view message);
 
  private:
-  Logger();
+  Logger() = default;
 
   mutable std::mutex mutex_;
   LogLevel level_ = LogLevel::kInfo;
   Sink sink_;
-  std::chrono::steady_clock::time_point start_;
 };
 
 namespace detail {
@@ -51,6 +63,11 @@ std::string concat(Args&&... args) {
   std::ostringstream os;
   (os << ... << std::forward<Args>(args));
   return os.str();
+}
+
+/// True on the first call and every n-th call after it (per counter).
+inline bool every_n_tick(std::atomic<std::uint64_t>& counter, std::uint64_t n) {
+  return counter.fetch_add(1, std::memory_order_relaxed) % (n == 0 ? 1 : n) == 0;
 }
 }  // namespace detail
 
@@ -70,5 +87,17 @@ template <typename... Args>
 void log_error(Args&&... args) {
   Logger::instance().log(LogLevel::kError, detail::concat(std::forward<Args>(args)...));
 }
+
+/// Rate-limited logging for hot loops: runs `statement` on the 1st,
+/// (n+1)-th, (2n+1)-th, ... execution of this call site (across threads).
+///
+///   SEG_LOG_EVERY_N(1000, util::log_warn("skipping invalid name ", name));
+#define SEG_LOG_EVERY_N(n, statement)                                        \
+  do {                                                                       \
+    static std::atomic<std::uint64_t> seg_log_every_n_counter{0};            \
+    if (::seg::util::detail::every_n_tick(seg_log_every_n_counter, (n))) {   \
+      statement;                                                             \
+    }                                                                        \
+  } while (false)
 
 }  // namespace seg::util

@@ -1,0 +1,33 @@
+// Run-report exporter and validators for the obs output formats.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/obs/json_lite.h"
+#include "util/obs/trace.h"
+
+namespace seg::obs {
+
+/// Writes the structured RunReport JSON: process resource sample, thread
+/// count, every registered metric, and per-name span aggregates computed
+/// from `records`. `command` names the run (e.g. the CLI subcommand).
+void write_run_report(std::ostream& out, std::string_view command,
+                      const std::vector<SpanRecord>& records);
+
+/// Convenience: run report over Tracer::instance().snapshot().
+void write_run_report(std::ostream& out, std::string_view command);
+
+/// Checks a parsed Chrome trace document: traceEvents array of complete
+/// ("ph":"X") events with string name and non-negative numeric ts/dur, and
+/// per-tid spans properly nested. Empty string when OK.
+std::string validate_chrome_trace(const json::Value& doc);
+
+/// Checks a parsed RunReport document: version, command, process sample,
+/// metrics section, and span aggregates with non-negative totals.
+/// Empty string when OK.
+std::string validate_run_report(const json::Value& doc);
+
+}  // namespace seg::obs

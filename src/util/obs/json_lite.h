@@ -1,0 +1,63 @@
+// Minimal JSON DOM parser used to validate obs exporter output
+// (`segugio validate-obs`) without external dependencies. Not a general
+// serialization layer: it accepts strict JSON, keeps numbers as doubles,
+// and stores objects as insertion-ordered key/value vectors.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace seg::obs::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+using Object = std::vector<std::pair<std::string, Value>>;
+
+enum class Kind { Null, Bool, Number, String, Array, Object };
+
+class Value {
+ public:
+  Value() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_number() const { return kind_ == Kind::Number; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_object() const { return kind_ == Kind::Object; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const Array& as_array() const { return *array_; }
+  const Object& as_object() const { return *object_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+
+  static Value make_null();
+  static Value make_bool(bool b);
+  static Value make_number(double n);
+  static Value make_string(std::string s);
+  static Value make_array(Array a);
+  static Value make_object(Object o);
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::shared_ptr<Array> array_;
+  std::shared_ptr<Object> object_;
+};
+
+/// Parses `text` as one JSON document. On failure returns a Null value and
+/// sets *error (when non-null) to a message with a byte offset.
+Value parse(std::string_view text, std::string* error);
+
+}  // namespace seg::obs::json

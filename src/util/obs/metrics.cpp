@@ -1,0 +1,208 @@
+#include "util/obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace seg::obs {
+
+std::size_t metric_slot() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricSlots;
+  return slot;
+}
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& cell : cells_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Gauge::set(double value) noexcept {
+  bits_.store(std::bit_cast<std::uint64_t>(value), std::memory_order_relaxed);
+}
+
+double Gauge::value() const noexcept {
+  return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+}
+
+HistogramMetric::HistogramMetric(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  for (auto& cell : cells_) {
+    cell.buckets = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+void HistogramMetric::observe(double value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+  Cell& cell = cells_[metric_slot()];
+  cell.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t old_bits = cell.sum_bits.load(std::memory_order_relaxed);
+  while (!cell.sum_bits.compare_exchange_weak(
+      old_bits, std::bit_cast<std::uint64_t>(std::bit_cast<double>(old_bits) + value),
+      std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> HistogramMetric::bucket_counts() const {
+  std::vector<std::uint64_t> merged(bounds_.size() + 1, 0);
+  for (const auto& cell : cells_) {
+    for (std::size_t b = 0; b < merged.size(); ++b) {
+      merged[b] += cell.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+std::uint64_t HistogramMetric::count() const {
+  std::uint64_t total = 0;
+  for (const auto& cell : cells_) {
+    total += cell.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double HistogramMetric::sum() const {
+  double total = 0.0;
+  for (const auto& cell : cells_) {
+    total += std::bit_cast<double>(cell.sum_bits.load(std::memory_order_relaxed));
+  }
+  return total;
+}
+
+std::vector<double> exponential_bounds(double start, double factor, std::size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::unique_ptr<Counter>(new Counter(std::string(name))))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::unique_ptr<Gauge>(new Gauge(std::string(name))))
+             .first;
+  }
+  return *it->second;
+}
+
+HistogramMetric& Registry::histogram(std::string_view name, std::vector<double> bounds) {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::unique_ptr<HistogramMetric>(new HistogramMetric(
+                                             std::string(name), std::move(bounds))))
+             .first;
+  }
+  return *it->second;
+}
+
+namespace {
+
+// Prometheus exposition floats: shortest round-trip form, +Inf spelled out.
+std::string format_double(double value) {
+  if (value == std::numeric_limits<double>::infinity()) {
+    return "+Inf";
+  }
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+}  // namespace
+
+void Registry::write_prometheus(std::ostream& out) const {
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    out << "# TYPE " << name << " counter\n";
+    out << name << " " << counter->value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out << "# TYPE " << name << " gauge\n";
+    out << name << " " << format_double(gauge->value()) << "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out << "# TYPE " << name << " histogram\n";
+    const auto buckets = histogram->bucket_counts();
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      cumulative += buckets[b];
+      const double bound = b < histogram->bounds().size()
+                               ? histogram->bounds()[b]
+                               : std::numeric_limits<double>::infinity();
+      out << name << "_bucket{le=\"" << format_double(bound) << "\"} " << cumulative << "\n";
+    }
+    out << name << "_sum " << format_double(histogram->sum()) << "\n";
+    out << name << "_count " << histogram->count() << "\n";
+  }
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+std::vector<const Counter*> Registry::counters() const {
+  std::lock_guard lock(mutex_);
+  std::vector<const Counter*> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.push_back(counter.get());
+  }
+  return out;
+}
+
+std::vector<const Gauge*> Registry::gauges() const {
+  std::lock_guard lock(mutex_);
+  std::vector<const Gauge*> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.push_back(gauge.get());
+  }
+  return out;
+}
+
+std::vector<const HistogramMetric*> Registry::histograms() const {
+  std::lock_guard lock(mutex_);
+  std::vector<const HistogramMetric*> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.push_back(histogram.get());
+  }
+  return out;
+}
+
+}  // namespace seg::obs

@@ -1,0 +1,154 @@
+// Process-wide metrics registry (the `seg::obs` runtime).
+//
+// Three metric kinds, all with thread-sharded storage so hot-path updates
+// never contend on a shared cache line:
+//
+//   Counter    — monotonically increasing uint64 (merged value = exact sum
+//                of the per-slot cells, so the merge is deterministic for
+//                every thread count and interleaving);
+//   Gauge      — last-written double (set from one thread at a time);
+//   HistogramMetric — fixed upper-bound buckets over double observations;
+//                bucket counts and the total count are integer sums and
+//                therefore merge deterministically (the running `sum` of
+//                observed values is merged in slot order and may differ in
+//                the last ulp across thread placements — report counts, not
+//                sums, when bit-stability matters).
+//
+// Metrics are telemetry only: nothing in the pipeline ever reads a metric
+// to make a decision, so enabling/observing them cannot perturb scores or
+// ordering (tests/core/pipeline_test.cpp asserts byte-identical output with
+// obs fully enabled vs disabled).
+//
+// Handles returned by Registry::{counter,gauge,histogram} are valid until
+// Registry::reset() (tests only); look metrics up by name at the call site
+// rather than caching across resets.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seg::obs {
+
+/// Number of thread-sharded cells per metric. Thread slots are assigned on
+/// first use and wrap modulo this, so unrelated threads may share a cell —
+/// harmless for the commutative integer updates used here.
+inline constexpr std::size_t kMetricSlots = 32;
+
+/// Dense per-thread slot index in [0, kMetricSlots).
+std::size_t metric_slot() noexcept;
+
+namespace detail {
+struct alignas(64) PaddedCell {
+  std::atomic<std::uint64_t> value{0};
+};
+}  // namespace detail
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    cells_[metric_slot()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Exact sum over all cells.
+  std::uint64_t value() const noexcept;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+  std::array<detail::PaddedCell, kMetricSlots> cells_;
+};
+
+class Gauge {
+ public:
+  void set(double value) noexcept;
+  double value() const noexcept;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+  std::atomic<std::uint64_t> bits_{0};  ///< bit-cast double
+};
+
+class HistogramMetric {
+ public:
+  /// Counts `value` into the first bucket whose upper bound is >= value
+  /// (the implicit last bucket is +Inf).
+  void observe(double value) noexcept;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Merged per-bucket counts, size bounds().size() + 1 (last = +Inf).
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::uint64_t count() const;
+  double sum() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  HistogramMetric(std::string name, std::vector<double> bounds);
+
+  struct Cell {
+    std::vector<std::atomic<std::uint64_t>> buckets;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum_bits{0};  ///< bit-cast double, CAS-updated
+  };
+
+  std::string name_;
+  std::vector<double> bounds_;  ///< ascending upper bounds
+  std::array<Cell, kMetricSlots> cells_;
+};
+
+/// `count` exponential bucket bounds: start, start*factor, start*factor^2...
+std::vector<double> exponential_bounds(double start, double factor, std::size_t count);
+
+/// The process-wide metric registry. Lookup is by full metric name
+/// (Prometheus-style, e.g. "seg_build_records_total"); the first lookup
+/// creates the metric, later lookups return the same object.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` is consulted only on the creating call; later lookups of the
+  /// same name ignore it.
+  HistogramMetric& histogram(std::string_view name, std::vector<double> bounds);
+
+  /// Prometheus text exposition of every registered metric, sorted by name.
+  void write_prometheus(std::ostream& out) const;
+
+  /// Drops every metric (tests only). Outstanding handles dangle.
+  void reset();
+
+  /// Snapshot accessors for the run-report exporter; sorted by name.
+  std::vector<const Counter*> counters() const;
+  std::vector<const Gauge*> gauges() const;
+  std::vector<const HistogramMetric*> histograms() const;
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>, std::less<>> histograms_;
+};
+
+}  // namespace seg::obs

@@ -1,0 +1,9 @@
+// Umbrella header for the seg::obs observability runtime: span tracing
+// (trace.h), metrics registry (metrics.h), process sampling (process.h),
+// and the run-report exporter (export.h). See docs/observability.md.
+#pragma once
+
+#include "util/obs/export.h"
+#include "util/obs/metrics.h"
+#include "util/obs/process.h"
+#include "util/obs/trace.h"

@@ -1,0 +1,25 @@
+#include "util/obs/process.h"
+
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace seg::obs {
+
+ProcessSample sample_process() {
+  ProcessSample sample;
+  sample.hardware_concurrency = std::thread::hardware_concurrency();
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    sample.rss_peak_kb = static_cast<std::uint64_t>(usage.ru_maxrss);
+    sample.minor_faults = static_cast<std::uint64_t>(usage.ru_minflt);
+    sample.major_faults = static_cast<std::uint64_t>(usage.ru_majflt);
+  }
+#endif
+  return sample;
+}
+
+}  // namespace seg::obs

@@ -1,0 +1,20 @@
+// Process-level resource sampling for the run report and bench output.
+#pragma once
+
+#include <cstdint>
+
+namespace seg::obs {
+
+/// Snapshot of process-wide resource usage. Fields are 0 when the platform
+/// does not expose them (non-unix builds).
+struct ProcessSample {
+  std::uint64_t rss_peak_kb = 0;      ///< ru_maxrss (KiB on Linux)
+  std::uint64_t minor_faults = 0;     ///< page reclaims
+  std::uint64_t major_faults = 0;     ///< faults requiring I/O
+  unsigned hardware_concurrency = 0;  ///< std::thread::hardware_concurrency
+};
+
+/// Samples the current process (getrusage on unix; zeros elsewhere).
+ProcessSample sample_process();
+
+}  // namespace seg::obs

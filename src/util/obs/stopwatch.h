@@ -1,9 +1,15 @@
-// Wall-clock stopwatch used by the pipeline's timing reports (paper IV-G).
+// Wall-clock stopwatch — obs-internal.
+//
+// This is the ONLY place in the tree (together with trace.cpp's epoch
+// clock) that may read std::chrono::steady_clock directly; seg-lint rule
+// R-OBS1 enforces it. Pipeline code times stages with obs::Span (SEG_SPAN)
+// so every wall-clock read flows through the observability layer and lands
+// in the trace/metrics exporters instead of ad-hoc locals.
 #pragma once
 
 #include <chrono>
 
-namespace seg::util {
+namespace seg::obs {
 
 /// Monotonic stopwatch. Starts on construction; restart() resets.
 class Stopwatch {
@@ -23,4 +29,4 @@ class Stopwatch {
   Clock::time_point start_;
 };
 
-}  // namespace seg::util
+}  // namespace seg::obs

@@ -15,6 +15,7 @@
 #include "graph/graph_io.h"
 #include "graph/name_cache.h"
 #include "sim/world.h"
+#include "util/obs/obs.h"
 #include "util/parallel.h"
 #include "util/serialize.h"
 
@@ -123,6 +124,72 @@ TEST_F(PipelineTest, ScoresBitIdenticalAcrossThreadCountsAndSerialFlow) {
   for (std::size_t i = 0; i < oneshot.scores.size(); ++i) {
     EXPECT_EQ(oneshot.scores[i].name, serial_report.scores[i].name);
     EXPECT_EQ(oneshot.scores[i].score, serial_report.scores[i].score);
+  }
+}
+
+TEST_F(PipelineTest, ObservabilityNeverPerturbsScoresOrArtifacts) {
+  // The obs contract (ISSUE 5): with the tracer recording and metrics being
+  // observed, every domain score and serialized artifact is byte-identical
+  // to a run with observability fully disabled. Spans read the clock either
+  // way; metrics are telemetry that nothing in the pipeline reads back.
+  auto& w = world();
+  const auto config = fast_config();
+  const auto train_trace = w.generate_day(0, 5);
+  const auto train_blacklist = w.blacklist().as_of(sim::BlacklistKind::kCommercial, 5);
+  const auto test_trace = w.generate_day(0, 6);
+  const auto test_blacklist = w.blacklist().as_of(sim::BlacklistKind::kCommercial, 6);
+  const auto whitelist = w.whitelist().all();
+
+  struct Artifacts {
+    std::string graph;
+    std::string model;
+    std::string session;
+    std::vector<std::pair<std::string, double>> scores;
+  };
+  const auto run_session = [&] {
+    Pipeline pipeline(w.psl(), w.activity(), w.pdns(), config);
+    const auto train_day = pipeline.ingest_day(train_trace, train_blacklist, whitelist);
+    pipeline.train(train_day);
+    const auto test_day = pipeline.ingest_day(test_trace, test_blacklist, whitelist);
+    const auto report = pipeline.classify(test_day);
+    Artifacts artifacts;
+    artifacts.graph = graph_bytes(test_day.graph);
+    std::ostringstream model_blob;
+    pipeline.detector().save(model_blob);
+    artifacts.model = std::move(model_blob).str();
+    std::ostringstream session_blob;
+    pipeline.save_session(session_blob);
+    artifacts.session = std::move(session_blob).str();
+    for (const auto& score : report.scores) {
+      artifacts.scores.emplace_back(score.name, score.score);
+    }
+    return artifacts;
+  };
+
+  obs::Tracer::instance().set_enabled(false);
+  obs::Registry::instance().reset();
+  const auto plain = run_session();
+
+  obs::Tracer::instance().clear();
+  obs::Tracer::instance().set_enabled(true);
+  const auto observed = run_session();
+
+  // The observed run actually recorded telemetry...
+  const auto records = obs::Tracer::instance().snapshot();
+  EXPECT_FALSE(records.empty());
+  EXPECT_EQ(obs::validate_spans(records), "");
+  EXPECT_GT(obs::Registry::instance().counter("seg_classify_rows_total").value(), 0u);
+  obs::Tracer::instance().set_enabled(false);
+  obs::Tracer::instance().clear();
+
+  // ...and perturbed nothing.
+  EXPECT_EQ(plain.graph, observed.graph);
+  EXPECT_EQ(plain.model, observed.model);
+  EXPECT_EQ(plain.session, observed.session);
+  ASSERT_EQ(plain.scores.size(), observed.scores.size());
+  for (std::size_t i = 0; i < plain.scores.size(); ++i) {
+    EXPECT_EQ(plain.scores[i].first, observed.scores[i].first);
+    EXPECT_EQ(plain.scores[i].second, observed.scores[i].second);
   }
 }
 

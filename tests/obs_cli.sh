@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# End-to-end obs smoke test: train and classify with every obs output
+# enabled, validate the artifacts with `segugio validate-obs`, and check
+# that enabling observability does not change the classify output.
+set -euo pipefail
+CLI="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+"$CLI" simgen --out "$DIR" --days 2 --isp 0 --binary >/dev/null
+
+"$CLI" train --trace "$DIR/day0.bin" \
+  --blacklist "$DIR/blacklist-day0.txt" --whitelist "$DIR/whitelist.txt" \
+  --activity "$DIR/activity.txt" --pdns "$DIR/pdns.txt" \
+  --model "$DIR/model.txt" --trees 20 \
+  --trace-out "$DIR/train-trace.json" --metrics-out "$DIR/train-metrics.prom" \
+  --run-report "$DIR/train-report.json" >/dev/null
+test -s "$DIR/train-trace.json"
+test -s "$DIR/train-metrics.prom"
+test -s "$DIR/train-report.json"
+
+"$CLI" validate-obs --trace "$DIR/train-trace.json" \
+  --run-report "$DIR/train-report.json" --metrics "$DIR/train-metrics.prom" \
+  | grep -q "run report"
+
+# The training run must have counted graph work into the metrics.
+grep -q "seg_build_records_total" "$DIR/train-metrics.prom"
+grep -q '"cli/train"' "$DIR/train-report.json"
+
+# Classify twice: plain, and with every obs output. Scores must match
+# byte-for-byte — observability never perturbs the pipeline.
+CLASSIFY_ARGS=(--trace "$DIR/day1.bin" --model "$DIR/model.txt"
+  --blacklist "$DIR/blacklist-day1.txt" --whitelist "$DIR/whitelist.txt"
+  --activity "$DIR/activity.txt" --pdns "$DIR/pdns.txt" --threshold 0.5)
+"$CLI" classify "${CLASSIFY_ARGS[@]}" > "$DIR/plain.out"
+"$CLI" classify "${CLASSIFY_ARGS[@]}" \
+  --trace-out "$DIR/classify-trace.json" --metrics-out "$DIR/classify-metrics.prom" \
+  --run-report "$DIR/classify-report.json" > "$DIR/observed.out"
+cmp "$DIR/plain.out" "$DIR/observed.out"
+
+"$CLI" validate-obs --trace "$DIR/classify-trace.json" \
+  --run-report "$DIR/classify-report.json" --metrics "$DIR/classify-metrics.prom" >/dev/null
+grep -q "seg_classify_rows_total" "$DIR/classify-metrics.prom"
+grep -q '"pipeline/ingest_day"' "$DIR/classify-report.json"
+
+# validate-obs rejects malformed artifacts.
+echo '{"traceEvents": [{"ph": "X"}]}' > "$DIR/bad-trace.json"
+if "$CLI" validate-obs --trace "$DIR/bad-trace.json" 2>/dev/null; then
+  echo "expected failure on malformed trace" >&2
+  exit 1
+fi
+echo '{}' > "$DIR/bad-report.json"
+if "$CLI" validate-obs --run-report "$DIR/bad-report.json" 2>/dev/null; then
+  echo "expected failure on malformed run report" >&2
+  exit 1
+fi
+
+echo "obs cli ok"

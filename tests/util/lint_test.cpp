@@ -46,8 +46,7 @@ TEST(RDet1, IgnoresSteadyClockAndForeignRand) {
 }
 
 TEST(RDet1, AllowlistedTimingFileIsExempt) {
-  const auto findings = run("src/util/stopwatch.h", R"cpp(
-    #pragma once
+  const auto findings = run("src/util/obs/trace.cpp", R"cpp(
     auto wall() { return std::chrono::system_clock::now(); }
   )cpp");
   EXPECT_FALSE(has_rule(findings, "R-DET1"));
@@ -66,6 +65,46 @@ TEST(RDet1, LiteralsNeverMatch) {
     const char* doc = "never call rand() or time(nullptr) here";
   )cpp");
   EXPECT_TRUE(findings.empty());
+}
+
+// --- R-OBS1: raw timing primitives outside the obs layer ---------------------
+
+TEST(RObs1, FlagsSteadyClockOutsideObsLayer) {
+  const auto findings = run("src/core/score.cpp", R"cpp(
+    auto t0 = std::chrono::steady_clock::now();
+    auto t1 = std::chrono::high_resolution_clock::now();
+  )cpp");
+  EXPECT_TRUE(has_rule(findings, "R-OBS1"));
+}
+
+TEST(RObs1, FlagsStopwatchUse) {
+  const auto findings = run("src/core/score.cpp", R"cpp(
+    double elapsed() { obs::Stopwatch watch; return watch.elapsed_seconds(); }
+  )cpp");
+  EXPECT_TRUE(has_rule(findings, "R-OBS1"));
+}
+
+TEST(RObs1, ObsLayerIsExempt) {
+  const auto findings = run("src/util/obs/trace.cpp", R"cpp(
+    auto epoch = std::chrono::steady_clock::now();
+    Stopwatch watch;
+  )cpp");
+  EXPECT_FALSE(has_rule(findings, "R-OBS1"));
+}
+
+TEST(RObs1, SuppressionComment) {
+  const auto findings = run("src/core/score.cpp", R"cpp(
+    // seg-lint: allow(R-OBS1)
+    auto t = std::chrono::steady_clock::now();
+  )cpp");
+  EXPECT_FALSE(has_rule(findings, "R-OBS1"));
+}
+
+TEST(RObs1, LiteralsNeverMatch) {
+  const auto findings = run("src/core/score.cpp", R"cpp(
+    const char* doc = "steady_clock and Stopwatch live in util/obs";
+  )cpp");
+  EXPECT_FALSE(has_rule(findings, "R-OBS1"));
 }
 
 // --- R-DET2: unordered iteration in emission paths --------------------------

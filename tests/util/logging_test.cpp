@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace seg::util {
@@ -46,6 +47,54 @@ TEST_F(LoggingTest, OffSilencesEverything) {
   Logger::instance().set_level(LogLevel::kOff);
   log_error("nope");
   EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LoggingTest, EveryNLimitsACallSite) {
+  for (int i = 0; i < 10; ++i) {
+    SEG_LOG_EVERY_N(4, log_info("tick ", i));
+  }
+  // Fires on iterations 0, 4, 8.
+  ASSERT_EQ(captured_.size(), 3u);
+  EXPECT_EQ(captured_[0].second, "tick 0");
+  EXPECT_EQ(captured_[1].second, "tick 4");
+  EXPECT_EQ(captured_[2].second, "tick 8");
+}
+
+TEST_F(LoggingTest, EveryNZeroMeansEveryTime) {
+  for (int i = 0; i < 3; ++i) {
+    SEG_LOG_EVERY_N(0, log_info("always"));
+  }
+  EXPECT_EQ(captured_.size(), 3u);
+}
+
+TEST_F(LoggingTest, NullSinkVerifiablyRestoresDefault) {
+  EXPECT_TRUE(Logger::instance().has_custom_sink());
+  Logger::instance().set_sink(nullptr);
+  EXPECT_FALSE(Logger::instance().has_custom_sink());
+  // Logging through the default stderr sink must not reach the old capture.
+  log_info("to stderr");
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LoggingTest, SinkMayLogWithoutDeadlock) {
+  // The sink runs outside the logger's lock, so a sink that logs (at a
+  // level the logger filters out) must not self-deadlock.
+  Logger::instance().set_sink([this](LogLevel level, std::string_view message) {
+    captured_.emplace_back(level, std::string(message));
+    Logger::instance().log(LogLevel::kDebug, "from sink");
+  });
+  Logger::instance().set_level(LogLevel::kInfo);
+  log_info("outer");
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "outer");
+}
+
+TEST(LogThreadIdTest, DenseAndStablePerThread) {
+  const auto mine = log_thread_id();
+  EXPECT_EQ(log_thread_id(), mine);
+  std::uint32_t other = mine;
+  std::thread([&] { other = log_thread_id(); }).join();
+  EXPECT_NE(other, mine);
 }
 
 TEST(LogLevelNameTest, Names) {

@@ -1,0 +1,253 @@
+// seg::obs runtime tests: metric merge determinism across thread counts,
+// span nesting (including spans opened inside parallel_for workers), the
+// Chrome trace / Prometheus / run-report exporters, and the json_lite
+// parser backing `segugio validate-obs`.
+#include "util/obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace seg::obs {
+namespace {
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Registry::instance().reset();
+    Tracer::instance().clear();
+    Tracer::instance().set_enabled(false);
+  }
+  void TearDown() override {
+    Registry::instance().reset();
+    Tracer::instance().clear();
+    Tracer::instance().set_enabled(false);
+    util::set_parallelism(0);
+  }
+};
+
+// --- metrics ----------------------------------------------------------------
+
+TEST_F(ObsTest, CounterSumsAcrossThreadsExactly) {
+  constexpr std::uint64_t kPerIndex = 3;
+  constexpr std::size_t kCount = 10000;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    Registry::instance().reset();
+    util::set_parallelism(threads);
+    auto& counter = Registry::instance().counter("seg_test_total");
+    util::parallel_for(kCount, [&](std::size_t) { counter.add(kPerIndex); });
+    EXPECT_EQ(counter.value(), kPerIndex * kCount) << threads << " threads";
+  }
+}
+
+TEST_F(ObsTest, HistogramBucketsMergeDeterministically) {
+  // Identical observations, 1 thread vs 8: bucket counts and the total
+  // count must match exactly (the paper-facing determinism contract; the
+  // floating `sum` is explicitly exempt).
+  std::vector<std::vector<std::uint64_t>> per_run;
+  std::vector<std::uint64_t> counts;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    Registry::instance().reset();
+    util::set_parallelism(threads);
+    auto& hist =
+        Registry::instance().histogram("seg_test_hist", exponential_bounds(1.0, 2.0, 6));
+    util::parallel_for(4096, [&](std::size_t i) {
+      hist.observe(static_cast<double>(i % 100));
+    });
+    per_run.push_back(hist.bucket_counts());
+    counts.push_back(hist.count());
+  }
+  EXPECT_EQ(per_run[0], per_run[1]);
+  EXPECT_EQ(counts[0], counts[1]);
+  EXPECT_EQ(counts[0], 4096u);
+}
+
+TEST_F(ObsTest, HistogramBucketBoundariesAreInclusive) {
+  auto& hist = Registry::instance().histogram("seg_test_edges", {1.0, 10.0});
+  hist.observe(1.0);   // first bucket (<= 1.0)
+  hist.observe(1.5);   // second bucket
+  hist.observe(10.0);  // second bucket (<= 10.0)
+  hist.observe(11.0);  // +Inf bucket
+  const auto buckets = hist.bucket_counts();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 2u);
+  EXPECT_EQ(buckets[2], 1u);
+}
+
+TEST_F(ObsTest, GaugeKeepsLastWrite) {
+  auto& gauge = Registry::instance().gauge("seg_test_gauge");
+  gauge.set(2.5);
+  gauge.set(-0.125);
+  EXPECT_EQ(gauge.value(), -0.125);
+}
+
+TEST_F(ObsTest, RegistryReturnsSameMetricForSameName) {
+  auto& a = Registry::instance().counter("seg_same");
+  auto& b = Registry::instance().counter("seg_same");
+  EXPECT_EQ(&a, &b);
+  a.add(2);
+  EXPECT_EQ(b.value(), 2u);
+}
+
+TEST_F(ObsTest, ExponentialBounds) {
+  const auto bounds = exponential_bounds(64, 4.0, 3);
+  ASSERT_EQ(bounds.size(), 3u);
+  EXPECT_EQ(bounds[0], 64.0);
+  EXPECT_EQ(bounds[1], 256.0);
+  EXPECT_EQ(bounds[2], 1024.0);
+}
+
+TEST_F(ObsTest, PrometheusExposition) {
+  Registry::instance().counter("seg_c_total").add(7);
+  Registry::instance().gauge("seg_g").set(1.5);
+  Registry::instance().histogram("seg_h", {1.0, 2.0}).observe(1.5);
+  std::ostringstream out;
+  Registry::instance().write_prometheus(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE seg_c_total counter"), std::string::npos);
+  EXPECT_NE(text.find("seg_c_total 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE seg_g gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE seg_h histogram"), std::string::npos);
+  EXPECT_NE(text.find("seg_h_bucket{le=\"1\"} 0"), std::string::npos);
+  EXPECT_NE(text.find("seg_h_bucket{le=\"2\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("seg_h_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("seg_h_count 1"), std::string::npos);
+}
+
+// --- spans ------------------------------------------------------------------
+
+TEST_F(ObsTest, SpanMeasuresWithoutRecordingWhenDisabled) {
+  Span span("test/quiet");
+  EXPECT_GE(span.close(), 0.0);
+  EXPECT_TRUE(Tracer::instance().snapshot().empty());
+}
+
+TEST_F(ObsTest, SpanCloseIsIdempotent) {
+  Tracer::instance().set_enabled(true);
+  Span span("test/once");
+  span.close();
+  span.close();
+  EXPECT_EQ(Tracer::instance().snapshot().size(), 1u);
+}
+
+TEST_F(ObsTest, NestedSpansRecordDepthAndValidate) {
+  Tracer::instance().set_enabled(true);
+  {
+    SEG_SPAN("test/outer");
+    { SEG_SPAN("test/inner"); }
+    { SEG_SPAN("test/inner2"); }
+  }
+  const auto records = Tracer::instance().snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  // Snapshot order is (tid, start): the outer span starts first.
+  EXPECT_EQ(records[0].name, "test/outer");
+  EXPECT_EQ(records[0].depth, 0u);
+  EXPECT_EQ(records[1].name, "test/inner");
+  EXPECT_EQ(records[1].depth, 1u);
+  EXPECT_EQ(validate_spans(records), "");
+}
+
+TEST_F(ObsTest, SpansInsideParallelForLandInWorkerLanes) {
+  Tracer::instance().set_enabled(true);
+  util::set_parallelism(4);
+  {
+    SEG_SPAN("test/parallel_root");
+    util::parallel_for(64, [](std::size_t) { SEG_SPAN("test/worker"); });
+  }
+  const auto records = Tracer::instance().snapshot();
+  ASSERT_EQ(records.size(), 65u);
+  EXPECT_EQ(validate_spans(records), "");
+}
+
+TEST_F(ObsTest, ValidateSpansRejectsPartialOverlap) {
+  std::vector<SpanRecord> bad;
+  bad.push_back({"a", 0, 0, 0, 100});
+  bad.push_back({"b", 0, 0, 50, 100});  // starts inside a, ends outside
+  EXPECT_NE(validate_spans(bad), "");
+}
+
+TEST_F(ObsTest, ChromeTraceRoundTripsThroughValidator) {
+  Tracer::instance().set_enabled(true);
+  {
+    SEG_SPAN("test/outer");
+    { SEG_SPAN("test/inner"); }
+  }
+  std::ostringstream out;
+  write_chrome_trace(out);
+  std::string error;
+  const auto doc = json::parse(out.str(), &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(validate_chrome_trace(doc), "");
+  const auto* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(events->as_array().size(), 2u);
+}
+
+// --- run report / process ---------------------------------------------------
+
+TEST_F(ObsTest, RunReportRoundTripsThroughValidator) {
+  Tracer::instance().set_enabled(true);
+  Registry::instance().counter("seg_report_total").add(3);
+  Registry::instance().histogram("seg_report_hist", {1.0}).observe(0.5);
+  { SEG_SPAN("test/report"); }
+  std::ostringstream out;
+  write_run_report(out, "unit-test");
+  std::string error;
+  const auto doc = json::parse(out.str(), &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(validate_run_report(doc), "");
+  const auto* command = doc.find("command");
+  ASSERT_NE(command, nullptr);
+  EXPECT_EQ(command->as_string(), "unit-test");
+  const auto* spans = doc.find("spans");
+  ASSERT_NE(spans, nullptr);
+  const auto* aggregate = spans->find("test/report");
+  ASSERT_NE(aggregate, nullptr);
+  EXPECT_EQ(aggregate->find("count")->as_number(), 1.0);
+}
+
+TEST_F(ObsTest, ProcessSampleIsPlausible) {
+  const auto sample = sample_process();
+  EXPECT_GE(sample.hardware_concurrency, 1u);
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_GT(sample.rss_peak_kb, 0u);
+#endif
+}
+
+// --- json_lite --------------------------------------------------------------
+
+TEST_F(ObsTest, JsonParsesDocument) {
+  std::string error;
+  const auto doc = json::parse(
+      R"({"a": [1, 2.5, -3e2], "b": {"nested": true}, "c": null, "d": "x\ny"})",
+      &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(doc.find("a")->as_array()[2].as_number(), -300.0);
+  EXPECT_TRUE(doc.find("b")->find("nested")->as_bool());
+  EXPECT_TRUE(doc.find("c")->is_null());
+  EXPECT_EQ(doc.find("d")->as_string(), "x\ny");
+}
+
+TEST_F(ObsTest, JsonRejectsMalformedInput) {
+  for (const char* bad : {"{", "[1,]", "{\"a\" 1}", "tru", "1 2", "\"\\q\""}) {
+    std::string error;
+    json::parse(bad, &error);
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST_F(ObsTest, JsonUnicodeEscapes) {
+  std::string error;
+  const auto doc = json::parse(R"("\u00e9\u0041")", &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(doc.as_string(), "\xc3\xa9"
+                             "A");
+}
+
+}  // namespace
+}  // namespace seg::obs

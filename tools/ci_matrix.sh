@@ -5,12 +5,17 @@
 # race-freedom contract; seg-lint runs inside every leg as a tier-1 test.
 #
 # Usage:
-#   tools/ci_matrix.sh [config ...]   # default: plain thread address undefined lint-diff
+#   tools/ci_matrix.sh [config ...]   # default: plain thread address undefined lint-diff obs
 #
 # The lint-diff leg runs seg-lint v2 in whole-program diff mode against
 # origin/main (falls back to HEAD outside a clone with that ref): CI fails
 # only on findings *introduced* by the change under test, and a SARIF
 # artifact lands in ${LOG_DIR}/seg-lint.sarif for code-scanning upload.
+#
+# The obs leg runs the two-day CLI example with --trace-out/--metrics-out/
+# --run-report, validates the artifacts with `segugio validate-obs`, and
+# archives them under ${LOG_DIR}/obs/ (load the trace in Perfetto when a
+# perf regression needs triage; see docs/observability.md).
 #
 # Environment:
 #   SEG_CI_JOBS     parallel build/test jobs (default: nproc)
@@ -24,7 +29,7 @@ cd "$(dirname "$0")/.."
 
 CONFIGS=("$@")
 if [ ${#CONFIGS[@]} -eq 0 ]; then
-  CONFIGS=(plain thread address undefined lint-diff)
+  CONFIGS=(plain thread address undefined lint-diff obs)
 fi
 
 JOBS="${SEG_CI_JOBS:-$(nproc 2>/dev/null || echo 2)}"
@@ -65,6 +70,69 @@ run_lint_diff() {
   return 0
 }
 
+run_obs() {
+  local log="${LOG_DIR}/obs.log"
+  local build_dir="build-plain"
+  local obs_dir="${LOG_DIR}/obs"
+  : > "${log}"
+  mkdir -p "${obs_dir}"
+
+  echo "=== [obs] build segugio (${build_dir}) ==="
+  if ! cmake -B "${build_dir}" -S . >> "${log}" 2>&1 ||
+     ! cmake --build "${build_dir}" -j "${JOBS}" --target segugio >> "${log}" 2>&1; then
+    echo "    segugio build FAILED (see ${log})"
+    return 1
+  fi
+  local cli="${build_dir}/tools/segugio"
+
+  local data_dir
+  data_dir="$(mktemp -d)"
+  # shellcheck disable=SC2064
+  trap "rm -rf '${data_dir}'" RETURN
+
+  echo "=== [obs] two-day example with trace/metrics/run-report ==="
+  if ! "${cli}" simgen --out "${data_dir}" --days 2 --isp 0 --binary >> "${log}" 2>&1; then
+    echo "    simgen FAILED (see ${log})"
+    return 1
+  fi
+  if ! "${cli}" train --trace "${data_dir}/day0.bin" \
+       --blacklist "${data_dir}/blacklist-day0.txt" \
+       --whitelist "${data_dir}/whitelist.txt" \
+       --activity "${data_dir}/activity.txt" --pdns "${data_dir}/pdns.txt" \
+       --model "${data_dir}/model.txt" --trees 20 \
+       --trace-out "${obs_dir}/train-trace.json" \
+       --metrics-out "${obs_dir}/train-metrics.prom" \
+       --run-report "${obs_dir}/train-report.json" >> "${log}" 2>&1; then
+    echo "    train FAILED (see ${log})"
+    return 1
+  fi
+  if ! "${cli}" classify --trace "${data_dir}/day1.bin" \
+       --model "${data_dir}/model.txt" \
+       --blacklist "${data_dir}/blacklist-day1.txt" \
+       --whitelist "${data_dir}/whitelist.txt" \
+       --activity "${data_dir}/activity.txt" --pdns "${data_dir}/pdns.txt" \
+       --threshold 0.5 \
+       --trace-out "${obs_dir}/classify-trace.json" \
+       --metrics-out "${obs_dir}/classify-metrics.prom" \
+       --run-report "${obs_dir}/classify-report.json" >> "${log}" 2>&1; then
+    echo "    classify FAILED (see ${log})"
+    return 1
+  fi
+
+  echo "=== [obs] validate-obs over the archived artifacts ==="
+  local leg
+  for leg in train classify; do
+    if ! "${cli}" validate-obs --trace "${obs_dir}/${leg}-trace.json" \
+         --run-report "${obs_dir}/${leg}-report.json" \
+         --metrics "${obs_dir}/${leg}-metrics.prom" >> "${log}" 2>&1; then
+      echo "    validate-obs FAILED for ${leg} (see ${log})"
+      return 1
+    fi
+  done
+  echo "    artifacts archived in ${obs_dir}/"
+  return 0
+}
+
 run_config() {
   local config="$1"
   local build_dir log sanitize
@@ -74,8 +142,9 @@ run_config() {
     address)   build_dir="build-asan";      sanitize="address" ;;
     undefined) build_dir="build-ubsan";     sanitize="undefined" ;;
     lint-diff) run_lint_diff; return $? ;;
+    obs)       run_obs; return $? ;;
     *)
-      echo "ci_matrix: unknown config '${config}' (plain|thread|address|undefined|lint-diff)" >&2
+      echo "ci_matrix: unknown config '${config}' (plain|thread|address|undefined|lint-diff|obs)" >&2
       return 2
       ;;
   esac

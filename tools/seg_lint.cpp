@@ -41,7 +41,7 @@ void print_usage() {
       "                [--rule R-XXX]... [--layers FILE] [--baseline FILE]\n"
       "                [--diff-base REV] [--allow-timing SUBSTR]... PATH...\n"
       "rules: R-DET1 R-DET2 R-RACE1 R-RACE2 R-API1 R-HDR1 R-HDR2 R-ARCH1\n"
-      "       R-ARCH2 R-ODR1 R-LIFE1\n"
+      "       R-ARCH2 R-ODR1 R-LIFE1 R-OBS1\n"
       "mark deprecated entry points with // seg-deprecated above the "
       "declaration\n"
       "suppress one site: // seg-lint: allow(R-XXX)   (same or next line)\n"

@@ -26,10 +26,23 @@
 //   segugio inspect --model FILE
 //       Prints the model card: classifier, windows, pruning, importances.
 //
+//   segugio validate-obs [--trace FILE] [--run-report FILE] [--metrics FILE]
+//       Validates obs exporter output: the JSONs parse, trace spans are
+//       well-nested, the run report carries every required section. Used
+//       by the ci_matrix `obs` leg.
+//
+// Observability (train/classify/report): --trace-out FILE writes a Chrome
+// trace_event JSON of the run, --metrics-out FILE the Prometheus text
+// exposition, --run-report FILE the structured RunReport JSON (see
+// docs/observability.md). Tracing is enabled automatically when --trace-out
+// or --run-report is given; scores are bit-identical either way.
+//
 // All file formats are the plain-text formats of the library (see
 // dns/query_log.h, dns/activity_index.h, dns/pdns.h, core/segugio.h).
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "core/diagnostics.h"
@@ -39,8 +52,8 @@
 #include "graph/labeling.h"
 #include "sim/world.h"
 #include "util/args.h"
+#include "util/obs/obs.h"
 #include "util/require.h"
-#include "util/stopwatch.h"
 #include "util/strings.h"
 
 namespace {
@@ -139,7 +152,7 @@ int cmd_train(const util::Args& args) {
     config.prober_filter = graph::ProberFilterConfig{};
   }
 
-  util::Stopwatch watch;
+  obs::Span train_span("cli/train");
   const auto prep = core::Segugio::prepare_graph(trace, psl, blacklist, whitelist,
                                                  config.prepare_options());
   const auto& graph = prep.graph;
@@ -154,7 +167,7 @@ int cmd_train(const util::Args& args) {
               trace.records.size(), graph.machine_count(), graph.domain_count(),
               graph.count_domains_with(graph::Label::kMalware),
               graph.count_domains_with(graph::Label::kBenign));
-  std::printf("model written to %s (%.2fs)\n", model_path.c_str(), watch.elapsed_seconds());
+  std::printf("model written to %s (%.2fs)\n", model_path.c_str(), train_span.close());
   return 0;
 }
 
@@ -241,9 +254,109 @@ int cmd_inspect(const util::Args& args) {
   return 0;
 }
 
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  util::require_data(in.is_open(), "cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Minimal Prometheus text-exposition check: every line is a `# TYPE` /
+// `# HELP` comment or a `name[{labels}] value` sample.
+std::string validate_prometheus_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    const auto space = line.rfind(' ');
+    if (space == std::string::npos || space == 0 || space + 1 >= line.size()) {
+      return "line " + std::to_string(line_no) + " is not a 'name value' sample";
+    }
+    const std::string value = line.substr(space + 1);
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    if (end != value.c_str() + value.size() && value != "+Inf" && value != "-Inf" &&
+        value != "NaN") {
+      return "line " + std::to_string(line_no) + " has a malformed value '" + value + "'";
+    }
+  }
+  return {};
+}
+
+int cmd_validate_obs(const util::Args& args) {
+  util::require_data(args.has("trace") || args.has("run-report") || args.has("metrics"),
+                     "validate-obs: pass at least one of --trace/--run-report/--metrics");
+  if (args.has("trace")) {
+    const auto path = args.get("trace");
+    std::string error;
+    const auto doc = obs::json::parse(read_file(path), &error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "validate-obs: %s does not parse: %s\n", path.c_str(), error.c_str());
+      return 1;
+    }
+    if (const auto problem = obs::validate_chrome_trace(doc); !problem.empty()) {
+      std::fprintf(stderr, "validate-obs: %s: %s\n", path.c_str(), problem.c_str());
+      return 1;
+    }
+    std::printf("trace %s: ok\n", path.c_str());
+  }
+  if (args.has("run-report")) {
+    const auto path = args.get("run-report");
+    std::string error;
+    const auto doc = obs::json::parse(read_file(path), &error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "validate-obs: %s does not parse: %s\n", path.c_str(), error.c_str());
+      return 1;
+    }
+    if (const auto problem = obs::validate_run_report(doc); !problem.empty()) {
+      std::fprintf(stderr, "validate-obs: %s: %s\n", path.c_str(), problem.c_str());
+      return 1;
+    }
+    std::printf("run report %s: ok\n", path.c_str());
+  }
+  if (args.has("metrics")) {
+    const auto path = args.get("metrics");
+    if (const auto problem = validate_prometheus_text(read_file(path)); !problem.empty()) {
+      std::fprintf(stderr, "validate-obs: %s: %s\n", path.c_str(), problem.c_str());
+      return 1;
+    }
+    std::printf("metrics %s: ok\n", path.c_str());
+  }
+  return 0;
+}
+
+// Writes the obs exporter files requested on the command line, after the
+// subcommand has run.
+void write_obs_outputs(const std::string& command, const util::Args& args) {
+  if (args.has("trace-out")) {
+    const auto path = args.get("trace-out");
+    std::ofstream out(path);
+    util::require_data(out.is_open(), "cannot create '" + path + "'");
+    obs::write_chrome_trace(out);
+  }
+  if (args.has("run-report")) {
+    const auto path = args.get("run-report");
+    std::ofstream out(path);
+    util::require_data(out.is_open(), "cannot create '" + path + "'");
+    obs::write_run_report(out, command);
+  }
+  if (args.has("metrics-out")) {
+    const auto path = args.get("metrics-out");
+    std::ofstream out(path);
+    util::require_data(out.is_open(), "cannot create '" + path + "'");
+    obs::Registry::instance().write_prometheus(out);
+  }
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: segugio <simgen|train|classify|report|inspect> [options]\n"
+               "usage: segugio <simgen|train|classify|report|inspect|validate-obs> [options]\n"
+               "observability: --trace-out FILE --metrics-out FILE --run-report FILE\n"
                "see the header of tools/segugio_cli.cpp for the full option list\n");
   return 2;
 }
@@ -257,22 +370,30 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     const util::Args args(argc - 2, argv + 2, {"machines", "no-prober-filter", "binary"});
+    if (command == "validate-obs") {
+      return cmd_validate_obs(args);
+    }
+    // Spans are recorded only when a trace-consuming output was requested;
+    // metrics are always counted (exporting them costs nothing extra).
+    obs::Tracer::instance().set_enabled(args.has("trace-out") || args.has("run-report"));
+    int rc = 2;
     if (command == "simgen") {
-      return cmd_simgen(args);
+      rc = cmd_simgen(args);
+    } else if (command == "train") {
+      rc = cmd_train(args);
+    } else if (command == "classify") {
+      rc = cmd_classify(args);
+    } else if (command == "inspect") {
+      rc = cmd_inspect(args);
+    } else if (command == "report") {
+      rc = cmd_report(args);
+    } else {
+      return usage();
     }
-    if (command == "train") {
-      return cmd_train(args);
+    if (rc == 0) {
+      write_obs_outputs(command, args);
     }
-    if (command == "classify") {
-      return cmd_classify(args);
-    }
-    if (command == "inspect") {
-      return cmd_inspect(args);
-    }
-    if (command == "report") {
-      return cmd_report(args);
-    }
-    return usage();
+    return rc;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "segugio %s: %s\n", command.c_str(), error.what());
     return 1;
