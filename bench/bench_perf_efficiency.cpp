@@ -50,6 +50,9 @@ std::size_t parallel_thread_count() {
 
 struct StageTotals {
   double build_seconds = 0.0;     // sharded graph construction
+  double build_scan_seconds = 0.0;      // build: parallel shard scan
+  double build_merge_seconds = 0.0;     // build: dictionary merge + edge dedup
+  double build_assemble_seconds = 0.0;  // build: CSR fill, IPs, e2LDs
   double label_seconds = 0.0;     // blacklist/whitelist annotation
   double prune_seconds = 0.0;     // R1-R4
   double train_feature_seconds = 0.0;
@@ -87,6 +90,9 @@ StageTotals run_pipeline(std::size_t threads, std::vector<double>* scores_out) {
                                                      config.prepare_options());
       const auto& graph = prep.graph;
       totals.build_seconds += prep.timings.build.total_seconds();
+      totals.build_scan_seconds += prep.timings.build.shard_scan_seconds;
+      totals.build_merge_seconds += prep.timings.build.merge_seconds;
+      totals.build_assemble_seconds += prep.timings.build.assemble_seconds;
       totals.label_seconds += prep.timings.label_seconds;
       totals.prune_seconds += prep.timings.prune_seconds;
       totals.records += prep.timings.build.records;
@@ -191,6 +197,9 @@ void print_totals(const char* label, const StageTotals& t) {
   const auto avg = [&](double total) { return total / static_cast<double>(t.days); };
   std::printf("\n[%s] averages over %zu simulated ISP-days:\n", label, t.days);
   std::printf("  graph build (sharded)  : %8.3f s\n", avg(t.build_seconds));
+  std::printf("    scan / merge / asm   : %8.3f / %.3f / %.3f s\n",
+              avg(t.build_scan_seconds), avg(t.build_merge_seconds),
+              avg(t.build_assemble_seconds));
   std::printf("  labeling               : %8.3f s\n", avg(t.label_seconds));
   std::printf("  pruning                : %8.3f s\n", avg(t.prune_seconds));
   std::printf("  training features      : %8.3f s\n", avg(t.train_feature_seconds));
@@ -243,6 +252,9 @@ void write_json(const char* path, const StageTotals& serial, const StageTotals& 
                  "    \"unknown_domains\": %zu,\n"
                  "    \"stages_seconds\": {\n"
                  "      \"graph_build\": %.6f,\n"
+                 "      \"graph_build_scan\": %.6f,\n"
+                 "      \"graph_build_merge\": %.6f,\n"
+                 "      \"graph_build_assemble\": %.6f,\n"
                  "      \"labeling\": %.6f,\n"
                  "      \"pruning\": %.6f,\n"
                  "      \"train_features\": %.6f,\n"
@@ -258,6 +270,7 @@ void write_json(const char* path, const StageTotals& serial, const StageTotals& 
                  "    }\n"
                  "  }",
                  name, threads, t.days, t.records, t.edges, t.unknown_domains, t.build_seconds,
+                 t.build_scan_seconds, t.build_merge_seconds, t.build_assemble_seconds,
                  t.label_seconds, t.prune_seconds, t.train_feature_seconds, t.fit_seconds,
                  t.classify_seconds, t.learning_seconds(),
                  static_cast<double>(t.edges) / t.build_seconds,

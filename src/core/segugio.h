@@ -182,6 +182,14 @@ class Segugio {
   void train(const graph::MachineDomainGraph& graph,
              const dns::ShardedActivityIndex& activity, const dns::ShardedPassiveDnsDb& pdns);
 
+  /// GraphView overloads: train from any backing — a heap graph's view()
+  /// or an mmap-resident graph (graph::map_graph). Scores and the fitted
+  /// model are bit-identical to the heap overloads.
+  void train(const graph::GraphView& graph, const dns::DomainActivityIndex& activity,
+             const dns::PassiveDnsDb& pdns);
+  void train(const graph::GraphView& graph, const dns::ShardedActivityIndex& activity,
+             const dns::ShardedPassiveDnsDb& pdns);
+
   bool is_trained() const;
 
   /// Scores every unknown domain of a prepared graph and captures the
@@ -193,6 +201,17 @@ class Segugio {
   /// Sharded-store overload: history lookups go through the stores'
   /// parallel query_batch. Top-level calls only (see dns/sharded_store.h).
   DetectionReport classify(const graph::MachineDomainGraph& graph,
+                           const dns::ShardedActivityIndex& activity,
+                           const dns::ShardedPassiveDnsDb& pdns) const;
+
+  /// GraphView overloads: classify any backing. Setting SEG_GRAPH_BACKING=mmap
+  /// in the environment makes the heap-graph classify overloads reroute
+  /// through a packed graphc temp file and one of these (zero-copy view),
+  /// which the oocore CI leg uses to assert score bit-identity.
+  DetectionReport classify(const graph::GraphView& graph,
+                           const dns::DomainActivityIndex& activity,
+                           const dns::PassiveDnsDb& pdns) const;
+  DetectionReport classify(const graph::GraphView& graph,
                            const dns::ShardedActivityIndex& activity,
                            const dns::ShardedPassiveDnsDb& pdns) const;
 
@@ -226,10 +245,13 @@ class Segugio {
 
  private:
   std::vector<double> apply_subset(std::span<const double> features) const;
-  void train_impl(const graph::MachineDomainGraph& graph,
+  void train_impl(const graph::GraphView& graph,
                   const features::FeatureExtractor& extractor);
-  DetectionReport classify_impl(const graph::MachineDomainGraph& graph,
+  DetectionReport classify_impl(const graph::GraphView& graph,
                                 const features::FeatureExtractor& extractor) const;
+  template <typename ActivityT, typename PdnsT>
+  DetectionReport classify_via_mmap(const graph::MachineDomainGraph& graph,
+                                    const ActivityT& activity, const PdnsT& pdns) const;
 
   SegugioConfig config_;
   std::unique_ptr<ml::RandomForest> forest_;

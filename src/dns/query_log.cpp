@@ -37,7 +37,7 @@ T read_le(std::istream& in) {
   return static_cast<T>(value);
 }
 
-void write_string(std::ostream& out, const std::string& text) {
+void write_string(std::ostream& out, std::string_view text) {
   util::require(text.size() <= 0xffff, "write_trace_binary: string too long");
   write_le<std::uint16_t>(out, static_cast<std::uint16_t>(text.size()));
   out.write(text.data(), static_cast<std::streamsize>(text.size()));
@@ -203,6 +203,48 @@ Day for_each_record(const std::string& path,
     callback(record);
   }
   return day;
+}
+
+
+BinaryTraceWriter::BinaryTraceWriter(const std::string& path, Day day, std::uint64_t count)
+    : out_(path, std::ios::binary), expected_(count) {
+  util::require_data(out_.is_open(), "BinaryTraceWriter: cannot create '" + path + "'");
+  out_.write(kBinaryMagic, static_cast<std::streamsize>(kMagicLength));
+  write_le<std::int32_t>(out_, day);
+  write_le<std::uint64_t>(out_, count);
+}
+
+BinaryTraceWriter::~BinaryTraceWriter() {
+  try {
+    finish();
+  } catch (...) {  // destructors must not throw; call finish() to observe
+  }
+}
+
+void BinaryTraceWriter::add(std::string_view machine, std::string_view qname,
+                            std::span<const IpV4> resolved_ips) {
+  util::require(written_ < expected_, "BinaryTraceWriter: more records than declared");
+  write_string(out_, machine);
+  write_string(out_, qname);
+  util::require(resolved_ips.size() <= 0xff,
+                "BinaryTraceWriter: too many resolved IPs in one record");
+  write_le<std::uint8_t>(out_, static_cast<std::uint8_t>(resolved_ips.size()));
+  for (const auto ip : resolved_ips) {
+    write_le<std::uint32_t>(out_, ip.value());
+  }
+  ++written_;
+}
+
+void BinaryTraceWriter::finish() {
+  if (finished_) {
+    return;
+  }
+  finished_ = true;
+  util::require(written_ == expected_,
+                "BinaryTraceWriter: record count mismatch with declared header count");
+  out_.flush();
+  util::require_data(static_cast<bool>(out_), "BinaryTraceWriter: write failed");
+  out_.close();
 }
 
 }  // namespace seg::dns

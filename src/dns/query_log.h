@@ -8,8 +8,12 @@
 // to/from a TSV file for offline runs.
 #pragma once
 
+#include <cstdint>
+#include <fstream>
 #include <functional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "dns/ip.h"
@@ -59,5 +63,28 @@ DayTrace read_trace_binary(const std::string& path);
 /// util::ParseError on malformed input.
 Day for_each_record(const std::string& path,
                     const std::function<void(const QueryRecord&)>& callback);
+
+/// Streams SEGTRC1 binary traces record by record, for traces too large to
+/// hold as a DayTrace (the record count must be known up front — the format
+/// stores it in the header). add() must be called exactly `count` times
+/// before finish(); finish() validates the stream and is implied by the
+/// destructor (which swallows errors — call finish() to observe them).
+class BinaryTraceWriter {
+ public:
+  BinaryTraceWriter(const std::string& path, Day day, std::uint64_t count);
+  ~BinaryTraceWriter();
+  BinaryTraceWriter(const BinaryTraceWriter&) = delete;
+  BinaryTraceWriter& operator=(const BinaryTraceWriter&) = delete;
+
+  void add(std::string_view machine, std::string_view qname,
+           std::span<const IpV4> resolved_ips);
+  void finish();
+
+ private:
+  std::ofstream out_;
+  std::uint64_t expected_;
+  std::uint64_t written_ = 0;
+  bool finished_ = false;
+};
 
 }  // namespace seg::dns

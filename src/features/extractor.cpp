@@ -8,20 +8,20 @@
 
 namespace seg::features {
 
-FeatureExtractor::FeatureExtractor(const graph::MachineDomainGraph& graph,
+FeatureExtractor::FeatureExtractor(graph::GraphView graph,
                                    const dns::DomainActivityIndex& activity,
                                    const dns::PassiveDnsDb& pdns, FeatureConfig config)
-    : graph_(&graph), activity_(&activity), pdns_(&pdns), config_(config) {
+    : graph_(graph), activity_(&activity), pdns_(&pdns), config_(config) {
   util::require(config_.activity_window_days > 0,
                 "FeatureExtractor: activity window must be positive");
   util::require(config_.pdns_window_days > 0, "FeatureExtractor: pDNS window must be positive");
   precompute_machine_degrees();
 }
 
-FeatureExtractor::FeatureExtractor(const graph::MachineDomainGraph& graph,
+FeatureExtractor::FeatureExtractor(graph::GraphView graph,
                                    const dns::ShardedActivityIndex& activity,
                                    const dns::ShardedPassiveDnsDb& pdns, FeatureConfig config)
-    : graph_(&graph), config_(config) {
+    : graph_(graph), config_(config) {
   util::require(config_.activity_window_days > 0,
                 "FeatureExtractor: activity window must be positive");
   util::require(config_.pdns_window_days > 0, "FeatureExtractor: pDNS window must be positive");
@@ -29,12 +29,22 @@ FeatureExtractor::FeatureExtractor(const graph::MachineDomainGraph& graph,
   precompute_history(activity, pdns);
 }
 
+FeatureExtractor::FeatureExtractor(const graph::MachineDomainGraph& graph,
+                                   const dns::DomainActivityIndex& activity,
+                                   const dns::PassiveDnsDb& pdns, FeatureConfig config)
+    : FeatureExtractor(graph.view(), activity, pdns, config) {}
+
+FeatureExtractor::FeatureExtractor(const graph::MachineDomainGraph& graph,
+                                   const dns::ShardedActivityIndex& activity,
+                                   const dns::ShardedPassiveDnsDb& pdns, FeatureConfig config)
+    : FeatureExtractor(graph.view(), activity, pdns, config) {}
+
 void FeatureExtractor::precompute_machine_degrees() {
-  machine_malware_degree_.assign(graph_->machine_count(), 0);
-  for (graph::MachineId m = 0; m < graph_->machine_count(); ++m) {
+  machine_malware_degree_.assign(graph_.machine_count(), 0);
+  for (graph::MachineId m = 0; m < graph_.machine_count(); ++m) {
     std::uint32_t count = 0;
-    for (const auto d : graph_->domains_of(m)) {
-      count += graph_->domain_label(d) == graph::Label::kMalware ? 1 : 0;
+    for (const auto d : graph_.domains_of(m)) {
+      count += graph_.domain_label(d) == graph::Label::kMalware ? 1 : 0;
     }
     machine_malware_degree_[m] = count;
   }
@@ -43,19 +53,19 @@ void FeatureExtractor::precompute_machine_degrees() {
 void FeatureExtractor::precompute_history(const dns::ShardedActivityIndex& activity,
                                           const dns::ShardedPassiveDnsDb& pdns) {
   SEG_SPAN("features/precompute_history");
-  const std::size_t num_domains = graph_->domain_count();
-  const std::size_t num_e2lds = graph_->e2ld_count();
-  const dns::Day t_now = graph_->day();
+  const std::size_t num_domains = graph_.domain_count();
+  const std::size_t num_e2lds = graph_.e2ld_count();
+  const dns::Day t_now = graph_.day();
   const dns::Day from = t_now - config_.activity_window_days + 1;
 
   // --- F2: one batched lookup covering every FQDN and every distinct e2LD.
   std::vector<dns::ShardedActivityIndex::Query> activity_queries;
   activity_queries.reserve(num_domains + num_e2lds);
   for (graph::DomainId d = 0; d < num_domains; ++d) {
-    activity_queries.push_back({graph_->domain_name(d), from, t_now, t_now});
+    activity_queries.push_back({graph_.domain_name(d), from, t_now, t_now});
   }
   for (graph::E2ldId e = 0; e < num_e2lds; ++e) {
-    activity_queries.push_back({graph_->e2ld_name(e), from, t_now, t_now});
+    activity_queries.push_back({graph_.e2ld_name(e), from, t_now, t_now});
   }
   const auto activity_answers = activity.query_batch(activity_queries);
   fqdn_active_.resize(num_domains);
@@ -77,7 +87,7 @@ void FeatureExtractor::precompute_history(const dns::ShardedActivityIndex& activ
   const dns::Day w_to = t_now - 1;
   std::vector<dns::IpV4> distinct_ips;
   for (graph::DomainId d = 0; d < num_domains; ++d) {
-    const auto ips = graph_->resolved_ips(d);
+    const auto ips = graph_.resolved_ips(d);
     distinct_ips.insert(distinct_ips.end(), ips.begin(), ips.end());
   }
   std::sort(distinct_ips.begin(), distinct_ips.end());
@@ -113,7 +123,7 @@ void FeatureExtractor::precompute_history(const dns::ShardedActivityIndex& activ
   };
   f3_.assign(num_domains, {});
   util::parallel_for(num_domains, [&](std::size_t d) {
-    const auto ips = graph_->resolved_ips(static_cast<graph::DomainId>(d));
+    const auto ips = graph_.resolved_ips(static_cast<graph::DomainId>(d));
     if (ips.empty()) {
       return;
     }
@@ -153,15 +163,15 @@ FeatureVector FeatureExtractor::extract_hiding_label(graph::DomainId d) const {
 }
 
 FeatureVector FeatureExtractor::extract_impl(graph::DomainId d, bool hide_label) const {
-  util::require(d < graph_->domain_count(), "FeatureExtractor: domain id out of range");
+  util::require(d < graph_.domain_count(), "FeatureExtractor: domain id out of range");
   FeatureVector features{};
 
-  const bool domain_is_malware = graph_->domain_label(d) == graph::Label::kMalware;
+  const bool domain_is_malware = graph_.domain_label(d) == graph::Label::kMalware;
 
   // --- F1: machine behavior. Every machine in S queries d; when d is (or
   // is treated as) unknown, none of them can be benign-labeled, so each is
   // either known-infected or unknown.
-  const auto machines = graph_->machines_of(d);
+  const auto machines = graph_.machines_of(d);
   std::size_t infected = 0;
   for (const auto m : machines) {
     std::uint32_t malware_degree = machine_malware_degree_[m];
@@ -184,7 +194,7 @@ FeatureVector FeatureExtractor::extract_impl(graph::DomainId d, bool hide_label)
   if (precomputed_) {
     // Sharded mode: history was batch-queried at construction; F2/F3 do
     // not depend on hide_label, so the precomputed values serve both modes.
-    const auto e = graph_->domain_e2ld(d);
+    const auto e = graph_.domain_e2ld(d);
     features[kFqdnActiveDays] = fqdn_active_[d];
     features[kFqdnConsecutiveDays] = fqdn_consec_[d];
     features[kE2ldActiveDays] = e2ld_active_[e];
@@ -195,10 +205,10 @@ FeatureVector FeatureExtractor::extract_impl(graph::DomainId d, bool hide_label)
     features[kPrefixUnknownCount] = f3_[d][3];
     return features;
   }
-  const dns::Day t_now = graph_->day();
+  const dns::Day t_now = graph_.day();
   const dns::Day from = t_now - config_.activity_window_days + 1;
-  const auto fqdn = graph_->domain_name(d);
-  const auto e2ld = graph_->e2ld_name(graph_->domain_e2ld(d));
+  const auto fqdn = graph_.domain_name(d);
+  const auto e2ld = graph_.e2ld_name(graph_.domain_e2ld(d));
   features[kFqdnActiveDays] = activity_->active_days(fqdn, from, t_now);
   features[kFqdnConsecutiveDays] = activity_->consecutive_days_ending(fqdn, t_now);
   features[kE2ldActiveDays] = activity_->active_days(e2ld, from, t_now);
@@ -207,7 +217,7 @@ FeatureVector FeatureExtractor::extract_impl(graph::DomainId d, bool hide_label)
   // --- F3: IP abuse over the W days strictly before t_now.
   const dns::Day w_from = t_now - config_.pdns_window_days;
   const dns::Day w_to = t_now - 1;
-  const auto ips = graph_->resolved_ips(d);
+  const auto ips = graph_.resolved_ips(d);
   if (!ips.empty()) {
     std::size_t ip_malware = 0;
     std::size_t ip_unknown = 0;

@@ -23,7 +23,7 @@
 #include "dns/pdns.h"
 #include "dns/sharded_store.h"
 #include "features/feature_config.h"
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 
 namespace seg::features {
 
@@ -31,8 +31,12 @@ using FeatureVector = std::array<double, kNumFeatures>;
 
 class FeatureExtractor {
  public:
-  /// All referenced objects must outlive the extractor. `graph` must be
-  /// labeled (and normally pruned).
+  /// All referenced objects (including the view's backing graph) must
+  /// outlive the extractor. `graph` must be labeled (and normally pruned).
+  /// GraphView overloads accept any backing — a heap graph's view() or an
+  /// mmap-resident graph from graph::map_graph().
+  FeatureExtractor(graph::GraphView graph, const dns::DomainActivityIndex& activity,
+                   const dns::PassiveDnsDb& pdns, FeatureConfig config = {});
   FeatureExtractor(const graph::MachineDomainGraph& graph,
                    const dns::DomainActivityIndex& activity, const dns::PassiveDnsDb& pdns,
                    FeatureConfig config = {});
@@ -43,6 +47,8 @@ class FeatureExtractor {
   /// Must be constructed from the top level, never inside a parallel_for
   /// body (the batch queries use the shared pool); the per-domain
   /// extract() calls afterwards touch no store and may run in parallel.
+  FeatureExtractor(graph::GraphView graph, const dns::ShardedActivityIndex& activity,
+                   const dns::ShardedPassiveDnsDb& pdns, FeatureConfig config = {});
   FeatureExtractor(const graph::MachineDomainGraph& graph,
                    const dns::ShardedActivityIndex& activity,
                    const dns::ShardedPassiveDnsDb& pdns, FeatureConfig config = {});
@@ -64,7 +70,7 @@ class FeatureExtractor {
   void precompute_history(const dns::ShardedActivityIndex& activity,
                           const dns::ShardedPassiveDnsDb& pdns);
 
-  const graph::MachineDomainGraph* graph_;
+  graph::GraphView graph_;
   const dns::DomainActivityIndex* activity_ = nullptr;  ///< null in sharded mode
   const dns::PassiveDnsDb* pdns_ = nullptr;             ///< null in sharded mode
   FeatureConfig config_;

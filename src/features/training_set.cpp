@@ -25,7 +25,7 @@ std::vector<FeatureVector> extract_batch(const FeatureExtractor& extractor,
 
 }  // namespace
 
-TrainingSetResult build_training_set(const graph::MachineDomainGraph& graph,
+TrainingSetResult build_training_set(const graph::GraphView& graph,
                                      const FeatureExtractor& extractor,
                                      const TrainingSetOptions& options) {
   std::vector<graph::DomainId> malware_ids;
@@ -71,7 +71,7 @@ TrainingSetResult build_training_set(const graph::MachineDomainGraph& graph,
   return result;
 }
 
-UnknownSet build_unknown_set(const graph::MachineDomainGraph& graph,
+UnknownSet build_unknown_set(const graph::GraphView& graph,
                              const FeatureExtractor& extractor) {
   UnknownSet result{ml::Dataset(feature_names()), {}};
   for (graph::DomainId d = 0; d < graph.domain_count(); ++d) {
@@ -86,6 +86,18 @@ UnknownSet build_unknown_set(const graph::MachineDomainGraph& graph,
     result.dataset.add_row(features, 0);
   }
   return result;
+}
+
+
+TrainingSetResult build_training_set(const graph::MachineDomainGraph& graph,
+                                     const FeatureExtractor& extractor,
+                                     const TrainingSetOptions& options) {
+  return build_training_set(graph.view(), extractor, options);
+}
+
+UnknownSet build_unknown_set(const graph::MachineDomainGraph& graph,
+                             const FeatureExtractor& extractor) {
+  return build_unknown_set(graph.view(), extractor);
 }
 
 }  // namespace seg::features

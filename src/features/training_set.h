@@ -37,6 +37,10 @@ struct TrainingSetResult {
 };
 
 /// Builds the labeled training set from all known domains in the graph.
+/// The GraphView overload works over any backing (graph_view.h).
+TrainingSetResult build_training_set(const graph::GraphView& graph,
+                                     const FeatureExtractor& extractor,
+                                     const TrainingSetOptions& options = {});
 TrainingSetResult build_training_set(const graph::MachineDomainGraph& graph,
                                      const FeatureExtractor& extractor,
                                      const TrainingSetOptions& options = {});
@@ -48,6 +52,8 @@ struct UnknownSet {
   std::vector<graph::DomainId> domain_ids;
 };
 
+UnknownSet build_unknown_set(const graph::GraphView& graph,
+                             const FeatureExtractor& extractor);
 UnknownSet build_unknown_set(const graph::MachineDomainGraph& graph,
                              const FeatureExtractor& extractor);
 

@@ -41,6 +41,8 @@ struct TransparentStringHash {
 template <typename V>
 using StringIdMap = std::unordered_map<std::string, V, TransparentStringHash, std::equal_to<>>;
 
+class GraphView;
+
 class MachineDomainGraph {
  public:
   std::size_t machine_count() const { return machine_names_.size(); }
@@ -83,12 +85,17 @@ class MachineDomainGraph {
   std::size_t count_domains_with(Label label) const;
   std::size_t count_machines_with(Label label) const;
 
+  /// A backing-agnostic read view over this graph (graph_view.h). The view
+  /// references this graph's storage and must not outlive it.
+  GraphView view() const;
+
  private:
   friend class GraphBuilder;
   friend class ShardedGraphBuilder;
-  friend MachineDomainGraph prune_impl(const MachineDomainGraph&,
+  friend MachineDomainGraph prune_impl(const GraphView&,
                                        const std::vector<std::uint8_t>&,
                                        const std::vector<std::uint8_t>&);
+  friend MachineDomainGraph load_graph_compressed(std::istream&);
   friend void save_graph(const MachineDomainGraph&, std::ostream&);
   friend MachineDomainGraph load_graph(std::istream&);
 

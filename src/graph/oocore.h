@@ -1,0 +1,64 @@
+// Out-of-core graph preparation: trace file -> pruned packed graphc file.
+//
+// prepare_graph_out_of_core() runs the learning-side prepare pipeline
+// (build + label + prune R1-R4) without ever materializing the behavior
+// graph in memory. Node-level state — name dictionaries, labels, degrees,
+// keep masks — stays resident (O(machines + domains + e2LDs)); the edge
+// and IP-pair streams, which dominate at ISP scale, are spilled to
+// sorted/deduplicated delta+varint compressed segments and re-read through
+// k-way merges. Peak RSS is O(nodes + chunk_records), independent of the
+// edge count, which is what lets one box prepare days of 10^6-10^7
+// machines (the bench_scale_sweep "scale" section records the bound).
+//
+// The output is a packed `segf1 graphc 1` file (graph_compressed.h),
+// byte-identical to
+//
+//   save_graph_compressed(Segugio::prepare_graph(trace, ...).graph,
+//                         out, GraphcEncoding::kPacked)
+//
+// for every chunk size (tests/graph/oocore_test.cpp asserts this), so the
+// file can be mmap-served to classification directly via map_graph().
+//
+// Scope: the streaming prepare supports the default prepare pipeline only —
+// no prober filtering and no cross-day NameCache carry; callers needing
+// those stay on the in-memory Segugio::prepare_graph.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dns/public_suffix_list.h"
+#include "graph/labeling.h"
+#include "graph/pruning.h"
+
+namespace seg::graph {
+
+struct OutOfCoreConfig {
+  PruningConfig pruning;
+  /// Edge/IP pairs buffered before each sort + spill. The resident working
+  /// set scales with this (8 bytes per buffered pair) plus the node
+  /// dictionaries.
+  std::size_t chunk_records = std::size_t{1} << 20;
+  /// Directory for spill segment files; empty means next to `out_path`.
+  std::string spill_dir;
+};
+
+struct OutOfCoreResult {
+  PruneStats prune_stats;
+  std::size_t records = 0;        ///< trace records consumed
+  std::size_t skipped_records = 0;///< invalid qname / empty machine
+  std::size_t spill_segments = 0; ///< sorted runs written across both spills
+  std::uint64_t spill_bytes = 0;  ///< compressed spill footprint
+};
+
+/// Streams `trace_path` (TSV or SEGTRC1 binary) into a labeled, pruned,
+/// packed graphc file at `out_path`. Spill files are removed on success.
+/// Throws util::ParseError on malformed input.
+OutOfCoreResult prepare_graph_out_of_core(const std::string& trace_path,
+                                          const dns::PublicSuffixList& psl,
+                                          const NameSet& cc_blacklist,
+                                          const NameSet& e2ld_whitelist,
+                                          const std::string& out_path,
+                                          const OutOfCoreConfig& config = {});
+
+}  // namespace seg::graph

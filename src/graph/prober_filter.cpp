@@ -1,11 +1,12 @@
 #include "graph/prober_filter.h"
 
+#include "graph/graph_view.h"
 #include "util/require.h"
 
 namespace seg::graph {
 
 // Defined in pruning.cpp; rebuilds a graph from keep masks.
-MachineDomainGraph prune_impl(const MachineDomainGraph& graph,
+MachineDomainGraph prune_impl(const GraphView& graph,
                               const std::vector<std::uint8_t>& keep_machine,
                               const std::vector<std::uint8_t>& keep_domain);
 
@@ -46,7 +47,7 @@ MachineDomainGraph remove_probers(const MachineDomainGraph& graph,
     stats->machines_removed = removed;
   }
   const std::vector<std::uint8_t> keep_domain(graph.domain_count(), 1);
-  return prune_impl(graph, keep_machine, keep_domain);
+  return prune_impl(graph.view(), keep_machine, keep_domain);
 }
 
 }  // namespace seg::graph

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <limits>
 
+#include "graph/graph_view.h"
 #include "util/obs/trace.h"
 #include "util/parallel.h"
 #include "util/require.h"
@@ -19,11 +20,11 @@ namespace seg::graph {
 // Every parallel pass below writes to disjoint index ranges determined only
 // by the input graph and the masks, so the output is identical for every
 // thread count.
-MachineDomainGraph prune_impl(const MachineDomainGraph& graph,
+MachineDomainGraph prune_impl(const GraphView& graph,
                               const std::vector<std::uint8_t>& keep_machine,
                               const std::vector<std::uint8_t>& keep_domain) {
   MachineDomainGraph out;
-  out.day_ = graph.day_;
+  out.day_ = graph.day();
 
   const std::size_t old_nm = graph.machine_count();
   const std::size_t old_nd = graph.domain_count();
@@ -164,7 +165,7 @@ MachineDomainGraph prune_impl(const MachineDomainGraph& graph,
   return out;
 }
 
-MachineDomainGraph prune(const MachineDomainGraph& graph, const PruningConfig& config,
+MachineDomainGraph prune(const GraphView& graph, const PruningConfig& config,
                          PruneStats* stats) {
   util::require(config.proxy_degree_percentile > 0.0 && config.proxy_degree_percentile <= 1.0,
                 "prune: proxy_degree_percentile must be in (0, 1]");
@@ -330,6 +331,11 @@ MachineDomainGraph prune(const MachineDomainGraph& graph, const PruningConfig& c
   s.domains_after = out.domain_count();
   s.edges_after = out.edge_count();
   return out;
+}
+
+MachineDomainGraph prune(const MachineDomainGraph& graph, const PruningConfig& config,
+                         PruneStats* stats) {
+  return prune(graph.view(), config, stats);
 }
 
 }  // namespace seg::graph

@@ -248,6 +248,23 @@ MachineDomainGraph ShardedGraphBuilder::build() {
   std::vector<std::vector<MachineId>> machine_remap(shards);
   std::vector<std::vector<DomainId>> domain_remap(shards);
   std::vector<std::vector<dns::IpV4>> domain_ips;  // by global domain id
+
+  // Size the global dictionaries from the scan-phase shard counts. The sums
+  // over-count names shared across shards, but they bound the final sizes,
+  // so the merge loop never reallocates the name vectors or rehashes the
+  // indexes mid-insert.
+  std::size_t shard_machine_total = 0;
+  std::size_t shard_domain_total = 0;
+  for (const auto& shard : shard_state) {
+    shard_machine_total += shard.machine_names.size();
+    shard_domain_total += shard.domain_names.size();
+  }
+  graph.machine_names_.reserve(shard_machine_total);
+  graph.machine_index_.reserve(shard_machine_total);
+  graph.domain_names_.reserve(shard_domain_total);
+  graph.domain_index_.reserve(shard_domain_total);
+  domain_ips.reserve(shard_domain_total);
+
   for (std::size_t s = 0; s < shards; ++s) {
     auto& shard = shard_state[s];
     skipped_ += shard.skipped;

@@ -159,6 +159,7 @@ std::vector<Finding> lint_text(std::string_view path, std::string_view text,
   info.timing_allowed = path_contains(path, options.timing_allowlist);
   info.is_test = is_test_path(path);
   info.obs_allowed = path_contains(path, options.obs_allowlist);
+  info.mmap_allowed = path_contains(path, options.mmap_allowlist);
 
   return filter_rules(run_rules(info, lexed, decls, deprecated), options);
 }
@@ -183,6 +184,7 @@ std::vector<Finding> lint_file(const std::string& path, const LintOptions& optio
   info.timing_allowed = path_contains(path, options.timing_allowlist);
   info.is_test = is_test_path(path);
   info.obs_allowed = path_contains(path, options.obs_allowlist);
+  info.mmap_allowed = path_contains(path, options.mmap_allowlist);
 
   return filter_rules(run_rules(info, lexed, decls, deprecated), options);
 }
@@ -265,6 +267,7 @@ std::vector<Finding> lint_project(const std::vector<std::string>& sources,
     info.timing_allowed = path_contains(file.path, options.timing_allowlist);
     info.is_test = is_test_path(file.path);
     info.obs_allowed = path_contains(file.path, options.obs_allowlist);
+    info.mmap_allowed = path_contains(file.path, options.mmap_allowlist);
 
     // R-API1 resolves against the project-wide deprecated set, so calls
     // through headers this file never includes are still caught.

@@ -25,6 +25,10 @@ struct LintOptions {
   /// (steady_clock, Stopwatch) directly; everything else must go through
   /// the seg::obs span/metric layer (R-OBS1).
   std::vector<std::string> obs_allowlist = {"util/obs/"};
+  /// Path substrings whose files may issue raw mapping syscalls (mmap,
+  /// munmap, mremap, madvise, mbind); everything else must go through
+  /// util::MmapFile (R-MEM1).
+  std::vector<std::string> mmap_allowlist = {"util/mmap_file"};
   /// Extra path substrings forced into R-DET2's emission scope. Files are
   /// auto-classified as emission when they use stream/printf output or live
   /// under a feature-extraction / serialization path.

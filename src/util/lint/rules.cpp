@@ -193,6 +193,35 @@ void rule_obs1(const FileInfo& info, const Tokens& toks, std::vector<Finding>& o
   }
 }
 
+// --- R-MEM1 ---------------------------------------------------------------
+
+void rule_mem1(const FileInfo& info, const Tokens& toks, std::vector<Finding>& out) {
+  if (info.mmap_allowed) {
+    return;
+  }
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const auto& t = toks[i];
+    if (t.kind != TokKind::kIdentifier) {
+      continue;
+    }
+    const bool mapping_call =
+        (t.text == "mmap" || t.text == "munmap" || t.text == "mremap" ||
+         t.text == "madvise" || t.text == "mbind") &&
+        i + 1 < toks.size() && is_punct(toks[i + 1], "(");
+    const bool mapping_syscall_nr =
+        t.text == "__NR_mmap" || t.text == "__NR_munmap" ||
+        t.text == "__NR_mremap" || t.text == "__NR_madvise" ||
+        t.text == "__NR_mbind";
+    if (mapping_call || mapping_syscall_nr) {
+      out.push_back(Finding{
+          info.path, t.line, "R-MEM1",
+          std::string(t.text) + " issued outside util/mmap_file: map through "
+          "util::MmapFile so unmapping and SEG_NUMA_POLICY placement are "
+          "handled in one place"});
+    }
+  }
+}
+
 // --- R-DET2 ---------------------------------------------------------------
 
 void rule_det2(const FileInfo& info, const Tokens& toks, const UnorderedDecls& decls,
@@ -922,6 +951,7 @@ std::vector<Finding> run_rules(const FileInfo& info, const LexResult& lex,
   std::vector<Finding> findings;
   rule_det1(info, lex.tokens, findings);
   rule_obs1(info, lex.tokens, findings);
+  rule_mem1(info, lex.tokens, findings);
   rule_det2(info, lex.tokens, decls, findings);
   rule_race1(info, lex.tokens, findings);
   rule_race2(info, lex.tokens, findings);

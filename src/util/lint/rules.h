@@ -30,6 +30,11 @@
 //           Stopwatch) outside src/util/obs/ — instrumentation goes through
 //           the seg::obs span/metric layer so every timing number is
 //           visible to the trace/run-report exporters.
+//   R-MEM1  no raw memory-mapping syscalls (mmap, munmap, mremap, madvise,
+//           mbind) outside src/util/mmap_file.{h,cpp} — mapping lifetime,
+//           NUMA policy, and error handling live behind util::MmapFile so
+//           every mapping is released exactly once and honors
+//           SEG_NUMA_POLICY.
 //
 // Rules operate on the token stream from lexer.h plus a per-file
 // classification computed by the driver in linter.h. All matching is
@@ -66,6 +71,9 @@ struct FileInfo {
   /// File lives inside the obs layer and may use raw timing primitives
   /// (R-OBS1 exempt).
   bool obs_allowed = false;
+  /// File is the mmap wrapper itself and may issue raw mapping syscalls
+  /// (R-MEM1 exempt).
+  bool mmap_allowed = false;
 };
 
 /// Identifiers known (from this file and its reachable project headers) to

@@ -1,0 +1,61 @@
+// Read-only memory-mapped files — the project's single mmap wrapper.
+//
+// All raw mmap/munmap/mbind calls in the tree live in mmap_file.cpp
+// (enforced by seg-lint rule R-MEM1): mapping lifetime bugs and NUMA
+// placement policy are concentrated in one reviewed translation unit.
+//
+// NUMA placement (the shard-residency work's ROADMAP item) is applied at
+// map time from the SEG_NUMA_POLICY environment variable:
+//
+//   SEG_NUMA_POLICY=firsttouch   default; no explicit policy — pages land
+//                                on the node of the thread that first
+//                                touches them (the shard's owning worker).
+//   SEG_NUMA_POLICY=interleave   pages are interleaved across NUMA nodes,
+//                                for read-mostly mappings scanned by many
+//                                workers (the mapped graph under parallel
+//                                classify).
+//
+// Unknown values and platforms without mbind are silently first-touch; a
+// failed policy call is a no-op, never an error — placement is a hint.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace seg::util {
+
+class MmapFile {
+ public:
+  MmapFile() = default;
+
+  /// Maps `path` read-only. Throws util::ParseError when the file cannot
+  /// be opened or mapped. An empty file maps to data() == nullptr,
+  /// size() == 0 with is_open() true.
+  explicit MmapFile(const std::string& path);
+
+  ~MmapFile();
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+
+  const unsigned char* data() const { return static_cast<const unsigned char*>(data_); }
+  std::size_t size() const { return size_; }
+  bool is_open() const { return open_; }
+
+  /// Unmaps now (also done by the destructor).
+  void close();
+
+ private:
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool open_ = false;
+};
+
+/// Applies the SEG_NUMA_POLICY placement hint to [addr, addr + length).
+/// Called by MmapFile's constructor; exposed so arena-style callers can
+/// place heap shards the same way. Always succeeds (failures are ignored).
+void apply_numa_policy(void* addr, std::size_t length);
+
+}  // namespace seg::util

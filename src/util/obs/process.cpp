@@ -5,8 +5,39 @@
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
 #endif
+#if defined(__linux__)
+#include <cstdio>
+#include <unistd.h>
+#endif
 
 namespace seg::obs {
+
+namespace {
+
+// ru_maxrss is a high-water mark that never falls within a process; the
+// memory-bounding benches (bench_scale_sweep) also need the *current*
+// resident set, which on Linux is statm's second field in pages.
+std::uint64_t current_rss_kb() {
+#if defined(__linux__)
+  std::FILE* statm = std::fopen("/proc/self/statm", "r");
+  if (statm == nullptr) {
+    return 0;
+  }
+  unsigned long long total = 0;
+  unsigned long long resident = 0;
+  const int fields = std::fscanf(statm, "%llu %llu", &total, &resident);
+  std::fclose(statm);
+  if (fields != 2) {
+    return 0;
+  }
+  const auto page_kb = static_cast<std::uint64_t>(sysconf(_SC_PAGESIZE)) / 1024;
+  return resident * page_kb;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
 
 ProcessSample sample_process() {
   ProcessSample sample;
@@ -19,6 +50,7 @@ ProcessSample sample_process() {
     sample.major_faults = static_cast<std::uint64_t>(usage.ru_majflt);
   }
 #endif
+  sample.rss_now_kb = current_rss_kb();
   return sample;
 }
 

@@ -9,6 +9,7 @@ namespace seg::obs {
 /// does not expose them (non-unix builds).
 struct ProcessSample {
   std::uint64_t rss_peak_kb = 0;      ///< ru_maxrss (KiB on Linux)
+  std::uint64_t rss_now_kb = 0;       ///< current resident set (Linux; else 0)
   std::uint64_t minor_faults = 0;     ///< page reclaims
   std::uint64_t major_faults = 0;     ///< faults requiring I/O
   unsigned hardware_concurrency = 0;  ///< std::thread::hardware_concurrency

@@ -1,0 +1,96 @@
+// LEB128 varints and delta-coded ascending runs.
+//
+// The compressed graph container (graph/graph_compressed.h) and the
+// out-of-core spill segments (graph/oocore.h) store id sequences as
+// unsigned LEB128 varints; strictly-ascending runs (CSR adjacency rows,
+// sorted IP sets, sorted edge keys) additionally delta-code: the first
+// value is stored verbatim, every later one as (value - previous - 1), so
+// dense runs cost one byte per element. Decoders are bounds-checked and
+// throw util::ParseError on truncated or overlong input — a corrupted
+// byte must never turn into silent garbage ids.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+
+#include "util/require.h"
+
+namespace seg::util {
+
+/// Largest encoded size of one varint (ceil(64 / 7) bytes).
+inline constexpr std::size_t kMaxVarintBytes = 10;
+
+/// Appends `value` to `out` as an unsigned LEB128 varint (1-10 bytes).
+inline void append_varint(std::string& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>(static_cast<unsigned char>(value) | 0x80u));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+/// Decodes one varint from [p, end), advancing `p` past it. Throws
+/// ParseError when the stream is truncated mid-varint or the encoding is
+/// overlong (more than 10 bytes, or bits beyond 2^64 in the 10th byte).
+inline std::uint64_t decode_varint(const unsigned char*& p, const unsigned char* end) {
+  std::uint64_t value = 0;
+  unsigned shift = 0;
+  while (true) {
+    require_data(p != end, "decode_varint: truncated varint");
+    const unsigned char byte = *p++;
+    if (shift == 63) {
+      // 10th byte: only the low bit may carry payload, and it must be final.
+      require_data(byte <= 1, "decode_varint: varint overflows 64 bits");
+    }
+    value |= static_cast<std::uint64_t>(byte & 0x7fu) << shift;
+    if ((byte & 0x80u) == 0) {
+      return value;
+    }
+    shift += 7;
+    require_data(shift < 64, "decode_varint: varint longer than 10 bytes");
+  }
+}
+
+/// Appends a strictly-ascending run: values[0] verbatim, then
+/// (values[i] - values[i-1] - 1) for each following element. The run
+/// length is not stored — callers keep it in their own degree stream.
+template <typename T>
+void append_ascending_run(std::string& out, std::span<const T> values) {
+  if (values.empty()) {
+    return;
+  }
+  append_varint(out, static_cast<std::uint64_t>(values[0]));
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    require(values[i] > values[i - 1], "append_ascending_run: values not strictly ascending");
+    const auto prev = static_cast<std::uint64_t>(values[i - 1]);
+    append_varint(out, static_cast<std::uint64_t>(values[i]) - prev - 1);
+  }
+}
+
+/// Decodes `count` elements of a strictly-ascending run into `out_values`.
+/// Throws ParseError on truncation, overflow past 2^64, or when a decoded
+/// element does not fit in T.
+template <typename T>
+void decode_ascending_run(const unsigned char*& p, const unsigned char* end,
+                          std::size_t count, T* out_values) {
+  if (count == 0) {
+    return;
+  }
+  std::uint64_t previous = decode_varint(p, end);
+  require_data(previous <= static_cast<std::uint64_t>(std::numeric_limits<T>::max()),
+               "decode_ascending_run: value out of range");
+  out_values[0] = static_cast<T>(previous);
+  for (std::size_t i = 1; i < count; ++i) {
+    const std::uint64_t delta = decode_varint(p, end);
+    require_data(previous + 1 != 0 && delta <= ~std::uint64_t{0} - previous - 1,
+                 "decode_ascending_run: run overflows 64 bits");
+    previous += delta + 1;
+    require_data(previous <= static_cast<std::uint64_t>(std::numeric_limits<T>::max()),
+                 "decode_ascending_run: value out of range");
+    out_values[i] = static_cast<T>(previous);
+  }
+}
+
+}  // namespace seg::util

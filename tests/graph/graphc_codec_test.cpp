@@ -1,0 +1,172 @@
+// Codec tests for the varint / delta-run primitives under the compressed
+// graph container and the out-of-core spill segments. Corruption must
+// surface as util::ParseError, never as silently wrong ids.
+#include "util/varint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/require.h"
+#include "util/rng.h"
+
+namespace seg::util {
+namespace {
+
+std::uint64_t decode_all(const std::string& encoded, std::size_t expect_consumed) {
+  const auto* p = reinterpret_cast<const unsigned char*>(encoded.data());
+  const auto* end = p + encoded.size();
+  const auto value = decode_varint(p, end);
+  EXPECT_EQ(static_cast<std::size_t>(p - reinterpret_cast<const unsigned char*>(encoded.data())),
+            expect_consumed);
+  return value;
+}
+
+TEST(VarintTest, BoundaryValuesRoundTripAtExpectedWidths) {
+  // Every 7-bit width boundary: the largest value of each width and the
+  // first value of the next.
+  const struct {
+    std::uint64_t value;
+    std::size_t bytes;
+  } cases[] = {
+      {0, 1},
+      {1, 1},
+      {127, 1},
+      {128, 2},
+      {16383, 2},
+      {16384, 3},
+      {(std::uint64_t{1} << 21) - 1, 3},
+      {std::uint64_t{1} << 21, 4},
+      {(std::uint64_t{1} << 28) - 1, 4},
+      {std::uint64_t{1} << 28, 5},
+      {(std::uint64_t{1} << 35) - 1, 5},
+      {(std::uint64_t{1} << 42) - 1, 6},
+      {(std::uint64_t{1} << 49) - 1, 7},
+      {(std::uint64_t{1} << 56) - 1, 8},
+      {(std::uint64_t{1} << 63) - 1, 9},
+      {std::uint64_t{1} << 63, 10},
+      {std::numeric_limits<std::uint64_t>::max(), 10},
+  };
+  for (const auto& c : cases) {
+    std::string encoded;
+    append_varint(encoded, c.value);
+    EXPECT_EQ(encoded.size(), c.bytes) << "value " << c.value;
+    EXPECT_LE(encoded.size(), kMaxVarintBytes);
+    EXPECT_EQ(decode_all(encoded, c.bytes), c.value);
+  }
+}
+
+TEST(VarintTest, TruncatedStreamThrowsParseError) {
+  std::string encoded;
+  append_varint(encoded, std::numeric_limits<std::uint64_t>::max());
+  ASSERT_EQ(encoded.size(), kMaxVarintBytes);
+  // Every proper prefix must reject: the continuation bit of the last
+  // retained byte promises more input.
+  for (std::size_t keep = 0; keep < encoded.size(); ++keep) {
+    const auto* begin = reinterpret_cast<const unsigned char*>(encoded.data());
+    const auto* p = begin;
+    EXPECT_THROW(decode_varint(p, begin + keep), ParseError) << "prefix " << keep;
+  }
+}
+
+TEST(VarintTest, OverlongEncodingsAreRejected) {
+  // 10 continuation bytes followed by a terminator: longer than any valid
+  // 64-bit varint.
+  std::string eleven(10, static_cast<char>(0x80));
+  eleven.push_back(0x01);
+  const auto* p = reinterpret_cast<const unsigned char*>(eleven.data());
+  EXPECT_THROW(decode_varint(p, p + eleven.size()), ParseError);
+
+  // 10 bytes, but the final byte carries payload beyond bit 63.
+  std::string overflow(9, static_cast<char>(0x80));
+  overflow.push_back(0x02);
+  p = reinterpret_cast<const unsigned char*>(overflow.data());
+  EXPECT_THROW(decode_varint(p, p + overflow.size()), ParseError);
+
+  // Same shape but final byte 0x01 is exactly 2^63 — valid.
+  std::string max_bit(9, static_cast<char>(0x80));
+  max_bit.push_back(0x01);
+  p = reinterpret_cast<const unsigned char*>(max_bit.data());
+  EXPECT_EQ(decode_varint(p, p + max_bit.size()), std::uint64_t{1} << 63);
+}
+
+TEST(VarintTest, AscendingRunRejectsNonAscendingInput) {
+  std::string out;
+  const std::uint32_t flat[] = {3, 3};
+  EXPECT_THROW(append_ascending_run(out, std::span<const std::uint32_t>(flat)),
+               PreconditionError);
+  const std::uint32_t down[] = {3, 2};
+  EXPECT_THROW(append_ascending_run(out, std::span<const std::uint32_t>(down)),
+               PreconditionError);
+}
+
+TEST(VarintTest, AscendingRunBoundaries) {
+  // Adjacent values cost one byte each after the first; the full-range run
+  // {0, 2^64-1} exercises the largest possible delta.
+  const std::uint64_t dense[] = {5, 6, 7, 8};
+  std::string out;
+  append_ascending_run(out, std::span<const std::uint64_t>(dense));
+  EXPECT_EQ(out.size(), 4u);  // varint(5) + three zero deltas
+
+  const std::uint64_t extremes[] = {0, std::numeric_limits<std::uint64_t>::max()};
+  out.clear();
+  append_ascending_run(out, std::span<const std::uint64_t>(extremes));
+  const auto* p = reinterpret_cast<const unsigned char*>(out.data());
+  std::uint64_t decoded[2] = {1, 1};
+  decode_ascending_run(p, p + out.size(), 2, decoded);
+  EXPECT_EQ(decoded[0], extremes[0]);
+  EXPECT_EQ(decoded[1], extremes[1]);
+}
+
+TEST(VarintTest, AscendingRunRangeCheckOnNarrowTarget) {
+  // A run whose values exceed uint16 must be rejected when decoded into
+  // uint16 storage, at the first offending element.
+  const std::uint32_t values[] = {65534, 65535, 65536};
+  std::string out;
+  append_ascending_run(out, std::span<const std::uint32_t>(values));
+  const auto* p = reinterpret_cast<const unsigned char*>(out.data());
+  std::uint16_t narrow[3];
+  EXPECT_THROW(decode_ascending_run(p, p + out.size(), 3, narrow), ParseError);
+}
+
+TEST(VarintTest, RandomizedRoundTrip) {
+  Rng rng(20260808);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    // Mixed-magnitude values: small ids dominate real streams but wide
+    // values must survive too.
+    std::vector<std::uint64_t> values;
+    const std::size_t count = 1 + rng.next_below(64);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto shift = static_cast<unsigned>(rng.next_below(64));
+      values.push_back(rng.next() >> shift);
+    }
+    std::string encoded;
+    for (const auto v : values) {
+      append_varint(encoded, v);
+    }
+    const auto* p = reinterpret_cast<const unsigned char*>(encoded.data());
+    const auto* end = p + encoded.size();
+    for (const auto v : values) {
+      EXPECT_EQ(decode_varint(p, end), v);
+    }
+    EXPECT_EQ(p, end) << "decoder must consume the stream exactly";
+
+    // Delta-run round-trip over the sorted distinct values.
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    std::string run;
+    append_ascending_run(run, std::span<const std::uint64_t>(values));
+    std::vector<std::uint64_t> decoded(values.size());
+    const auto* rp = reinterpret_cast<const unsigned char*>(run.data());
+    decode_ascending_run(rp, rp + run.size(), values.size(), decoded.data());
+    EXPECT_EQ(decoded, values);
+  }
+}
+
+}  // namespace
+}  // namespace seg::util

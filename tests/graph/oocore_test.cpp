@@ -1,0 +1,225 @@
+// Byte-identity tests for the out-of-core prepare (oocore.h): for every
+// chunk size, the streamed trace -> spill -> merge -> packed-write path
+// must produce exactly the file the in-memory pipeline produces via
+// build + apply_labels + prune + save_graph_compressed(kPacked). Anything
+// weaker would let the mmap-served classification drift from the
+// heap-resident reference.
+#include "graph/oocore.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+#include <unistd.h>
+
+#include "dns/query_log.h"
+#include "graph/graph_compressed.h"
+#include "graph/labeling.h"
+#include "graph/pruning.h"
+#include "util/rng.h"
+
+namespace seg::graph {
+namespace {
+
+class OutOfCoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto base = std::filesystem::temp_directory_path() /
+                      ("seg_oocore_test_" + std::to_string(::getpid()));
+    trace_path_ = base.string() + ".tsv";
+    binary_trace_path_ = base.string() + ".bin";
+    out_path_ = base.string() + ".graphc";
+  }
+  void TearDown() override {
+    std::filesystem::remove(trace_path_);
+    std::filesystem::remove(binary_trace_path_);
+    std::filesystem::remove(out_path_);
+  }
+
+  dns::PublicSuffixList psl_ = dns::PublicSuffixList::with_default_rules();
+  std::string trace_path_;
+  std::string binary_trace_path_;
+  std::string out_path_;
+
+  // A trace with enough structure to exercise every pruning rule: an
+  // inactive malware machine (R1 exception), a proxy-degree machine (R2), a
+  // low-degree malware domain (R3 exception), singleton domains (R3), and a
+  // popular e2LD shared by most machines (R4).
+  dns::DayTrace make_trace() {
+    dns::DayTrace trace;
+    trace.day = 11;
+    util::Rng rng(7);
+    const auto add = [&](const std::string& machine, const std::string& qname,
+                         std::initializer_list<const char*> ips) {
+      dns::QueryRecord record;
+      record.day = 11;
+      record.machine = machine;
+      record.qname = qname;
+      for (const auto* ip : ips) {
+        record.resolved_ips.push_back(dns::IpV4::parse(ip));
+      }
+      trace.records.push_back(std::move(record));
+    };
+    for (int m = 0; m < 24; ++m) {
+      const std::string machine = "host-" + std::to_string(m);
+      // Popular e2LD across nearly all machines -> R4.
+      add(machine, "www.popular.com", {"8.8.8.8"});
+      // Per-machine spread of ordinary domains, above the inactive cutoff.
+      for (int k = 0; k < 8; ++k) {
+        const auto j = rng.next_below(40);
+        add(machine, "site" + std::to_string(j) + ".net",
+            {("10.0." + std::to_string(j) + ".1").c_str()});
+      }
+      // Duplicate queries and multi-IP answers must collapse identically.
+      add(machine, "site1.net", {"10.0.1.1", "10.0.1.2"});
+    }
+    // Proxy-like machine touching everything (R2).
+    for (int j = 0; j < 40; ++j) {
+      add("proxy-0", "site" + std::to_string(j) + ".net", {});
+      add("proxy-0", "only" + std::to_string(j) + ".org", {});
+    }
+    // Inactive malware machine kept by the R1 exception.
+    add("bot-quiet", "cc.evil.biz", {"185.1.2.3"});
+    add("host-0", "cc.evil.biz", {"185.1.2.3"});
+    // Low-degree malware domain (R3 exception) and unlabeled singletons.
+    add("host-1", "drop.evil2.biz", {"185.9.9.9"});
+    add("host-2", "lonely.example.org", {"1.1.1.1"});
+    // Mixed-case and trailing-dot qnames exercise normalization.
+    add("host-3", "WWW.Popular.COM.", {"8.8.8.8"});
+    // Invalid rows must be skipped, not interned.
+    add("host-4", "bad..name", {"2.2.2.2"});
+    add("", "site1.net", {"3.3.3.3"});
+    return trace;
+  }
+
+  NameSet blacklist() {
+    NameSet set;
+    set.insert("cc.evil.biz");
+    set.insert("drop.evil2.biz");
+    return set;
+  }
+
+  NameSet whitelist() {
+    NameSet set;
+    set.insert("popular.com");
+    set.insert("site1.net");
+    return set;
+  }
+
+  std::string reference_bytes(const dns::DayTrace& trace, const PruningConfig& config,
+                              PruneStats* stats = nullptr) {
+    GraphBuilder builder(psl_);
+    builder.add_trace(trace);
+    auto graph = builder.build();
+    apply_labels(graph, blacklist(), whitelist());
+    const auto pruned = prune(graph, config, stats);
+    std::ostringstream blob;
+    save_graph_compressed(pruned, blob, GraphcEncoding::kPacked);
+    return std::move(blob).str();
+  }
+
+  static std::string file_bytes(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream blob;
+    blob << in.rdbuf();
+    return std::move(blob).str();
+  }
+};
+
+TEST_F(OutOfCoreTest, MatchesInMemoryPipelineByteForByteAtEveryChunkSize) {
+  const auto trace = make_trace();
+  dns::write_trace(trace, trace_path_);
+  PruningConfig pruning;
+  pruning.proxy_degree_percentile = 0.95;
+  PruneStats reference_stats;
+  const auto expected = reference_bytes(trace, pruning, &reference_stats);
+
+  // Chunk sizes from degenerate (every pair its own spill segment) to
+  // larger-than-input (single segment); the output must not move.
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7}, std::size_t{64},
+                                  std::size_t{1} << 20}) {
+    OutOfCoreConfig config;
+    config.pruning = pruning;
+    config.chunk_records = chunk;
+    const auto result = prepare_graph_out_of_core(trace_path_, psl_, blacklist(),
+                                                  whitelist(), out_path_, config);
+    EXPECT_EQ(file_bytes(out_path_), expected) << "chunk_records " << chunk;
+    EXPECT_EQ(result.records, trace.records.size());
+    EXPECT_EQ(result.skipped_records, 2u);
+
+    // The streamed prune must report the same breakdown as the in-memory
+    // prune (same thresholds, same rule attribution).
+    EXPECT_EQ(result.prune_stats.theta_d, reference_stats.theta_d);
+    EXPECT_EQ(result.prune_stats.theta_m, reference_stats.theta_m);
+    EXPECT_EQ(result.prune_stats.machines_removed_r1, reference_stats.machines_removed_r1);
+    EXPECT_EQ(result.prune_stats.machines_removed_r2, reference_stats.machines_removed_r2);
+    EXPECT_EQ(result.prune_stats.domains_removed_r3, reference_stats.domains_removed_r3);
+    EXPECT_EQ(result.prune_stats.domains_removed_r4, reference_stats.domains_removed_r4);
+    EXPECT_EQ(result.prune_stats.machines_after, reference_stats.machines_after);
+    EXPECT_EQ(result.prune_stats.domains_after, reference_stats.domains_after);
+    EXPECT_EQ(result.prune_stats.edges_after, reference_stats.edges_after);
+  }
+}
+
+TEST_F(OutOfCoreTest, BinaryTraceInputMatchesTextTraceOutput) {
+  const auto trace = make_trace();
+  dns::write_trace(trace, trace_path_);
+  {
+    dns::BinaryTraceWriter writer(binary_trace_path_, trace.day, trace.records.size());
+    for (const auto& record : trace.records) {
+      writer.add(record.machine, record.qname, record.resolved_ips);
+    }
+    writer.finish();
+  }
+  OutOfCoreConfig config;
+  config.pruning.proxy_degree_percentile = 0.95;
+  config.chunk_records = 32;
+  prepare_graph_out_of_core(trace_path_, psl_, blacklist(), whitelist(), out_path_, config);
+  const auto from_text = file_bytes(out_path_);
+  prepare_graph_out_of_core(binary_trace_path_, psl_, blacklist(), whitelist(), out_path_,
+                            config);
+  EXPECT_EQ(file_bytes(out_path_), from_text);
+}
+
+TEST_F(OutOfCoreTest, OutputIsMappableAndSpillsAreRemoved) {
+  const auto trace = make_trace();
+  dns::write_trace(trace, trace_path_);
+  OutOfCoreConfig config;
+  config.pruning.proxy_degree_percentile = 0.95;
+  config.chunk_records = 16;
+  const auto result = prepare_graph_out_of_core(trace_path_, psl_, blacklist(), whitelist(),
+                                                out_path_, config);
+  EXPECT_GT(result.spill_segments, 1u);
+  EXPECT_GT(result.spill_bytes, 0u);
+  EXPECT_FALSE(std::filesystem::exists(out_path_ + ".spill-edges"));
+  EXPECT_FALSE(std::filesystem::exists(out_path_ + ".spill-ips"));
+  EXPECT_FALSE(std::filesystem::exists(out_path_ + ".spill-swapped"));
+
+  const auto mapped = map_graph(out_path_);
+  EXPECT_EQ(mapped.view.day(), 11);
+  EXPECT_GT(mapped.view.machine_count(), 0u);
+  EXPECT_GT(mapped.view.domain_count(), 0u);
+  // The R1-excepted bot and its C&C domain must have survived pruning.
+  bool found_cc = false;
+  for (DomainId d = 0; d < mapped.view.domain_count(); ++d) {
+    found_cc = found_cc || mapped.view.domain_name(d) == "cc.evil.biz";
+  }
+  EXPECT_TRUE(found_cc);
+}
+
+TEST_F(OutOfCoreTest, EmptyTraceProducesEmptyGraph) {
+  dns::write_trace(dns::DayTrace{}, trace_path_);
+  const auto result =
+      prepare_graph_out_of_core(trace_path_, psl_, blacklist(), whitelist(), out_path_, {});
+  EXPECT_EQ(result.records, 0u);
+  const auto mapped = map_graph(out_path_);
+  EXPECT_EQ(mapped.view.machine_count(), 0u);
+  EXPECT_EQ(mapped.view.domain_count(), 0u);
+  EXPECT_EQ(mapped.view.edge_count(), 0u);
+}
+
+}  // namespace
+}  // namespace seg::graph

@@ -5,7 +5,7 @@
 # race-freedom contract; seg-lint runs inside every leg as a tier-1 test.
 #
 # Usage:
-#   tools/ci_matrix.sh [config ...]   # default: plain thread address undefined lint-diff obs
+#   tools/ci_matrix.sh [config ...]   # default: plain thread address undefined lint-diff obs oocore
 #
 # The lint-diff leg runs seg-lint v2 in whole-program diff mode against
 # origin/main (falls back to HEAD outside a clone with that ref): CI fails
@@ -16,6 +16,11 @@
 # --run-report, validates the artifacts with `segugio validate-obs`, and
 # archives them under ${LOG_DIR}/obs/ (load the trace in Perfetto when a
 # perf regression needs triage; see docs/observability.md).
+#
+# The oocore leg reuses the asan tree and re-runs the pipeline, graph, and
+# mmap-backing suites with SEG_GRAPH_BACKING=mmap, so the zero-copy
+# GraphView path (mapping lifetime, varint decode bounds, classify parity)
+# gets sanitizer coverage; see docs/graph-format.md.
 #
 # Environment:
 #   SEG_CI_JOBS     parallel build/test jobs (default: nproc)
@@ -29,7 +34,7 @@ cd "$(dirname "$0")/.."
 
 CONFIGS=("$@")
 if [ ${#CONFIGS[@]} -eq 0 ]; then
-  CONFIGS=(plain thread address undefined lint-diff obs)
+  CONFIGS=(plain thread address undefined lint-diff obs oocore)
 fi
 
 JOBS="${SEG_CI_JOBS:-$(nproc 2>/dev/null || echo 2)}"
@@ -133,6 +138,33 @@ run_obs() {
   return 0
 }
 
+run_oocore() {
+  local log="${LOG_DIR}/oocore.log"
+  local build_dir="build-asan"
+  : > "${log}"
+
+  echo "=== [oocore] build core/graph tests (${build_dir}, SEG_SANITIZE='address') ==="
+  if ! cmake -B "${build_dir}" -S . -DSEG_SANITIZE=address >> "${log}" 2>&1 ||
+     ! cmake --build "${build_dir}" -j "${JOBS}" --target core_test graph_test \
+         >> "${log}" 2>&1; then
+    echo "    build FAILED (see ${log})"
+    return 1
+  fi
+
+  echo "=== [oocore] pipeline + mmap-backing + graph suites with SEG_GRAPH_BACKING=mmap ==="
+  if ! SEG_GRAPH_BACKING=mmap "${build_dir}/tests/core_test" \
+       --gtest_filter='Pipeline*:MmapBacking*' >> "${log}" 2>&1; then
+    echo "    core suites FAILED under mmap backing (see ${log})"
+    return 1
+  fi
+  if ! SEG_GRAPH_BACKING=mmap "${build_dir}/tests/graph_test" \
+       --gtest_filter='GraphCompressed*:OutOfCore*:Varint*' >> "${log}" 2>&1; then
+    echo "    graph suites FAILED under mmap backing (see ${log})"
+    return 1
+  fi
+  return 0
+}
+
 run_config() {
   local config="$1"
   local build_dir log sanitize
@@ -143,8 +175,9 @@ run_config() {
     undefined) build_dir="build-ubsan";     sanitize="undefined" ;;
     lint-diff) run_lint_diff; return $? ;;
     obs)       run_obs; return $? ;;
+    oocore)    run_oocore; return $? ;;
     *)
-      echo "ci_matrix: unknown config '${config}' (plain|thread|address|undefined|lint-diff|obs)" >&2
+      echo "ci_matrix: unknown config '${config}' (plain|thread|address|undefined|lint-diff|obs|oocore)" >&2
       return 2
       ;;
   esac
