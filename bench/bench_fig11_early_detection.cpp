@@ -35,7 +35,12 @@ int main() {
       const auto trace = world.generate_day(isp, day);
       const auto blacklist = world.blacklist().as_of(sim::BlacklistKind::kCommercial, day);
       pipeline.absorb_history(world.activity(), world.pdns());
-      const auto prepared = pipeline.ingest_day(trace, blacklist, world.whitelist().all());
+      core::PreparedDay prepared;
+      dns::DayTraceSource source(trace);
+      pipeline.ingest_stream(
+          source, [&](dns::Day) -> const graph::NameSet& { return blacklist; },
+          world.whitelist().all(),
+          [&](core::PreparedDay&& ingested) { prepared = std::move(ingested); });
       const auto& graph = prepared.graph;
       pipeline.train(prepared);
 

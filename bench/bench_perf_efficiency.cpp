@@ -13,14 +13,20 @@
 //
 // Per-stage seconds and throughput land in BENCH_pipeline.json so future
 // changes have a machine-readable perf trajectory to regress against.
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/pipeline.h"
+#include "dns/trace_source.h"
+#include "dns/wire/dnstap.h"
+#include "dns/wire/pcap.h"
 #include "util/obs/metrics.h"
 #include "util/obs/process.h"
 #include "util/obs/trace.h"
@@ -119,8 +125,34 @@ StageTotals run_pipeline(std::size_t threads, std::vector<double>* scores_out) {
   return totals;
 }
 
-// The streaming leg: one core::Pipeline session per ISP, days ingested in
-// sequence so the carried name dictionary and sharded stores do their job.
+// Chains the per-day traces of one ISP into a single multi-day record
+// stream — what a continuous tap would deliver.
+class ChainedTraceSource final : public seg::dns::TraceSource {
+ public:
+  explicit ChainedTraceSource(const std::vector<seg::dns::DayTrace>& traces) {
+    for (const auto& trace : traces) {
+      sources_.emplace_back(trace);
+    }
+  }
+
+  bool next(seg::dns::QueryRecord& record) override {
+    while (index_ < sources_.size()) {
+      if (sources_[index_].next(record)) {
+        return true;
+      }
+      ++index_;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<seg::dns::DayTraceSource> sources_;
+  std::size_t index_ = 0;
+};
+
+// The streaming leg: one core::Pipeline session per ISP, the ISP's days
+// chained into one stream and ingested through the back-pressured queue so
+// the carried name dictionary and sharded stores do their job.
 struct StreamingTotals {
   std::vector<double> ingest_seconds;       // per ISP-day, in run order
   std::vector<double> reuse_ratios;         // name-dictionary reuse per day
@@ -128,30 +160,56 @@ struct StreamingTotals {
   double activity_queries_per_second = 0.0; // sharded F2 batch lookup rate
   double pdns_queries_per_second = 0.0;     // sharded F3 batch lookup rate
   std::vector<double> scores;               // for the bit-identity check
+  double stream_wall_seconds = 0.0;         // ingest_stream wall clock, summed
+  std::uint64_t stream_records = 0;         // records through the queue
+  seg::util::IngestQueueStats queue;        // summed queue counters
 };
 
-StreamingTotals run_streaming(std::size_t threads) {
+StreamingTotals run_streaming(std::size_t threads, std::size_t max_isps) {
   using namespace seg;
   util::set_parallelism(threads);
   auto& world = seg::bench::bench_world();
   const auto config = seg::bench::bench_config();
 
   StreamingTotals totals;
-  for (std::size_t isp = 0; isp < world.isp_count(); ++isp) {
+  for (std::size_t isp = 0; isp < std::min(world.isp_count(), max_isps); ++isp) {
     core::Pipeline pipeline(world.psl(), config);
     core::PreparedDay last_day;
+    std::vector<dns::DayTrace> traces;
+    std::vector<graph::NameSet> blacklists;
     for (dns::Day day = 10; day <= 13; ++day) {
-      const auto trace = world.generate_day(isp, day);
-      const auto blacklist = world.blacklist().as_of(sim::BlacklistKind::kCommercial, day);
-      pipeline.absorb_history(world.activity(), world.pdns());
-      auto prepared = pipeline.ingest_day(trace, blacklist, world.whitelist().all());
-      pipeline.train(prepared);
-      const auto report = pipeline.classify(prepared);
-      for (const auto& scored : report.scores) {
-        totals.scores.push_back(scored.score);
-      }
-      last_day = std::move(prepared);
+      traces.push_back(world.generate_day(isp, day));
+      blacklists.push_back(world.blacklist().as_of(sim::BlacklistKind::kCommercial, day));
     }
+    // prepare never reads the history stores (only train/classify do), and
+    // post-warm-up the world's stores are already final for these days, so
+    // one absorb up front equals the old absorb-before-every-day loop.
+    pipeline.absorb_history(world.activity(), world.pdns());
+
+    ChainedTraceSource source(traces);
+    obs::Span stream_span("bench/ingest_stream");
+    const auto ingest_stats = pipeline.ingest_stream(
+        source,
+        [&](dns::Day day) -> const graph::NameSet& {
+          return blacklists[static_cast<std::size_t>(day - 10)];
+        },
+        world.whitelist().all(),
+        [&](core::PreparedDay&& prepared) {
+          pipeline.train(prepared);
+          const auto report = pipeline.classify(prepared);
+          for (const auto& scored : report.scores) {
+            totals.scores.push_back(scored.score);
+          }
+          last_day = std::move(prepared);
+        });
+    totals.stream_wall_seconds += stream_span.close();
+    totals.stream_records += ingest_stats.records;
+    totals.queue.pushed_batches += ingest_stats.queue.pushed_batches;
+    totals.queue.pushed_records += ingest_stats.queue.pushed_records;
+    totals.queue.dropped_batches += ingest_stats.queue.dropped_batches;
+    totals.queue.dropped_records += ingest_stats.queue.dropped_records;
+    totals.queue.blocked_pushes += ingest_stats.queue.blocked_pushes;
+    totals.queue.max_depth = std::max(totals.queue.max_depth, ingest_stats.queue.max_depth);
     const auto& stats = pipeline.streaming_stats();
     totals.ingest_seconds.insert(totals.ingest_seconds.end(), stats.ingest_seconds.begin(),
                                  stats.ingest_seconds.end());
@@ -191,6 +249,132 @@ StreamingTotals run_streaming(std::size_t threads) {
     }
   }
   return totals;
+}
+
+// The wire-replay leg: ISP 0's bench days serialized to real capture files
+// (a multi-segment SEGTRC1 binlog, a dnstap frame stream, a classic pcap)
+// and replayed through FileTraceSource. Parse-only qps is the number the
+// ROADMAP's 10^4-10^5 qps ingestion target is measured against; the
+// end-to-end figure (including graph preparation) and the queue counters
+// come from the streaming leg.
+struct IngestSection {
+  std::uint64_t records = 0;
+  double binlog_replay_qps = 0.0;
+  double dnstap_replay_qps = 0.0;
+  double pcap_replay_qps = 0.0;
+  double end_to_end_qps = 0.0;
+  seg::util::IngestQueueStats queue;
+};
+
+double replay_qps(const std::string& path, std::uint64_t expected) {
+  seg::dns::FileTraceSource source(path);
+  seg::dns::QueryRecord record;
+  std::uint64_t count = 0;
+  seg::obs::Span span("bench/ingest_replay");
+  while (source.next(record)) {
+    ++count;
+  }
+  const double seconds = span.close();
+  if (count != expected) {
+    std::fprintf(stderr, "warning: %s replayed %llu of %llu records\n", path.c_str(),
+                 static_cast<unsigned long long>(count),
+                 static_cast<unsigned long long>(expected));
+  }
+  return seconds > 0.0 ? static_cast<double>(count) / seconds : 0.0;
+}
+
+// One SEGTRC1 segment per day, concatenated — the multi-day binlog layout
+// FileTraceSource replays across day boundaries.
+void write_multiday_binlog(const std::vector<seg::dns::DayTrace>& traces,
+                           const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  const std::string segment_path = path + ".segment";
+  for (const auto& trace : traces) {
+    seg::dns::write_trace_binary(trace, segment_path);
+    std::ifstream segment(segment_path, std::ios::binary);
+    out << segment.rdbuf();
+  }
+  std::remove(segment_path.c_str());
+}
+
+IngestSection measure_ingest(const StreamingTotals& streaming) {
+  using namespace seg;
+  auto& world = seg::bench::bench_world();
+
+  std::vector<dns::DayTrace> traces;
+  dns::DayTrace merged;
+  merged.day = 10;
+  for (dns::Day day = 10; day <= 13; ++day) {
+    traces.push_back(world.generate_day(0, day));
+    merged.records.insert(merged.records.end(), traces.back().records.begin(),
+                          traces.back().records.end());
+  }
+
+  const std::string base = "BENCH_ingest_replay";
+  write_multiday_binlog(traces, base + ".bin");
+  dns::wire::write_dnstap_trace(merged, base + ".dnstap");
+  dns::wire::write_pcap_trace(merged, base + ".pcap");
+
+  IngestSection section;
+  section.records = merged.records.size();
+  section.binlog_replay_qps = replay_qps(base + ".bin", section.records);
+  section.dnstap_replay_qps = replay_qps(base + ".dnstap", section.records);
+  section.pcap_replay_qps = replay_qps(base + ".pcap", section.records);
+  std::remove((base + ".bin").c_str());
+  std::remove((base + ".dnstap").c_str());
+  std::remove((base + ".pcap").c_str());
+
+  if (streaming.stream_wall_seconds > 0.0) {
+    section.end_to_end_qps =
+        static_cast<double>(streaming.stream_records) / streaming.stream_wall_seconds;
+  }
+  section.queue = streaming.queue;
+  return section;
+}
+
+void print_ingest(const IngestSection& section) {
+  std::printf("\n[ingest] wire replay over %llu records (ISP 0, days 10-13):\n",
+              static_cast<unsigned long long>(section.records));
+  std::printf("  binlog replay          : %10.0f qps\n", section.binlog_replay_qps);
+  std::printf("  dnstap replay          : %10.0f qps\n", section.dnstap_replay_qps);
+  std::printf("  pcap replay            : %10.0f qps\n", section.pcap_replay_qps);
+  std::printf("  streamed end-to-end    : %10.0f qps (incl. graph preparation)\n",
+              section.end_to_end_qps);
+  std::printf("  queue: %llu batches pushed, %llu blocked pushes, depth high-water %zu, "
+              "%llu records dropped\n",
+              static_cast<unsigned long long>(section.queue.pushed_batches),
+              static_cast<unsigned long long>(section.queue.blocked_pushes),
+              section.queue.max_depth,
+              static_cast<unsigned long long>(section.queue.dropped_records));
+}
+
+void write_ingest_json(std::FILE* out, const IngestSection& ingest) {
+  std::fprintf(out,
+               "  \"ingest\": {\n"
+               "    \"records\": %llu,\n"
+               "    \"replay_qps\": {\n"
+               "      \"binlog\": %.1f,\n"
+               "      \"dnstap\": %.1f,\n"
+               "      \"pcap\": %.1f\n"
+               "    },\n"
+               "    \"stream_end_to_end_qps\": %.1f,\n"
+               "    \"queue\": {\n"
+               "      \"pushed_batches\": %llu,\n"
+               "      \"pushed_records\": %llu,\n"
+               "      \"blocked_pushes\": %llu,\n"
+               "      \"max_depth\": %zu,\n"
+               "      \"dropped_batches\": %llu,\n"
+               "      \"dropped_records\": %llu\n"
+               "    }\n"
+               "  }",
+               static_cast<unsigned long long>(ingest.records), ingest.binlog_replay_qps,
+               ingest.dnstap_replay_qps, ingest.pcap_replay_qps, ingest.end_to_end_qps,
+               static_cast<unsigned long long>(ingest.queue.pushed_batches),
+               static_cast<unsigned long long>(ingest.queue.pushed_records),
+               static_cast<unsigned long long>(ingest.queue.blocked_pushes),
+               ingest.queue.max_depth,
+               static_cast<unsigned long long>(ingest.queue.dropped_batches),
+               static_cast<unsigned long long>(ingest.queue.dropped_records));
 }
 
 void print_totals(const char* label, const StageTotals& t) {
@@ -235,8 +419,8 @@ ObsSection collect_obs_section() {
 }
 
 void write_json(const char* path, const StageTotals& serial, const StageTotals& parallel,
-                const StreamingTotals& streaming, const ObsSection& obs_section,
-                std::size_t parallel_threads, bool identical) {
+                const StreamingTotals& streaming, const IngestSection& ingest,
+                const ObsSection& obs_section, std::size_t parallel_threads, bool identical) {
   std::FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "warning: cannot write %s\n", path);
@@ -324,6 +508,8 @@ void write_json(const char* path, const StageTotals& serial, const StageTotals& 
                "    \"pdns_batch_queries_per_sec\": %.1f\n  }",
                streaming.cached_names, streaming.activity_queries_per_second,
                streaming.pdns_queries_per_second);
+  std::fprintf(out, ",\n");
+  write_ingest_json(out, ingest);
   std::fprintf(out, ",\n  \"obs\": {\n    \"shard_edge_histogram\": {\n      \"bounds\": ");
   array(obs_section.bounds);
   std::fprintf(out, ",\n      \"buckets\": [");
@@ -363,6 +549,30 @@ int main() {
 
   const std::size_t parallel_threads = parallel_thread_count();
 
+  // SEG_BENCH_INGEST_ONLY=1 (the ci_matrix `ingest` leg): skip the two
+  // full pipeline legs and measure only the wire-replay/queue section on
+  // ISP 0, writing a reduced BENCH_pipeline.json. Fails when the blocking
+  // queue dropped anything — it must never.
+  if (const char* env = std::getenv("SEG_BENCH_INGEST_ONLY"); env != nullptr && *env == '1') {
+    const auto streaming = run_streaming(parallel_threads, /*max_isps=*/1);
+    seg::util::set_parallelism(0);
+    const auto ingest = measure_ingest(streaming);
+    print_ingest(ingest);
+    if (std::FILE* out = std::fopen("BENCH_pipeline.json", "w")) {
+      std::fprintf(out, "{\n  \"hardware_concurrency\": %u,\n",
+                   std::thread::hardware_concurrency());
+      write_ingest_json(out, ingest);
+      std::fprintf(out, "\n}\n");
+      std::fclose(out);
+      std::printf("\nwrote BENCH_pipeline.json (ingest section only)\n");
+    }
+    const bool clean = ingest.queue.dropped_batches == 0 && ingest.queue.dropped_records == 0;
+    if (!clean) {
+      std::printf("FAIL: blocking ingest queue dropped data\n");
+    }
+    return clean ? 0 : 1;
+  }
+
   std::vector<double> serial_scores;
   const auto serial = run_pipeline(1, &serial_scores);
   print_totals("1 thread", serial);
@@ -375,8 +585,9 @@ int main() {
   print_totals((std::to_string(parallel_threads) + " threads").c_str(), parallel);
   const auto obs_section = collect_obs_section();
 
-  const auto streaming = run_streaming(parallel_threads);
+  const auto streaming = run_streaming(parallel_threads, seg::bench::bench_world().isp_count());
   seg::util::set_parallelism(0);
+  const auto ingest = measure_ingest(streaming);
 
   const bool identical =
       serial_scores == parallel_scores && serial_scores == streaming.scores;
@@ -411,8 +622,14 @@ int main() {
   std::printf("\nshape check: classification is ~%0.fx faster than learning, matching the\n"
               "paper's 60min-vs-3min split (about 20x).\n",
               parallel.learning_seconds() / parallel.classify_seconds);
+  print_ingest(ingest);
 
-  write_json("BENCH_pipeline.json", serial, parallel, streaming, obs_section,
+  write_json("BENCH_pipeline.json", serial, parallel, streaming, ingest, obs_section,
              parallel_threads, identical);
-  return identical ? 0 : 1;
+  const bool queue_clean =
+      ingest.queue.dropped_batches == 0 && ingest.queue.dropped_records == 0;
+  if (!queue_clean) {
+    std::printf("FAIL: blocking ingest queue dropped data\n");
+  }
+  return identical && queue_clean ? 0 : 1;
 }

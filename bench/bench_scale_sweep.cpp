@@ -88,9 +88,12 @@ int run_heap_point(std::size_t machines, const std::string& out_path) {
 
   obs::Span learn_span("bench/learn");
   core::Pipeline pipeline(world.psl(), world.activity(), world.pdns(), config);
-  const auto day = pipeline.ingest_day(
-      trace, world.blacklist().as_of(sim::BlacklistKind::kCommercial, 2),
-      world.whitelist().all());
+  const auto& blacklist = world.blacklist().as_of(sim::BlacklistKind::kCommercial, 2);
+  core::PreparedDay day;
+  dns::DayTraceSource source(trace);
+  pipeline.ingest_stream(
+      source, [&](dns::Day) -> const graph::NameSet& { return blacklist; },
+      world.whitelist().all(), [&](core::PreparedDay&& ingested) { day = std::move(ingested); });
   pipeline.train(day);
   const double learn_seconds = learn_span.close();
 

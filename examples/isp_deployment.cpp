@@ -26,12 +26,21 @@ int main() {
   config.forest.num_trees = 60;
   config.forest.num_threads = 1;
 
-  // --- Day 0: learn.
+  // --- Day 0: learn. The trace enters through the streaming API: a
+  // TraceSource wrapping the in-memory day, cut at day boundaries by
+  // ingest_stream (a live deployment swaps in dns::FileTraceSource over a
+  // dnstap or pcap capture and nothing else changes).
   obs::Span train_span("example/train_day");
   const auto train_trace = world.generate_day(/*isp=*/0, /*day=*/0);
   core::Pipeline pipeline(world.psl(), world.activity(), world.pdns(), config);
-  const auto day0 = pipeline.ingest_day(
-      train_trace, world.blacklist().as_of(sim::BlacklistKind::kCommercial, 0), whitelist);
+  core::PreparedDay day0;
+  {
+    dns::DayTraceSource source(train_trace);
+    const auto& blacklist = world.blacklist().as_of(sim::BlacklistKind::kCommercial, 0);
+    pipeline.ingest_stream(
+        source, [&](dns::Day) -> const graph::NameSet& { return blacklist; }, whitelist,
+        [&](core::PreparedDay&& day) { day0 = std::move(day); });
+  }
   pipeline.train(day0);
   const double train_seconds = train_span.close();
   const auto& train_graph = day0.graph;
@@ -56,8 +65,14 @@ int main() {
   obs::Span detect_span("example/detect_day");
   const auto test_trace = world.generate_day(0, 1);
   pipeline.absorb_history(world.activity(), world.pdns());
-  const auto day1 = pipeline.ingest_day(
-      test_trace, world.blacklist().as_of(sim::BlacklistKind::kCommercial, 1), whitelist);
+  core::PreparedDay day1;
+  {
+    dns::DayTraceSource source(test_trace);
+    const auto& blacklist = world.blacklist().as_of(sim::BlacklistKind::kCommercial, 1);
+    pipeline.ingest_stream(
+        source, [&](dns::Day) -> const graph::NameSet& { return blacklist; }, whitelist,
+        [&](core::PreparedDay&& day) { day1 = std::move(day); });
+  }
   const auto report = pipeline.classify(day1);
   const double classify_seconds = detect_span.close();
   std::printf("name dictionary reuse on day 1: %.1f%% of %zu distinct names\n",

@@ -1,7 +1,9 @@
 #include "core/pipeline.h"
 
+#include <exception>
 #include <istream>
 #include <ostream>
+#include <thread>
 
 #include "util/obs/metrics.h"
 #include "util/obs/trace.h"
@@ -28,8 +30,9 @@ void Pipeline::absorb_history(const dns::DomainActivityIndex& activity,
   pdns_.absorb(pdns);
 }
 
-PreparedDay Pipeline::ingest_day(const dns::DayTrace& trace, const graph::NameSet& cc_blacklist,
-                                 const graph::NameSet& e2ld_whitelist) {
+PreparedDay Pipeline::prepare_one_day(const dns::DayTrace& trace,
+                                      const graph::NameSet& cc_blacklist,
+                                      const graph::NameSet& e2ld_whitelist) {
   obs::Span span("pipeline/ingest_day");
   PreparedDay day;
   auto prepared = detail::prepare_day(trace, *psl_, cc_blacklist, e2ld_whitelist,
@@ -45,6 +48,126 @@ PreparedDay Pipeline::ingest_day(const dns::DayTrace& trace, const graph::NameSe
   stats_.cached_names = day.carry.cached_names;
   obs::Registry::instance().counter("seg_pipeline_days_ingested_total").add(1);
   return day;
+}
+
+PreparedDay Pipeline::ingest_day(const dns::DayTrace& trace, const graph::NameSet& cc_blacklist,
+                                 const graph::NameSet& e2ld_whitelist) {
+  if (trace.records.empty()) {
+    // An empty day still yields an (empty) prepared graph; the stream path
+    // below would never fire its day callback.
+    return prepare_one_day(trace, cc_blacklist, e2ld_whitelist);
+  }
+  dns::DayTraceSource source(trace);
+  PreparedDay result;
+  IngestOptions options;
+  options.use_queue = false;  // already in memory: nothing to overlap with
+  ingest_stream(
+      source, [&cc_blacklist](dns::Day) -> const graph::NameSet& { return cc_blacklist; },
+      e2ld_whitelist, [&result](PreparedDay&& day) { result = std::move(day); }, options);
+  return result;
+}
+
+IngestStats Pipeline::ingest_stream(dns::TraceSource& source,
+                                    const BlacklistProvider& cc_blacklist,
+                                    const graph::NameSet& e2ld_whitelist,
+                                    const DayCallback& on_day, const IngestOptions& options) {
+  SEG_SPAN("pipeline/ingest_stream");
+  IngestStats stats;
+  dns::DayTrace current;
+  bool open = false;
+
+  const auto flush_day = [&] {
+    const dns::Day day = current.day;
+    PreparedDay prepared = prepare_one_day(current, cc_blacklist(day), e2ld_whitelist);
+    current = dns::DayTrace{};
+    open = false;
+    ++stats.days;
+    if (on_day) {
+      on_day(std::move(prepared));
+    }
+  };
+  const auto deliver = [&](dns::QueryRecord&& record) {
+    ++stats.records;
+    if (open && record.day != current.day) {
+      util::require_data(record.day > current.day,
+                         "ingest_stream: day went backwards (" + std::to_string(record.day) +
+                             " after " + std::to_string(current.day) + ")");
+      flush_day();
+    }
+    if (!open) {
+      current.day = record.day;
+      open = true;
+    }
+    current.records.push_back(std::move(record));
+  };
+
+  if (!options.use_queue) {
+    dns::QueryRecord record;
+    while (source.next(record)) {
+      deliver(std::move(record));
+    }
+    if (open) {
+      flush_day();
+    }
+    stats.wire_skipped = source.skipped();
+    return stats;
+  }
+
+  using Batch = std::vector<dns::QueryRecord>;
+  util::IngestQueueOptions queue_options;
+  queue_options.capacity = options.queue_capacity;
+  queue_options.policy = options.policy;
+  queue_options.metrics_prefix = "seg_ingest_queue";
+  util::IngestQueue<Batch> queue(queue_options);
+
+  const std::size_t batch_records = options.batch_records == 0 ? 1 : options.batch_records;
+  std::exception_ptr producer_error;
+  std::thread producer([&] {
+    try {
+      Batch batch;
+      batch.reserve(batch_records);
+      dns::QueryRecord record;
+      while (source.next(record)) {
+        batch.push_back(std::move(record));
+        if (batch.size() >= batch_records) {
+          if (!queue.push(std::move(batch)) &&
+              options.policy == util::BackpressurePolicy::kBlock) {
+            break;  // consumer cancelled; stop parsing
+          }
+          batch = Batch{};
+          batch.reserve(batch_records);
+        }
+      }
+      if (!batch.empty()) {
+        queue.push(std::move(batch));
+      }
+    } catch (...) {
+      producer_error = std::current_exception();
+    }
+    queue.close();
+  });
+
+  try {
+    while (auto batch = queue.pop()) {
+      for (auto& record : *batch) {
+        deliver(std::move(record));
+      }
+    }
+    if (open) {
+      flush_day();
+    }
+  } catch (...) {
+    queue.cancel();  // wake any blocked push before joining
+    producer.join();
+    throw;
+  }
+  producer.join();
+  if (producer_error) {
+    std::rethrow_exception(producer_error);
+  }
+  stats.queue = queue.stats();
+  stats.wire_skipped = source.skipped();
+  return stats;
 }
 
 void Pipeline::save_session(std::ostream& out) const {

@@ -9,30 +9,46 @@
 //   - F2/F3 history lookups run as parallel batches against the sharded
 //     stores instead of one hash probe at a time.
 //
+// Records enter through ingest_stream(): a TraceSource (dnstap capture,
+// pcap, SEGTRC1 binlog, sim TSV, or an in-memory trace) is parsed on a
+// producer thread, micro-batched through a bounded back-pressured
+// util::IngestQueue, assembled into observation days on the caller
+// thread, and each completed day is prepared and handed to a callback.
+// The legacy one-day batch entry point, ingest_day(), survives as a thin
+// adapter over an in-memory source.
+//
 // Determinism contract: every PreparedDay graph and every classify()
 // score is bit-identical to what a from-scratch Segugio::prepare_graph /
 // train / classify over the same inputs produces, for every thread and
 // shard count (tests/core/pipeline_test.cpp asserts byte equality of the
-// serialized graphs and exact score equality at 1 and 8 threads).
+// serialized graphs and exact score equality at 1 and 8 threads) — and a
+// streamed session is byte-identical to the equivalent day-batch session
+// under the blocking back-pressure policy, the only policy that never
+// drops records (tests/core/pipeline_stream_test.cpp).
 //
 // Typical deployment session:
 //
 //   core::Pipeline pipeline(psl, config);
 //   pipeline.absorb_history(warmup_activity, warmup_pdns);
-//   auto day1 = pipeline.ingest_day(trace_t1, blacklist_t1, whitelist);
-//   pipeline.train(day1);
-//   auto day2 = pipeline.ingest_day(trace_t2, blacklist_t2, whitelist);
-//   auto report = pipeline.classify(day2);
-//   for (auto& hit : report.detections_at(threshold)) ...
+//   dns::FileTraceSource tap("resolver.dnstap");
+//   pipeline.ingest_stream(tap, blacklist_for_day, whitelist,
+//                          [&](PreparedDay&& day) {
+//                            auto report = pipeline.classify(day);
+//                            ...archive report, maybe re-train...
+//                          });
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <vector>
 
 #include "core/segugio.h"
 #include "dns/sharded_store.h"
+#include "dns/trace_source.h"
 #include "graph/name_cache.h"
+#include "util/ingest_queue.h"
 
 namespace seg::core {
 
@@ -45,7 +61,10 @@ struct PreparedDay {
   dns::Day day = 0;                 ///< the observation day
 };
 
-/// Cumulative counters over every ingest_day() of the session.
+/// Cumulative counters over every day the session ingested (through
+/// ingest_stream() or the legacy adapter — both funnel into the same
+/// per-day preparation, so there is exactly one timing mechanism:
+/// ingest_seconds[i] is the close of the i-th "pipeline/ingest_day" span).
 struct StreamingStats {
   std::size_t days_ingested = 0;
   std::vector<double> ingest_seconds;  ///< wall clock per ingested day
@@ -53,8 +72,35 @@ struct StreamingStats {
   std::size_t cached_names = 0;        ///< dictionary size after last day
 };
 
+/// Tuning for ingest_stream()'s producer/queue stage.
+struct IngestOptions {
+  std::size_t batch_records = 1024;  ///< records per micro-batch pushed
+  std::size_t queue_capacity = 256;  ///< max queued batches (back-pressure)
+  util::BackpressurePolicy policy = util::BackpressurePolicy::kBlock;
+  /// When false, the source is parsed inline on the caller thread with no
+  /// producer thread and no queue (the adapter path; also handy in tests).
+  bool use_queue = true;
+};
+
+/// What one ingest_stream() call observed.
+struct IngestStats {
+  std::uint64_t records = 0;       ///< records assembled into days
+  std::uint64_t wire_skipped = 0;  ///< filtered wire messages (FileTraceSource)
+  std::size_t days = 0;            ///< completed days handed to the callback
+  util::IngestQueueStats queue;    ///< final queue counters (zeros if no queue)
+};
+
 class Pipeline {
  public:
+  /// Serves the ground-truth C&C blacklist for an observation day —
+  /// blacklists evolve, so a multi-day stream looks the day's list up as
+  /// each day completes. The returned reference must stay valid for the
+  /// duration of that day's preparation.
+  using BlacklistProvider = std::function<const graph::NameSet&(dns::Day)>;
+
+  /// Receives each completed, prepared day in stream order.
+  using DayCallback = std::function<void(PreparedDay&&)>;
+
   /// Fresh session with empty history stores. `psl` must outlive the
   /// pipeline.
   explicit Pipeline(const dns::PublicSuffixList& psl, SegugioConfig config = {});
@@ -69,10 +115,27 @@ class Pipeline {
   /// re-absorb a growing store after each day.
   void absorb_history(const dns::DomainActivityIndex& activity, const dns::PassiveDnsDb& pdns);
 
-  /// Builds, labels, (optionally) prober-filters, and prunes the day's
-  /// behavior graph in streaming mode. History stores are fed separately
-  /// through absorb_history(), keeping feature inputs identical to the
-  /// one-shot flow. Top-level calls only (the build uses the shared pool).
+  /// Consumes `source` to exhaustion: parses records on a producer thread,
+  /// moves them through a bounded back-pressured queue (see IngestOptions),
+  /// cuts the stream at day boundaries (days must be non-decreasing;
+  /// util::ParseError otherwise), prepares each completed day exactly as
+  /// ingest_day() would, and hands it to `on_day`. Under the default
+  /// kBlock policy the result is bit-identical to per-day batch ingestion;
+  /// kCountAndDrop trades completeness for liveness and reports drops in
+  /// the returned stats. Exceptions from the producer (malformed wire
+  /// data) or from `on_day` propagate to the caller after the producer
+  /// thread is joined. Top-level calls only (the build uses the shared
+  /// pool).
+  IngestStats ingest_stream(dns::TraceSource& source, const BlacklistProvider& cc_blacklist,
+                            const graph::NameSet& e2ld_whitelist, const DayCallback& on_day,
+                            const IngestOptions& options = {});
+
+  /// Builds, labels, (optionally) prober-filters, and prunes one day's
+  /// behavior graph from a materialized trace. History stores are fed
+  /// separately through absorb_history(), keeping feature inputs identical
+  /// to the one-shot flow. Kept as an adapter over ingest_stream() for
+  /// callers that already hold a DayTrace; new code should stream.
+  // seg-deprecated
   PreparedDay ingest_day(const dns::DayTrace& trace, const graph::NameSet& cc_blacklist,
                          const graph::NameSet& e2ld_whitelist);
 
@@ -112,6 +175,11 @@ class Pipeline {
   const StreamingStats& streaming_stats() const { return stats_; }
 
  private:
+  /// The one per-day preparation path both entry points share (and the
+  /// single source of StreamingStats::ingest_seconds timings).
+  PreparedDay prepare_one_day(const dns::DayTrace& trace, const graph::NameSet& cc_blacklist,
+                              const graph::NameSet& e2ld_whitelist);
+
   const dns::PublicSuffixList* psl_;
   Segugio detector_;
   graph::NameCache cache_;

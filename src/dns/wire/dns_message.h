@@ -1,0 +1,45 @@
+// Minimal DNS wire-message codec (RFC 1035 subset).
+//
+// The ingestion front end only needs the fields Segugio's QueryRecord
+// carries (paper §II-A1): the queried name and the A-record answers of a
+// successful response. summarize() extracts exactly that from a raw DNS
+// message — header, first question, answer section with name-compression
+// support — and nothing else; authority/additional sections are skipped
+// structurally (they must still be well-formed, so corrupt captures fail
+// loudly instead of yielding half-parsed records).
+//
+// Structural malformation (truncation, compression-pointer loops, label
+// overflow) throws util::ParseError; semantically uninteresting messages
+// (queries, NXDOMAIN, answers without A records) parse fine and are
+// filtered by the caller via the summary fields.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dns/ip.h"
+
+namespace seg::dns::wire {
+
+/// What the resolver said, reduced to Segugio's needs.
+struct DnsSummary {
+  bool is_response = false;   ///< QR bit
+  std::uint8_t rcode = 0;     ///< 0 = NOERROR
+  std::string qname;          ///< first question, dotted form, no trailing dot
+  std::vector<IpV4> a_records;  ///< A/IN rdata from the answer section
+};
+
+/// Parses one DNS message. Throws util::ParseError on malformed wire data.
+DnsSummary summarize(std::span<const unsigned char> message);
+
+/// Encodes a well-formed NOERROR response for `qname` with one A record
+/// per address (uncompressed). The capture writers and tests use this; a
+/// real deployment only ever decodes.
+std::vector<unsigned char> encode_response(std::string_view qname,
+                                           std::span<const IpV4> a_records,
+                                           std::uint16_t id = 0);
+
+}  // namespace seg::dns::wire

@@ -1,0 +1,215 @@
+// Bounded MPSC ingest queue: the hand-off between wire-format producers
+// and the pipeline consumer.
+//
+// Continuous ingestion decouples parsing (dnstap/pcap/binlog readers, one
+// or more producer threads) from graph preparation (the pipeline's caller
+// thread) through a bounded queue of record *batches* — micro-batching
+// amortizes the lock so the queue never becomes the bottleneck at the
+// 10^4-10^5 qps the ROADMAP targets.
+//
+// Back-pressure is a policy choice made at construction time:
+//
+//   kBlock        push() waits for space. Nothing is ever lost, so a
+//                 replayed stream is deterministic: the consumer sees
+//                 exactly the bytes of the source, in order. This is the
+//                 only policy under which streamed output is bit-identical
+//                 to day-batch output (and the default everywhere).
+//   kCountAndDrop push() on a full queue drops the batch and counts it.
+//                 For live capture where freshness beats completeness; the
+//                 drop counter is the operator's signal to add capacity.
+//
+// Both policies are observable through seg::obs: construction registers
+// counters/gauges under `metrics_prefix` (see stats() for the catalog), so
+// a deployment can alert on `<prefix>_dropped_batches_total` without
+// touching the queue itself.
+//
+// Shutdown/drain protocol:
+//
+//   producer:  while (more) queue.push(batch);   queue.close();
+//   consumer:  while (auto b = queue.pop()) consume(*b);   // drains, then
+//              // pop() returns nullopt once closed AND empty
+//
+// cancel() aborts from the consumer side: pending batches are discarded
+// and every blocked or future push() returns false immediately, so a dying
+// consumer never strands a blocked producer.
+//
+// Ordering guarantee: batches from one producer are popped in push order
+// (FIFO). With a single producer the consumed sequence is exactly the
+// produced sequence — the property the determinism tests lean on.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/obs/metrics.h"
+
+namespace seg::util {
+
+/// What a full queue does to push(); see the header comment.
+enum class BackpressurePolicy {
+  kBlock,
+  kCountAndDrop,
+};
+
+/// Cumulative queue counters, readable at any time (values are snapshots;
+/// totals are exact once the queue is closed and drained).
+struct IngestQueueStats {
+  std::uint64_t pushed_batches = 0;   ///< batches accepted into the queue
+  std::uint64_t pushed_records = 0;   ///< records inside accepted batches
+  std::uint64_t popped_batches = 0;   ///< batches handed to the consumer
+  std::uint64_t dropped_batches = 0;  ///< rejected under kCountAndDrop
+  std::uint64_t dropped_records = 0;  ///< records inside rejected batches
+  std::uint64_t blocked_pushes = 0;   ///< pushes that had to wait (kBlock)
+  std::size_t max_depth = 0;          ///< high-water mark of queued batches
+  std::size_t depth = 0;              ///< batches queued right now
+};
+
+struct IngestQueueOptions {
+  std::size_t capacity = 256;  ///< max queued batches before back-pressure
+  BackpressurePolicy policy = BackpressurePolicy::kBlock;
+  /// When non-empty, queue counters are mirrored into the seg::obs
+  /// registry as `<prefix>_{pushed,dropped}_batches_total`,
+  /// `<prefix>_{pushed,dropped}_records_total`,
+  /// `<prefix>_blocked_pushes_total`, and gauges `<prefix>_depth` /
+  /// `<prefix>_max_depth`.
+  std::string metrics_prefix;
+};
+
+/// Bounded multi-producer single-consumer queue of batches. `Batch` must
+/// be movable and expose size() (the record count used by the drop/push
+/// record counters).
+template <typename Batch>
+class IngestQueue {
+ public:
+  explicit IngestQueue(IngestQueueOptions options = {}) : options_(std::move(options)) {
+    if (options_.capacity == 0) {
+      options_.capacity = 1;
+    }
+  }
+
+  IngestQueue(const IngestQueue&) = delete;
+  IngestQueue& operator=(const IngestQueue&) = delete;
+
+  /// Enqueues one batch. Returns true when the batch was accepted; false
+  /// when it was dropped (kCountAndDrop on a full queue) or the queue was
+  /// closed/cancelled. Safe from any number of producer threads.
+  bool push(Batch batch) {
+    const std::size_t records = batch.size();
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (options_.policy == BackpressurePolicy::kBlock) {
+      if (queue_.size() >= options_.capacity && !closed_) {
+        ++stats_.blocked_pushes;
+        bump("_blocked_pushes_total", 1);
+        space_.wait(lock,
+                    [&] { return queue_.size() < options_.capacity || closed_; });
+      }
+    } else if (queue_.size() >= options_.capacity && !closed_) {
+      ++stats_.dropped_batches;
+      stats_.dropped_records += records;
+      bump("_dropped_batches_total", 1);
+      bump("_dropped_records_total", records);
+      return false;
+    }
+    if (closed_) {
+      return false;  // close()/cancel() won the race; the batch is refused
+    }
+    queue_.push_back(std::move(batch));
+    ++stats_.pushed_batches;
+    stats_.pushed_records += records;
+    stats_.max_depth = queue_.size() > stats_.max_depth ? queue_.size() : stats_.max_depth;
+    bump("_pushed_batches_total", 1);
+    bump("_pushed_records_total", records);
+    set_gauge("_depth", static_cast<double>(queue_.size()));
+    set_gauge("_max_depth", static_cast<double>(stats_.max_depth));
+    lock.unlock();
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Dequeues the next batch, blocking while the queue is empty and still
+  /// open. Returns nullopt once the queue is closed and fully drained
+  /// (the consumer's signal to stop). Single consumer thread only.
+  std::optional<Batch> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    Batch batch = std::move(queue_.front());
+    queue_.pop_front();
+    ++stats_.popped_batches;
+    set_gauge("_depth", static_cast<double>(queue_.size()));
+    lock.unlock();
+    space_.notify_all();
+    return batch;
+  }
+
+  /// Producer-side end-of-stream: already-queued batches remain poppable;
+  /// further pushes are refused; pop() returns nullopt once drained.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+    space_.notify_all();
+  }
+
+  /// Consumer-side abort: close() plus discarding everything still queued,
+  /// so blocked producers wake immediately and nothing waits on a consumer
+  /// that is going away.
+  void cancel() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+      queue_.clear();
+      set_gauge("_depth", 0.0);
+    }
+    ready_.notify_all();
+    space_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  IngestQueueStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    IngestQueueStats snapshot = stats_;
+    snapshot.depth = queue_.size();
+    return snapshot;
+  }
+
+  const IngestQueueOptions& options() const { return options_; }
+
+ private:
+  // Metrics are mirrored only for named queues; an unnamed queue (tests,
+  // short-lived adapters) never touches the registry.
+  void bump(const char* suffix, std::uint64_t delta) {
+    if (!options_.metrics_prefix.empty()) {
+      obs::Registry::instance().counter(options_.metrics_prefix + suffix).add(delta);
+    }
+  }
+  void set_gauge(const char* suffix, double value) {
+    if (!options_.metrics_prefix.empty()) {
+      obs::Registry::instance().gauge(options_.metrics_prefix + suffix).set(value);
+    }
+  }
+
+  IngestQueueOptions options_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;  ///< consumer waits: queue non-empty or closed
+  std::condition_variable space_;  ///< producers wait: space available or closed
+  std::deque<Batch> queue_;
+  IngestQueueStats stats_;
+  bool closed_ = false;
+};
+
+}  // namespace seg::util

@@ -1,38 +1,64 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of the segugio CLI: simgen -> train -> classify ->
-# report -> inspect, exercising both trace formats and the model round trip.
+# report -> inspect, exercising the trace formats (binlog, dnstap, format
+# autodetection), the deprecated aliases, and the model round trip.
 set -euo pipefail
 CLI="$1"
 DIR="$(mktemp -d)"
 trap 'rm -rf "$DIR"' EXIT
 
-"$CLI" simgen --out "$DIR" --days 2 --isp 0 --binary >/dev/null
+"$CLI" simgen --out "$DIR" --days 2 --isp 0 --format binlog >/dev/null
 test -f "$DIR/day0.bin"
 test -f "$DIR/whitelist.txt"
 
-"$CLI" train --trace "$DIR/day0.bin" \
+# --input sniffs the SEGTRC1 magic; no --format needed.
+"$CLI" train --input "$DIR/day0.bin" \
   --blacklist "$DIR/blacklist-day0.txt" --whitelist "$DIR/whitelist.txt" \
   --activity "$DIR/activity.txt" --pdns "$DIR/pdns.txt" \
   --model "$DIR/model.txt" --trees 20 >/dev/null
 test -s "$DIR/model.txt"
 
-OUT="$("$CLI" classify --trace "$DIR/day1.bin" --model "$DIR/model.txt" \
+OUT="$("$CLI" classify --input "$DIR/day1.bin" --format binlog --model "$DIR/model.txt" \
   --blacklist "$DIR/blacklist-day1.txt" --whitelist "$DIR/whitelist.txt" \
   --activity "$DIR/activity.txt" --pdns "$DIR/pdns.txt" --threshold 0.5)"
 echo "$OUT" | grep -q "unknown domains scored"
 
-"$CLI" report --trace "$DIR/day1.bin" --model "$DIR/model.txt" \
+"$CLI" report --input "$DIR/day1.bin" --model "$DIR/model.txt" \
   --blacklist "$DIR/blacklist-day1.txt" --whitelist "$DIR/whitelist.txt" \
   --activity "$DIR/activity.txt" --pdns "$DIR/pdns.txt" --threshold 0.5 \
   | grep -q "remediation worklist"
 
 "$CLI" inspect --model "$DIR/model.txt" | grep -q "random forest"
 
+# Wire-format round trip: emit a dnstap capture and classify straight from
+# it (autodetected from the frame-streams control escape).
+"$CLI" simgen --out "$DIR" --days 2 --isp 0 --format dnstap >/dev/null
+test -f "$DIR/day1.dnstap"
+"$CLI" classify --input "$DIR/day1.dnstap" --model "$DIR/model.txt" \
+  --blacklist "$DIR/blacklist-day1.txt" --whitelist "$DIR/whitelist.txt" \
+  --activity "$DIR/activity.txt" --pdns "$DIR/pdns.txt" --threshold 0.5 \
+  | grep -q "unknown domains scored"
+
+# Deprecated aliases still work and warn on stderr.
+"$CLI" simgen --out "$DIR" --days 1 --isp 0 --binary 2>"$DIR/warn1.txt" >/dev/null
+grep -q "deprecated" "$DIR/warn1.txt"
+"$CLI" classify --trace "$DIR/day1.bin" --model "$DIR/model.txt" \
+  --blacklist "$DIR/blacklist-day1.txt" --whitelist "$DIR/whitelist.txt" \
+  --activity "$DIR/activity.txt" --pdns "$DIR/pdns.txt" --threshold 0.5 \
+  2>"$DIR/warn2.txt" | grep -q "unknown domains scored"
+grep -q "deprecated" "$DIR/warn2.txt"
+
 # Error paths return non-zero with a clear message.
-if "$CLI" classify --trace /nonexistent --model "$DIR/model.txt" \
+if "$CLI" classify --input /nonexistent --model "$DIR/model.txt" \
   --blacklist "$DIR/blacklist-day1.txt" --whitelist "$DIR/whitelist.txt" \
   --activity "$DIR/activity.txt" --pdns "$DIR/pdns.txt" 2>/dev/null; then
   echo "expected failure on missing trace" >&2
+  exit 1
+fi
+if "$CLI" classify --input "$DIR/day1.bin" --format bogus --model "$DIR/model.txt" \
+  --blacklist "$DIR/blacklist-day1.txt" --whitelist "$DIR/whitelist.txt" \
+  --activity "$DIR/activity.txt" --pdns "$DIR/pdns.txt" 2>/dev/null; then
+  echo "expected failure on unknown --format" >&2
   exit 1
 fi
 

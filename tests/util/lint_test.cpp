@@ -426,6 +426,56 @@ TEST(RApi1, SuppressionComment) {
   EXPECT_FALSE(has_rule(findings, "R-API1"));
 }
 
+// The ingestion redesign's deprecation surface: ingest_day survives as a
+// tagged adapter while ingest_stream is the replacement entry point.
+namespace {
+constexpr std::string_view kPipelineHeader = R"cpp(
+  #pragma once
+  class Pipeline {
+   public:
+    IngestStats ingest_stream(TraceSource& source, const BlacklistProvider& blacklist,
+                              const NameSet& whitelist, const DayCallback& on_day);
+    // seg-deprecated
+    PreparedDay ingest_day(const DayTrace& trace, const NameSet& blacklist,
+                           const NameSet& whitelist);
+  };
+)cpp";
+}  // namespace
+
+TEST(RApi1, FlagsLegacyIngestDayOutsideTests) {
+  const auto findings = run("bench/bench_thing.cpp", R"cpp(
+    void go(Pipeline& pipeline, const DayTrace& trace, const NameSet& bl,
+            const NameSet& wl) {
+      const auto day = pipeline.ingest_day(trace, bl, wl);
+    }
+  )cpp",
+                            kPipelineHeader);
+  EXPECT_TRUE(has_rule(findings, "R-API1"));
+}
+
+TEST(RApi1, IngestStreamReplacementPasses) {
+  const auto findings = run("bench/bench_thing.cpp", R"cpp(
+    void go(Pipeline& pipeline, TraceSource& source, const BlacklistProvider& bl,
+            const NameSet& wl, const DayCallback& on_day) {
+      const auto stats = pipeline.ingest_stream(source, bl, wl, on_day);
+    }
+  )cpp",
+                            kPipelineHeader);
+  EXPECT_FALSE(has_rule(findings, "R-API1"));
+}
+
+TEST(RApi1, TestFilesMayKeepLegacyIngestDay) {
+  // The batch-vs-stream parity tests deliberately call the adapter.
+  const auto findings = run("tests/core/pipeline_test.cpp", R"cpp(
+    void go(Pipeline& pipeline, const DayTrace& trace, const NameSet& bl,
+            const NameSet& wl) {
+      const auto day = pipeline.ingest_day(trace, bl, wl);
+    }
+  )cpp",
+                            kPipelineHeader);
+  EXPECT_FALSE(has_rule(findings, "R-API1"));
+}
+
 // --- Engine plumbing ---------------------------------------------------------
 
 TEST(Engine, AllowFileSuppressesEveryInstance) {

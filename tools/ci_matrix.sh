@@ -5,7 +5,7 @@
 # race-freedom contract; seg-lint runs inside every leg as a tier-1 test.
 #
 # Usage:
-#   tools/ci_matrix.sh [config ...]   # default: plain thread address undefined lint-diff obs oocore
+#   tools/ci_matrix.sh [config ...]   # default: plain thread address undefined lint-diff obs oocore ingest
 #
 # The lint-diff leg runs seg-lint v2 in whole-program diff mode against
 # origin/main (falls back to HEAD outside a clone with that ref): CI fails
@@ -22,6 +22,13 @@
 # GraphView path (mapping lifetime, varint decode bounds, classify parity)
 # gets sanitizer coverage; see docs/graph-format.md.
 #
+# The ingest leg covers the streaming front end (docs/ingestion.md): a
+# tsan soak of the queue and stream-determinism suites (repeated, so the
+# producer/consumer interleavings actually vary), the malformed-wire
+# corpus under asan (where "never UB" is checked, not assumed), and the
+# replay benchmark (SEG_BENCH_INGEST_ONLY=1), whose BENCH_pipeline.json
+# "ingest" section is archived under ${LOG_DIR}/ingest/.
+#
 # Environment:
 #   SEG_CI_JOBS     parallel build/test jobs (default: nproc)
 #   SEG_CI_LOG_DIR  where per-config logs land (default: build-logs/)
@@ -34,7 +41,7 @@ cd "$(dirname "$0")/.."
 
 CONFIGS=("$@")
 if [ ${#CONFIGS[@]} -eq 0 ]; then
-  CONFIGS=(plain thread address undefined lint-diff obs oocore)
+  CONFIGS=(plain thread address undefined lint-diff obs oocore ingest)
 fi
 
 JOBS="${SEG_CI_JOBS:-$(nproc 2>/dev/null || echo 2)}"
@@ -96,11 +103,11 @@ run_obs() {
   trap "rm -rf '${data_dir}'" RETURN
 
   echo "=== [obs] two-day example with trace/metrics/run-report ==="
-  if ! "${cli}" simgen --out "${data_dir}" --days 2 --isp 0 --binary >> "${log}" 2>&1; then
+  if ! "${cli}" simgen --out "${data_dir}" --days 2 --isp 0 --format binlog >> "${log}" 2>&1; then
     echo "    simgen FAILED (see ${log})"
     return 1
   fi
-  if ! "${cli}" train --trace "${data_dir}/day0.bin" \
+  if ! "${cli}" train --input "${data_dir}/day0.bin" \
        --blacklist "${data_dir}/blacklist-day0.txt" \
        --whitelist "${data_dir}/whitelist.txt" \
        --activity "${data_dir}/activity.txt" --pdns "${data_dir}/pdns.txt" \
@@ -111,7 +118,7 @@ run_obs() {
     echo "    train FAILED (see ${log})"
     return 1
   fi
-  if ! "${cli}" classify --trace "${data_dir}/day1.bin" \
+  if ! "${cli}" classify --input "${data_dir}/day1.bin" \
        --model "${data_dir}/model.txt" \
        --blacklist "${data_dir}/blacklist-day1.txt" \
        --whitelist "${data_dir}/whitelist.txt" \
@@ -165,6 +172,61 @@ run_oocore() {
   return 0
 }
 
+run_ingest() {
+  local log="${LOG_DIR}/ingest.log"
+  local ingest_dir="${LOG_DIR}/ingest"
+  : > "${log}"
+  mkdir -p "${ingest_dir}"
+
+  echo "=== [ingest] build tsan + asan test trees ==="
+  if ! cmake -B build-tsan -S . -DSEG_SANITIZE=thread >> "${log}" 2>&1 ||
+     ! cmake --build build-tsan -j "${JOBS}" --target util_test core_test >> "${log}" 2>&1; then
+    echo "    tsan build FAILED (see ${log})"
+    return 1
+  fi
+  if ! cmake -B build-asan -S . -DSEG_SANITIZE=address >> "${log}" 2>&1 ||
+     ! cmake --build build-asan -j "${JOBS}" --target dns_test >> "${log}" 2>&1; then
+    echo "    asan build FAILED (see ${log})"
+    return 1
+  fi
+
+  echo "=== [ingest] tsan soak: queue stress + stream determinism (x5) ==="
+  if ! build-tsan/tests/util_test --gtest_filter='IngestQueue*' \
+       --gtest_repeat=5 >> "${log}" 2>&1; then
+    echo "    ingest queue soak FAILED under tsan (see ${log})"
+    return 1
+  fi
+  if ! build-tsan/tests/core_test --gtest_filter='PipelineStream*' \
+       --gtest_repeat=5 >> "${log}" 2>&1; then
+    echo "    pipeline stream soak FAILED under tsan (see ${log})"
+    return 1
+  fi
+
+  echo "=== [ingest] asan: malformed wire corpus ==="
+  if ! build-asan/tests/dns_test --gtest_filter='WireTest*' >> "${log}" 2>&1; then
+    echo "    wire corpus FAILED under asan (see ${log})"
+    return 1
+  fi
+
+  echo "=== [ingest] replay benchmark (SEG_BENCH_INGEST_ONLY=1) ==="
+  if ! cmake -B build-plain -S . >> "${log}" 2>&1 ||
+     ! cmake --build build-plain -j "${JOBS}" --target bench_perf_efficiency \
+         >> "${log}" 2>&1; then
+    echo "    bench build FAILED (see ${log})"
+    return 1
+  fi
+  # The bench writes BENCH_pipeline.json into its cwd and exits non-zero
+  # if the blocking queue ever dropped a batch.
+  if ! (cd build-plain && SEG_BENCH_INGEST_ONLY=1 ./bench/bench_perf_efficiency) \
+       >> "${log}" 2>&1; then
+    echo "    ingest benchmark FAILED (see ${log})"
+    return 1
+  fi
+  cp build-plain/BENCH_pipeline.json "${ingest_dir}/BENCH_pipeline.json"
+  echo "    bench section archived in ${ingest_dir}/BENCH_pipeline.json"
+  return 0
+}
+
 run_config() {
   local config="$1"
   local build_dir log sanitize
@@ -176,8 +238,9 @@ run_config() {
     lint-diff) run_lint_diff; return $? ;;
     obs)       run_obs; return $? ;;
     oocore)    run_oocore; return $? ;;
+    ingest)    run_ingest; return $? ;;
     *)
-      echo "ci_matrix: unknown config '${config}' (plain|thread|address|undefined|lint-diff|obs|oocore)" >&2
+      echo "ci_matrix: unknown config '${config}' (plain|thread|address|undefined|lint-diff|obs|oocore|ingest)" >&2
       return 2
       ;;
   esac

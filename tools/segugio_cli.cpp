@@ -3,25 +3,35 @@
 // Subcommands:
 //
 //   segugio simgen --out DIR [--days N] [--isp K] [--seed S] [--scale small|bench]
+//                  [--format sim|binlog|dnstap|pcap]
 //       Generates N days of synthetic ISP traffic plus the supporting
-//       files: per-day query-log TSVs and blacklist snapshots, the e2LD
-//       whitelist, the domain-activity index, and the passive-DNS store.
+//       files: per-day query logs (in the requested trace format) and
+//       blacklist snapshots, the e2LD whitelist, the domain-activity
+//       index, and the passive-DNS store.
 //
-//   segugio train --trace FILE --blacklist FILE --whitelist FILE
+//   segugio train --input FILE [--format sim|binlog|dnstap|pcap]
+//                 --blacklist FILE --whitelist FILE
 //                 --activity FILE --pdns FILE --model OUT
 //                 [--trees N] [--no-prober-filter]
 //       Builds + labels + prunes the behavior graph for one day of traffic
 //       and trains the classifier; writes the portable model file.
 //
-//   segugio classify --trace FILE --model FILE --blacklist FILE
-//                    --whitelist FILE --activity FILE --pdns FILE
-//                    [--threshold X] [--top N] [--machines]
-//       Scores every unknown domain of the day and prints detections (with
-//       the querying machines when --machines is given).
+//   segugio classify --input FILE [--format ...] --model FILE
+//                    --blacklist FILE --whitelist FILE --activity FILE
+//                    --pdns FILE [--threshold X] [--top N] [--machines]
+//       Streams the input through the pipeline and scores every unknown
+//       domain of the final day, printing detections (with the querying
+//       machines when --machines is given). Multi-day inputs warm the
+//       session day by day before the final day is scored.
 //
 //   segugio report ...same inputs as classify... [--threshold X] [--top N]
 //       Prints the remediation worklist: machines implicated by known or
 //       newly detected malware-control domains (Section VI).
+//
+// The trace format is sniffed from the file's magic bytes unless --format
+// forces it (see docs/ingestion.md). `--trace FILE` on train/classify/
+// report and `--binary` on simgen survive as deprecated aliases of
+// `--input FILE` and `--format binlog`; each warns once per run.
 //
 //   segugio inspect --model FILE
 //       Prints the model card: classifier, windows, pruning, importances.
@@ -49,6 +59,9 @@
 #include "core/infection_report.h"
 #include "core/pipeline.h"
 #include "core/segugio.h"
+#include "dns/trace_source.h"
+#include "dns/wire/dnstap.h"
+#include "dns/wire/pcap.h"
 #include "graph/labeling.h"
 #include "sim/world.h"
 #include "util/args.h"
@@ -88,8 +101,37 @@ dns::DomainActivityIndex load_activity(const std::string& path) {
   return dns::DomainActivityIndex::load(in);
 }
 
-dns::DayTrace load_trace(const std::string& path) {
-  return path.ends_with(".bin") ? dns::read_trace_binary(path) : dns::read_trace(path);
+// Resolves the input trace path for train/classify/report. `--trace` is
+// the pre-streaming spelling, kept as a deprecated alias of `--input`.
+std::string input_path(const util::Args& args) {
+  if (args.has("input")) {
+    return args.get("input");
+  }
+  util::require_data(args.has("trace"),
+                     "pass --input FILE (optionally --format sim|binlog|dnstap|pcap)");
+  std::fprintf(stderr,
+               "segugio: --trace is deprecated; use --input FILE [--format ...]\n");
+  return args.get("trace");
+}
+
+dns::TraceFormat input_format(const util::Args& args, const std::string& path) {
+  return args.has("format") ? dns::parse_format(args.get("format"))
+                            : dns::detect_format(path);
+}
+
+// Reads a whole (single-day) input into memory — the one-shot train path.
+dns::DayTrace load_input(const util::Args& args) {
+  const auto path = input_path(args);
+  dns::FileTraceSource source(path, input_format(args, path));
+  dns::DayTrace trace;
+  std::size_t days = 0;
+  dns::collect_days(source, [&](dns::DayTrace&& day) {
+    trace = std::move(day);
+    ++days;
+  });
+  util::require_data(days <= 1, "'" + path + "' spans " + std::to_string(days) +
+                                    " days; train expects a single-day trace");
+  return trace;
 }
 
 dns::PassiveDnsDb load_pdns(const std::string& path) {
@@ -109,15 +151,43 @@ int cmd_simgen(const util::Args& args) {
   sim::World world{scenario};
   util::require_data(isp < world.isp_count(), "simgen: --isp out of range");
 
-  const bool binary = args.flag("binary");
+  auto format = dns::TraceFormat::kSim;
+  if (args.has("format")) {
+    format = dns::parse_format(args.get("format"));
+  } else if (args.flag("binary")) {
+    std::fprintf(stderr, "segugio: --binary is deprecated; use --format binlog\n");
+    format = dns::TraceFormat::kBinlog;
+  }
+  const char* extension = ".tsv";
+  switch (format) {
+    case dns::TraceFormat::kSim:
+      break;
+    case dns::TraceFormat::kBinlog:
+      extension = ".bin";
+      break;
+    case dns::TraceFormat::kDnstap:
+      extension = ".dnstap";
+      break;
+    case dns::TraceFormat::kPcap:
+      extension = ".pcap";
+      break;
+  }
   for (dns::Day day = 0; day < days; ++day) {
     const auto trace = world.generate_day(isp, day);
-    const auto trace_path =
-        out_dir + "/day" + std::to_string(day) + (binary ? ".bin" : ".tsv");
-    if (binary) {
-      dns::write_trace_binary(trace, trace_path);
-    } else {
-      dns::write_trace(trace, trace_path);
+    const auto trace_path = out_dir + "/day" + std::to_string(day) + extension;
+    switch (format) {
+      case dns::TraceFormat::kSim:
+        dns::write_trace(trace, trace_path);
+        break;
+      case dns::TraceFormat::kBinlog:
+        dns::write_trace_binary(trace, trace_path);
+        break;
+      case dns::TraceFormat::kDnstap:
+        dns::wire::write_dnstap_trace(trace, trace_path);
+        break;
+      case dns::TraceFormat::kPcap:
+        dns::wire::write_pcap_trace(trace, trace_path);
+        break;
     }
     save_name_set(world.blacklist().as_of(sim::BlacklistKind::kCommercial, day),
                   out_dir + "/blacklist-day" + std::to_string(day) + ".txt");
@@ -139,7 +209,7 @@ int cmd_simgen(const util::Args& args) {
 }
 
 int cmd_train(const util::Args& args) {
-  const auto trace = load_trace(args.get("trace"));
+  const auto trace = load_input(args);
   const auto blacklist = load_name_set(args.get("blacklist"));
   const auto whitelist = load_name_set(args.get("whitelist"));
   const auto activity = load_activity(args.get("activity"));
@@ -179,7 +249,7 @@ struct DayRun {
 };
 
 DayRun run_day(const util::Args& args) {
-  const auto trace = load_trace(args.get("trace"));
+  const auto path = input_path(args);
   const auto blacklist = load_name_set(args.get("blacklist"));
   const auto whitelist = load_name_set(args.get("whitelist"));
   const auto activity = load_activity(args.get("activity"));
@@ -191,9 +261,20 @@ DayRun run_day(const util::Args& args) {
 
   core::Pipeline pipeline(psl, activity, pdns, segugio.config());
   pipeline.detector() = std::move(segugio);
-  auto day = pipeline.ingest_day(trace, blacklist, whitelist);
-  auto report = pipeline.classify(day);
-  return {std::move(day.graph), std::move(report)};
+
+  dns::FileTraceSource source(path, input_format(args, path));
+  core::PreparedDay last;
+  std::size_t days = 0;
+  pipeline.ingest_stream(
+      source, [&blacklist](dns::Day) -> const graph::NameSet& { return blacklist; },
+      whitelist,
+      [&](core::PreparedDay&& day) {
+        last = std::move(day);
+        ++days;
+      });
+  util::require_data(days > 0, "'" + path + "' holds no records to classify");
+  auto report = pipeline.classify(last);
+  return {std::move(last.graph), std::move(report)};
 }
 
 int cmd_classify(const util::Args& args) {
