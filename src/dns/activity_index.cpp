@@ -73,7 +73,7 @@ std::optional<Day> DomainActivityIndex::first_seen(std::string_view name) const 
 
 void DomainActivityIndex::visit(
     const std::function<void(std::string_view, std::span<const Day>)>& fn) const {
-  for (const auto& [name, days] : days_) {  // seg-lint: allow(R-DET2)
+  for (const auto& [name, days] : days_) {
     fn(name, days);
   }
 }
@@ -84,7 +84,7 @@ void DomainActivityIndex::save(std::ostream& out) const {
   // identical bytes; hash-table order would leak into the file otherwise.
   std::vector<std::string_view> names;
   names.reserve(days_.size());
-  for (const auto& [name, days] : days_) {  // seg-lint: allow(R-DET2)
+  for (const auto& [name, days] : days_) {
     names.push_back(name);
   }
   std::sort(names.begin(), names.end());

@@ -55,7 +55,6 @@ std::size_t PassiveDnsDb::distinct_ip_count() const {
   // An IP may appear in both indexes; count the union. Iteration order is
   // irrelevant to a count.
   std::size_t count = ip_malware_.size();
-  // seg-lint: allow(R-DET2)
   for (const auto& [ip, days] : ip_unknown_) {
     if (!ip_malware_.contains(ip)) {
       ++count;
@@ -98,7 +97,7 @@ void PassiveDnsDb::visit(
     case PdnsIndexKind::kPrefixMalware: index = &prefix_malware_; break;
     case PdnsIndexKind::kPrefixUnknown: index = &prefix_unknown_; break;
   }
-  for (const auto& [key, days] : *index) {  // seg-lint: allow(R-DET2)
+  for (const auto& [key, days] : *index) {
     fn(key, days);
   }
 }
@@ -127,7 +126,7 @@ void save_index(std::ostream& out, const char* tag,
   // could produce different files.
   std::vector<std::uint32_t> keys;
   keys.reserve(index.size());
-  for (const auto& [key, days] : index) {  // seg-lint: allow(R-DET2)
+  for (const auto& [key, days] : index) {
     keys.push_back(key);
   }
   std::sort(keys.begin(), keys.end());

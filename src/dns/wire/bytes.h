@@ -24,6 +24,7 @@ class ByteCursor {
   explicit ByteCursor(std::span<const unsigned char> data) : data_(data) {}
 
   std::size_t pos() const { return pos_; }
+  std::size_t size() const { return data_.size(); }
   std::size_t remaining() const { return data_.size() - pos_; }
   bool done() const { return pos_ == data_.size(); }
 
@@ -86,6 +87,26 @@ class ByteCursor {
   void skip(std::size_t n, std::string_view what) {
     require_bytes(n, what);
     pos_ += n;
+  }
+
+  /// Reads the byte at absolute `offset` without moving the cursor — the
+  /// random-access side of compression-pointer back-references. All
+  /// bounds-checked random access goes through u8_at/view_at so R-WIRE1
+  /// (docs/static-analysis.md) can confine raw subscripts to this header.
+  std::uint8_t u8_at(std::size_t offset, std::string_view what) const {
+    util::require_data(offset < data_.size(),
+                       std::string(what) + ": offset past buffer end");
+    return data_[offset];
+  }
+
+  /// Borrows `n` bytes at absolute `offset` without moving the cursor (a
+  /// subspan of the underlying buffer, valid as long as the buffer).
+  std::span<const unsigned char> view_at(std::size_t offset, std::size_t n,
+                                         std::string_view what) const {
+    util::require_data(offset <= data_.size() && n <= data_.size() - offset,
+                       std::string(what) + ": truncated (need " + std::to_string(n) +
+                           " bytes at offset " + std::to_string(offset) + ")");
+    return data_.subspan(offset, n);
   }
 
   /// The whole underlying buffer (for compression-pointer back-references).

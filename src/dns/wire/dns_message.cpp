@@ -10,6 +10,7 @@ namespace {
 constexpr std::size_t kMaxNameBytes = 255;  // RFC 1035 §2.3.4
 constexpr std::size_t kMaxLabelBytes = 63;
 constexpr std::size_t kMaxPointerJumps = 32;  // far above any legal chain
+constexpr std::uint16_t kOptRrType = 41;      // EDNS0 OPT pseudo-RR (RFC 6891)
 
 // Decodes a (possibly compressed) domain name starting at the cursor,
 // appending dotted labels to `out`. The cursor ends just past the name's
@@ -17,33 +18,24 @@ constexpr std::size_t kMaxPointerJumps = 32;  // far above any legal chain
 void read_name(ByteCursor& cursor, std::string& out) {
   out.clear();
   std::size_t jumps = 0;
-  // After the first compression pointer we walk the underlying buffer at
-  // `offset` instead of the cursor (the cursor already advanced past the
-  // 2-byte pointer and must not move again).
-  const auto buffer = cursor.buffer();
+  // After the first compression pointer we walk the message at `offset`
+  // through the cursor's bounds-checked random access (u8_at / view_at) —
+  // the cursor's own position already advanced past the 2-byte pointer and
+  // must not move again.
   std::size_t offset = 0;
   bool jumped = false;
   std::size_t name_bytes = 0;
   while (true) {
-    std::uint8_t len = 0;
-    if (!jumped) {
-      len = cursor.u8("dns name");
-    } else {
-      util::require_data(offset < buffer.size(), "dns name: pointer past message end");
-      len = buffer[offset++];
-    }
+    const std::uint8_t len =
+        jumped ? cursor.u8_at(offset++, "dns name") : cursor.u8("dns name");
     if ((len & 0xc0) == 0xc0) {
       // Compression pointer: 14-bit offset into the message.
-      std::uint8_t low = 0;
-      if (!jumped) {
-        low = cursor.u8("dns name pointer");
-      } else {
-        util::require_data(offset < buffer.size(), "dns name: pointer past message end");
-        low = buffer[offset++];
-      }
+      const std::uint8_t low = jumped ? cursor.u8_at(offset++, "dns name pointer")
+                                      : cursor.u8("dns name pointer");
       const std::size_t target =
           (static_cast<std::size_t>(len & 0x3f) << 8) | low;
-      util::require_data(target < buffer.size(), "dns name: compression pointer out of range");
+      util::require_data(target < cursor.size(),
+                         "dns name: compression pointer out of range");
       util::require_data(++jumps <= kMaxPointerJumps, "dns name: compression pointer loop");
       offset = target;
       jumped = true;
@@ -60,8 +52,7 @@ void read_name(ByteCursor& cursor, std::string& out) {
     if (!jumped) {
       label = cursor.take(len, "dns name label");
     } else {
-      util::require_data(offset + len <= buffer.size(), "dns name label: truncated");
-      label = buffer.subspan(offset, len);
+      label = cursor.view_at(offset, len, "dns name label");
       offset += len;
     }
     if (!out.empty()) {
@@ -112,13 +103,40 @@ DnsSummary summarize(std::span<const unsigned char> message) {
   for (std::uint16_t a = 0; a < ancount; ++a) {
     read_resource_record(cursor, scratch, &summary);
   }
-  // Authority/additional must still parse — a capture that lies about its
-  // counts or truncates mid-record is rejected, not silently accepted.
+  // Authority must still parse — a capture that lies about its counts or
+  // truncates mid-record is rejected, not silently accepted.
   for (std::uint16_t r = 0; r < nscount; ++r) {
     read_resource_record(cursor, scratch, nullptr);
   }
   for (std::uint16_t r = 0; r < arcount; ++r) {
-    read_resource_record(cursor, scratch, nullptr);
+    // EDNS0 OPT pseudo-RRs (RFC 6891, type 41) carry resolver capability
+    // bits Segugio never reads, and real captures routinely truncate them
+    // (snap length). They are skipped leniently and counted; a malformed
+    // OPT ends the additional section instead of rejecting the message.
+    // Every other additional record stays strict.
+    read_name(cursor, scratch);
+    const auto rr_type = cursor.u16be("rr type");
+    if (rr_type == kOptRrType) {
+      if (cursor.remaining() < 8) {  // class(2) + ttl(4) + rdlength(2)
+        ++summary.opt_skipped;
+        break;
+      }
+      cursor.skip(2, "opt udp size");
+      cursor.skip(4, "opt extended rcode/flags");
+      const auto rdlength = cursor.u16be("opt rdlength");
+      if (rdlength > cursor.remaining()) {
+        ++summary.opt_skipped;
+        break;
+      }
+      cursor.skip(rdlength, "opt rdata");
+      ++summary.opt_records;
+      continue;
+    }
+    const auto rr_class = cursor.u16be("rr class");
+    (void)rr_class;
+    cursor.skip(4, "rr ttl");
+    const auto rdlength = cursor.u16be("rr rdlength");
+    cursor.skip(rdlength, "rr rdata");
   }
   return summary;
 }

@@ -6,7 +6,11 @@
 // message — header, first question, answer section with name-compression
 // support — and nothing else; authority/additional sections are skipped
 // structurally (they must still be well-formed, so corrupt captures fail
-// loudly instead of yielding half-parsed records).
+// loudly instead of yielding half-parsed records). The one deliberate
+// leniency: EDNS0 OPT pseudo-RRs (RFC 6891) in the additional section are
+// skipped and counted even when truncated by the capture's snap length —
+// a malformed OPT ends the additional section, it does not reject the
+// message (opt_records / opt_skipped in the summary).
 //
 // Structural malformation (truncation, compression-pointer loops, label
 // overflow) throws util::ParseError; semantically uninteresting messages
@@ -30,6 +34,11 @@ struct DnsSummary {
   std::uint8_t rcode = 0;     ///< 0 = NOERROR
   std::string qname;          ///< first question, dotted form, no trailing dot
   std::vector<IpV4> a_records;  ///< A/IN rdata from the answer section
+  /// EDNS0 OPT pseudo-RRs (RFC 6891, type 41) in the additional section:
+  /// well-formed ones skipped, plus malformed/truncated ones that ended the
+  /// additional section leniently instead of rejecting the message.
+  std::uint32_t opt_records = 0;
+  std::uint32_t opt_skipped = 0;
 };
 
 /// Parses one DNS message. Throws util::ParseError on malformed wire data.

@@ -143,6 +143,8 @@ bool PcapReader::next(QueryRecord& record) {
       continue;
     }
     const auto summary = summarize(datagram.dns);
+    opt_records_ += summary.opt_records;
+    opt_skipped_ += summary.opt_skipped;
     if (!summary.is_response || summary.rcode != 0 || summary.qname.empty() ||
         summary.a_records.empty()) {
       ++skipped_;

@@ -42,12 +42,20 @@ class PcapReader {
   /// non-UDP, wrong port, queries, responses without A records).
   std::uint64_t skipped() const { return skipped_; }
 
+  /// EDNS0 OPT pseudo-RRs encountered across the capture's UDP/53
+  /// messages: well-formed ones skipped, and malformed/truncated ones
+  /// tolerated leniently (see dns_message.h).
+  std::uint64_t opt_records() const { return opt_records_; }
+  std::uint64_t opt_skipped() const { return opt_skipped_; }
+
  private:
   std::span<const unsigned char> data_;
   std::size_t pos_ = 0;
   bool swapped_ = false;   // capture byte order != file byte order
   std::uint32_t linktype_ = 0;
   std::uint64_t skipped_ = 0;
+  std::uint64_t opt_records_ = 0;
+  std::uint64_t opt_skipped_ = 0;
 };
 
 /// Writes `trace` as a classic pcap capture (microsecond magic, Ethernet

@@ -135,8 +135,6 @@ void NameCache::save(std::ostream& out) const {
   // dictionary contents.
   std::map<std::string_view, const Entry*> sorted;
   for (const auto& shard : shards_) {
-    // seg-lint: allow(R-DET2) — collected into the ordered map above before
-    // a single byte is written.
     for (const auto& [key, index] : shard.ids) {
       sorted.emplace(key, &shard.entries[index]);
     }

@@ -1,0 +1,56 @@
+// Whole-program call graph for seg-lint v3.
+//
+// Nodes are the function *definitions* from the symbol index (records with
+// bodies); edges are resolved call sites found by re-walking each body's
+// token range. Resolution is deliberately conservative, in the style of the
+// rest of the checker (no real name lookup, no overload resolution):
+//
+//   - a call `name(args...)` links to every indexed definition whose last
+//     name component matches and whose declared arity matches the argument
+//     count; when no arity matches (default arguments, variadics), it
+//     links to every same-name definition instead;
+//   - member calls (`obj.method(...)`) resolve by method name the same
+//     way, which over-approximates virtual dispatch: all overriders with a
+//     matching shape become callees;
+//   - ALL_CAPS macro-shaped names and control-flow keywords are skipped.
+//
+// Over-approximation is the right failure mode here: the dataflow pass on
+// top (dataflow.h) uses the graph to propagate "may taint" facts, where a
+// spurious edge can at worst widen a fact, never hide one.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "util/lint/symbol_index.h"
+
+namespace seg::lint {
+
+class CallGraph {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Builds the graph over every definition in `index`. `model` supplies
+  /// the token streams the records' body ranges point into. Deterministic:
+  /// records are visited in index order, callee lists keep record order.
+  static CallGraph build(const SymbolIndex& index, const ProjectModel& model);
+
+  /// Callee record indices per symbol record (empty for records without
+  /// bodies). Parallel to `index.records()`.
+  const std::vector<std::vector<std::size_t>>& callees() const { return callees_; }
+
+  /// All definition records whose last name component is `name` and whose
+  /// arity matches; falls back to every same-name definition when no arity
+  /// matches. Sorted ascending.
+  std::vector<std::size_t> resolve(std::string_view name, std::size_t arity) const;
+
+ private:
+  const SymbolIndex* index_ = nullptr;
+  std::vector<std::vector<std::size_t>> callees_;
+  /// Sorted (name, record) pairs over definitions, for binary-search
+  /// resolution without hash-map iteration anywhere near report order.
+  std::vector<std::pair<std::string_view, std::size_t>> by_name_;
+};
+
+}  // namespace seg::lint

@@ -9,8 +9,12 @@
 #include <string>
 #include <unordered_set>
 
+#include "util/lint/analysis_cache.h"
+#include "util/lint/call_graph.h"
+#include "util/lint/dataflow.h"
 #include "util/lint/project_model.h"
 #include "util/lint/symbol_index.h"
+#include "util/parallel.h"
 
 namespace seg::lint {
 
@@ -160,6 +164,8 @@ std::vector<Finding> lint_text(std::string_view path, std::string_view text,
   info.is_test = is_test_path(path);
   info.obs_allowed = path_contains(path, options.obs_allowlist);
   info.mmap_allowed = path_contains(path, options.mmap_allowlist);
+  info.wire_scope = path_contains(path, options.wire_paths);
+  info.wire_allowed = path_contains(path, options.wire_allowlist);
 
   return filter_rules(run_rules(info, lexed, decls, deprecated), options);
 }
@@ -185,6 +191,8 @@ std::vector<Finding> lint_file(const std::string& path, const LintOptions& optio
   info.is_test = is_test_path(path);
   info.obs_allowed = path_contains(path, options.obs_allowlist);
   info.mmap_allowed = path_contains(path, options.mmap_allowlist);
+  info.wire_scope = path_contains(path, options.wire_paths);
+  info.wire_allowed = path_contains(path, options.wire_allowlist);
 
   return filter_rules(run_rules(info, lexed, decls, deprecated), options);
 }
@@ -216,8 +224,215 @@ std::vector<std::string> collect_sources(const std::vector<std::string>& roots) 
   return sources;
 }
 
+std::vector<Finding> lint_model(const ProjectModel& model, const LintOptions& options,
+                                AnalysisCache* cache) {
+  const std::size_t file_count = model.files().size();
+
+  // Symbol index, reusing cached per-file scans for byte-identical files.
+  SymbolIndex index;
+  if (cache != nullptr) {
+    for (std::size_t f = 0; f < file_count; ++f) {
+      const ProjectFile& file = model.files()[f];
+      const std::uint64_t key = cache_hash(file.text);
+      AnalysisCache::SymbolEntry entry;
+      if (cache->lookup_symbols(key, entry)) {
+        index.add_cached(entry.records, entry.deprecated, f, file.path);
+        continue;
+      }
+      const std::size_t record_base = index.records().size();
+      const std::size_t deprecated_base = index.deprecated().decls.size();
+      index.add_file(file, f);
+      entry.records.assign(index.records().begin() + record_base,
+                           index.records().end());
+      entry.deprecated.assign(index.deprecated().decls.begin() + deprecated_base,
+                              index.deprecated().decls.end());
+      cache->store_symbols(key, std::move(entry));
+    }
+  } else {
+    index = SymbolIndex::build(model);
+  }
+
+  // Hash of the project-wide deprecated set: part of the per-file rule
+  // cache key, since R-API1 resolves against it.
+  std::uint64_t deprecated_hash = 1469598103934665603ULL;
+  for (const auto& decl : index.deprecated().decls) {
+    deprecated_hash = cache_hash(decl.name, deprecated_hash);
+    deprecated_hash = cache_hash(std::to_string(decl.arity), deprecated_hash);
+  }
+
+  // Per-file pass, parallelized over util::parallel_for. Results land in
+  // per-file slots and are concatenated in model order afterwards, so the
+  // output is byte-identical at any thread count.
+  std::vector<std::vector<Finding>> per_file(file_count);
+  std::vector<UnorderedDecls> closure_decls(file_count);
+  SuppressionUsage usage;
+  usage.used.resize(file_count);
+  for (std::size_t f = 0; f < file_count; ++f) {
+    usage.used[f].assign(model.files()[f].lex.suppressions.size(), 0);
+  }
+
+  // Include closure of every file, in deterministic (index) order.
+  // Precomputed serially: the DFS worklist would trip R-RACE2's own
+  // captured-growth heuristic inside the parallel body, and the closures
+  // double as cache-key inputs.
+  std::vector<std::vector<std::size_t>> closures(file_count);
+  for (std::size_t f = 0; f < file_count; ++f) {
+    std::vector<char> seen(file_count, 0);
+    std::vector<std::size_t> stack{f};
+    seen[f] = 1;
+    while (!stack.empty()) {
+      const std::size_t at = stack.back();
+      stack.pop_back();
+      for (const auto& edge : model.files()[at].edges) {
+        if (edge.target != ProjectModel::npos && seen[edge.target] == 0) {
+          seen[edge.target] = 1;
+          stack.push_back(edge.target);
+        }
+      }
+    }
+    for (std::size_t at = 0; at < file_count; ++at) {
+      if (seen[at] != 0) {
+        closures[f].push_back(at);
+      }
+    }
+  }
+
+  util::parallel_for(file_count, [&](std::size_t f) {
+    const ProjectFile& file = model.files()[f];
+    if (file.text.empty() && file.lex.tokens.empty()) {
+      return;  // unreadable (build() records it empty) or genuinely empty
+    }
+    const std::vector<std::size_t>& closure = closures[f];
+
+    // Unordered-container declarations come from the file plus everything
+    // it reaches through the include graph. Two passes: the first registers
+    // every alias regardless of which closure member declares it, the
+    // second resolves alias-typed declarations against the full alias set —
+    // one pass would miss a variable whose alias lives in a header scanned
+    // later (collection is idempotent, so rescanning is safe).
+    UnorderedDecls& decls = closure_decls[f];
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const std::size_t at : closure) {
+        collect_unordered_decls(model.files()[at].lex.tokens, decls);
+      }
+    }
+
+    FileInfo info;
+    info.path = file.path;
+    info.is_header = file.is_header;
+    info.emission = is_emission_file(file.path, file.lex.tokens, options);
+    info.timing_allowed = path_contains(file.path, options.timing_allowlist);
+    info.is_test = is_test_path(file.path);
+    info.obs_allowed = path_contains(file.path, options.obs_allowlist);
+    info.mmap_allowed = path_contains(file.path, options.mmap_allowlist);
+    info.wire_scope = path_contains(file.path, options.wire_paths);
+    info.wire_allowed = path_contains(file.path, options.wire_allowlist);
+    info.whole_program = true;  // R-DET3 supersedes file-local R-DET2
+
+    std::uint64_t rule_key = 0;
+    if (cache != nullptr) {
+      rule_key = cache_hash(file.path);
+      for (const std::size_t at : closure) {
+        rule_key = cache_hash(model.files()[at].text, rule_key);
+      }
+      rule_key ^= deprecated_hash;
+      AnalysisCache::RuleEntry entry;
+      if (cache->lookup_rules(rule_key, entry) &&
+          entry.suppression_used.size() == usage.used[f].size()) {
+        per_file[f] = std::move(entry.findings);
+        usage.used[f] = std::move(entry.suppression_used);
+        return;
+      }
+    }
+
+    // R-API1 resolves against the project-wide deprecated set, so calls
+    // through headers this file never includes are still caught.
+    per_file[f] = run_rules(info, file.lex, decls, index.deprecated(),
+                            &usage.used[f]);
+    if (cache != nullptr) {
+      cache->store_rules(rule_key,
+                         AnalysisCache::RuleEntry{per_file[f], usage.used[f]});
+    }
+  });
+
+  std::vector<Finding> findings;
+  for (auto& slot : per_file) {
+    findings.insert(findings.end(), std::make_move_iterator(slot.begin()),
+                    std::make_move_iterator(slot.end()));
+  }
+
+  auto arch = check_layering(model, &usage);
+  findings.insert(findings.end(), std::make_move_iterator(arch.begin()),
+                  std::make_move_iterator(arch.end()));
+  auto cycles = check_include_cycles(model);
+  findings.insert(findings.end(), std::make_move_iterator(cycles.begin()),
+                  std::make_move_iterator(cycles.end()));
+  auto odr = check_odr(index, model, &usage);
+  findings.insert(findings.end(), std::make_move_iterator(odr.begin()),
+                  std::make_move_iterator(odr.end()));
+
+  // Interprocedural passes (seg-lint v3): call graph, then R-DET3 taint
+  // tracking and R-EXC1 thread-exception routing. Finding anchors in test
+  // code are dropped — fixtures exercise the patterns on purpose — and
+  // per-file suppressions apply at the anchor.
+  const CallGraph graph = CallGraph::build(index, model);
+  const DataflowResult flow = run_dataflow(index, graph, model, closure_decls);
+  std::vector<Finding> interproc = flow.det3;
+  auto exc = check_thread_exceptions(index, graph, model, flow);
+  interproc.insert(interproc.end(), std::make_move_iterator(exc.begin()),
+                   std::make_move_iterator(exc.end()));
+  for (auto& finding : interproc) {
+    if (is_test_path(finding.file)) {
+      continue;
+    }
+    const std::size_t file_index = model.index_of(finding.file);
+    if (file_index != ProjectModel::npos) {
+      std::vector<Finding> one;
+      one.push_back(std::move(finding));
+      one = apply_suppressions(std::move(one),
+                               model.files()[file_index].lex.suppressions,
+                               &usage.used[file_index]);
+      if (!one.empty()) {
+        findings.push_back(std::move(one.front()));
+      }
+    } else {
+      findings.push_back(std::move(finding));
+    }
+  }
+
+  // R-SUP1: a directive no pass used is stale — it either outlived the code
+  // it excused or names the wrong rule. Not itself suppressible.
+  for (std::size_t f = 0; f < file_count; ++f) {
+    const ProjectFile& file = model.files()[f];
+    if (path_contains(file.path, options.sup_exempt_paths)) {
+      continue;
+    }
+    for (std::size_t s = 0; s < file.lex.suppressions.size(); ++s) {
+      if (usage.used[f][s] != 0) {
+        continue;
+      }
+      const Suppression& sup = file.lex.suppressions[s];
+      findings.push_back(Finding{
+          file.path, sup.line, "R-SUP1",
+          "stale suppression: '" + std::string(sup.whole_file ? "allow-file" : "allow") +
+              "(" + sup.rule + ")' matched no finding — delete the directive "
+              "or fix the rule name"});
+    }
+  }
+
+  findings = filter_rules(std::move(findings), options);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  return findings;
+}
+
 std::vector<Finding> lint_project(const std::vector<std::string>& sources,
-                                  const LintOptions& options) {
+                                  const LintOptions& options, AnalysisCache* cache) {
   LayersConfig layers;
   if (!options.layers_file.empty()) {
     std::string toml;
@@ -232,69 +447,7 @@ std::vector<Finding> lint_project(const std::vector<std::string>& sources,
   }
 
   const ProjectModel model = ProjectModel::build(sources, options, layers);
-  const SymbolIndex index = SymbolIndex::build(model);
-
-  std::vector<Finding> findings;
-  for (std::size_t f = 0; f < model.files().size(); ++f) {
-    const ProjectFile& file = model.files()[f];
-    if (file.text.empty() && file.lex.tokens.empty()) {
-      continue;  // unreadable (build() records it empty) or genuinely empty
-    }
-
-    // Unordered-container declarations come from the file plus everything it
-    // reaches through the include graph — same scope the one-file driver
-    // gets from collect_decls_recursive, but with each header lexed once.
-    UnorderedDecls decls;
-    std::vector<char> seen(model.files().size(), 0);
-    std::vector<std::size_t> stack{f};
-    seen[f] = 1;
-    while (!stack.empty()) {
-      const std::size_t at = stack.back();
-      stack.pop_back();
-      collect_unordered_decls(model.files()[at].lex.tokens, decls);
-      for (const auto& edge : model.files()[at].edges) {
-        if (edge.target != ProjectModel::npos && seen[edge.target] == 0) {
-          seen[edge.target] = 1;
-          stack.push_back(edge.target);
-        }
-      }
-    }
-
-    FileInfo info;
-    info.path = file.path;
-    info.is_header = file.is_header;
-    info.emission = is_emission_file(file.path, file.lex.tokens, options);
-    info.timing_allowed = path_contains(file.path, options.timing_allowlist);
-    info.is_test = is_test_path(file.path);
-    info.obs_allowed = path_contains(file.path, options.obs_allowlist);
-    info.mmap_allowed = path_contains(file.path, options.mmap_allowlist);
-
-    // R-API1 resolves against the project-wide deprecated set, so calls
-    // through headers this file never includes are still caught.
-    auto file_findings = run_rules(info, file.lex, decls, index.deprecated());
-    findings.insert(findings.end(), std::make_move_iterator(file_findings.begin()),
-                    std::make_move_iterator(file_findings.end()));
-  }
-
-  auto arch = check_layering(model);
-  findings.insert(findings.end(), std::make_move_iterator(arch.begin()),
-                  std::make_move_iterator(arch.end()));
-  auto cycles = check_include_cycles(model);
-  findings.insert(findings.end(), std::make_move_iterator(cycles.begin()),
-                  std::make_move_iterator(cycles.end()));
-  auto odr = check_odr(index, model);
-  findings.insert(findings.end(), std::make_move_iterator(odr.begin()),
-                  std::make_move_iterator(odr.end()));
-
-  findings = filter_rules(std::move(findings), options);
-  std::sort(findings.begin(), findings.end(),
-            [](const Finding& a, const Finding& b) {
-              if (a.file != b.file) return a.file < b.file;
-              if (a.line != b.line) return a.line < b.line;
-              if (a.rule != b.rule) return a.rule < b.rule;
-              return a.message < b.message;
-            });
-  return findings;
+  return lint_model(model, options, cache);
 }
 
 }  // namespace seg::lint

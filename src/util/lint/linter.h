@@ -29,6 +29,17 @@ struct LintOptions {
   /// munmap, mremap, madvise, mbind); everything else must go through
   /// util::MmapFile (R-MEM1).
   std::vector<std::string> mmap_allowlist = {"util/mmap_file"};
+  /// Path substrings on the wire-parsing surface: raw byte-buffer
+  /// subscripts and pointer arithmetic are confined to ByteCursor there
+  /// (R-WIRE1).
+  std::vector<std::string> wire_paths = {"dns/wire/"};
+  /// Path substrings of the ByteCursor implementation itself (R-WIRE1
+  /// exempt — it is where the bounds checks live).
+  std::vector<std::string> wire_allowlist = {"dns/wire/bytes"};
+  /// Path substrings exempt from stale-suppression detection (R-SUP1). The
+  /// checker's own sources mention directives in documentation comments,
+  /// which the lexer cannot tell from real ones.
+  std::vector<std::string> sup_exempt_paths = {"util/lint"};
   /// Extra path substrings forced into R-DET2's emission scope. Files are
   /// auto-classified as emission when they use stream/printf output or live
   /// under a feature-extraction / serialization path.
@@ -58,14 +69,29 @@ std::vector<Finding> lint_file(const std::string& path, const LintOptions& optio
 /// lexicographically sorted so diagnostics order is stable.
 std::vector<std::string> collect_sources(const std::vector<std::string>& roots);
 
-/// Whole-program lint (seg-lint v2): loads every source once into the
-/// project model (project_model.h), runs the per-file rules with R-API1
-/// backed by the cross-TU symbol index, then the cross-file passes —
-/// R-ARCH1 layering (when `options.layers_file` is set), R-ARCH2 include
-/// cycles, and R-ODR1. Findings come back sorted by (file, line, rule).
-/// A malformed layers file yields a single CONFIG finding.
+class ProjectModel;
+class AnalysisCache;
+
+/// Whole-program lint (seg-lint v3): loads every source once into the
+/// project model (project_model.h), runs the per-file rules in parallel
+/// (util::parallel_for; set_parallelism / SEG_THREADS control the width,
+/// output is byte-identical at any width) with R-API1 backed by the
+/// cross-TU symbol index, then the cross-file passes — R-ARCH1 layering
+/// (when `options.layers_file` is set), R-ARCH2 include cycles, R-ODR1,
+/// and the interprocedural dataflow rules R-DET3 / R-EXC1 (dataflow.h).
+/// Suppression directives that cover no finding come back as R-SUP1.
+/// Findings are sorted by (file, line, rule). A malformed layers file
+/// yields a single CONFIG finding. `cache` (analysis_cache.h) optionally
+/// reuses per-file results across runs — the --diff-base double lint.
 std::vector<Finding> lint_project(const std::vector<std::string>& sources,
-                                  const LintOptions& options);
+                                  const LintOptions& options,
+                                  AnalysisCache* cache = nullptr);
+
+/// The analysis half of lint_project, over an already-built model. Exposed
+/// so tests can lint in-memory trees (ProjectModel::from_memory).
+std::vector<Finding> lint_model(const ProjectModel& model,
+                                const LintOptions& options,
+                                AnalysisCache* cache = nullptr);
 
 /// Classification used for R-DET2 scoping; exposed for tests.
 bool is_emission_file(std::string_view path, const std::vector<Token>& tokens,

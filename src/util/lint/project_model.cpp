@@ -320,7 +320,8 @@ std::vector<std::size_t> ProjectModel::chain_to(std::size_t file) const {
 
 // --- R-ARCH1 ----------------------------------------------------------------
 
-std::vector<Finding> check_layering(const ProjectModel& model) {
+std::vector<Finding> check_layering(const ProjectModel& model,
+                                    SuppressionUsage* usage) {
   std::vector<Finding> all;
   const auto& layers = model.layers();
   for (std::size_t i = 0; i < model.files().size(); ++i) {
@@ -351,7 +352,8 @@ std::vector<Finding> check_layering(const ProjectModel& model) {
               (allowed_names.empty() ? "none" : allowed_names) +
               "); include chain: " + chain});
     }
-    per_file = apply_suppressions(std::move(per_file), file.lex.suppressions);
+    per_file = apply_suppressions(std::move(per_file), file.lex.suppressions,
+                                  usage ? &usage->used[i] : nullptr);
     all.insert(all.end(), std::make_move_iterator(per_file.begin()),
                std::make_move_iterator(per_file.end()));
   }

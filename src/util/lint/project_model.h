@@ -119,8 +119,10 @@ class ProjectModel {
 
 /// R-ARCH1: every resolved include edge must stay within the including
 /// file's layer or an allowed layer. Suppressible on the #include line with
-/// `// seg-lint: allow(R-ARCH1)` (or `allow(arch)`).
-std::vector<Finding> check_layering(const ProjectModel& model);
+/// `// seg-lint: allow(R-ARCH1)` (or `allow(arch)`). When `usage` is
+/// non-null, suppressions that drop a finding are marked used.
+std::vector<Finding> check_layering(const ProjectModel& model,
+                                    SuppressionUsage* usage = nullptr);
 
 /// R-ARCH2: reports each strongly-connected component of the quoted-include
 /// graph with more than one file (or a self-include) once, on its

@@ -54,6 +54,7 @@ std::string json_escape(std::string_view text) {
 std::string_view rule_description(std::string_view rule) {
   if (rule == "R-DET1") return "no ambient time or randomness in pipeline code";
   if (rule == "R-DET2") return "no unordered-container iteration on emission paths";
+  if (rule == "R-DET3") return "no unordered-iteration values reaching serialization sinks";
   if (rule == "R-RACE1") return "no std::vector<bool> (racy packed-bit proxy)";
   if (rule == "R-RACE2") return "no shared-capture growth inside parallel lambdas";
   if (rule == "R-HDR1") return "headers must start with #pragma once";
@@ -64,6 +65,10 @@ std::string_view rule_description(std::string_view rule) {
   if (rule == "R-ODR1") return "one definition per external symbol across TUs";
   if (rule == "R-LIFE1") return "no views or references escaping local storage";
   if (rule == "R-OBS1") return "no raw timing primitives outside the obs layer";
+  if (rule == "R-MEM1") return "no raw mapping syscalls outside util::MmapFile";
+  if (rule == "R-WIRE1") return "raw wire-byte access stays inside ByteCursor";
+  if (rule == "R-EXC1") return "thread bodies must route exceptions to their owner";
+  if (rule == "R-SUP1") return "suppression directives must cover a live finding";
   return "seg-lint diagnostic";
 }
 
@@ -259,7 +264,7 @@ void write_sarif(std::ostream& out, const std::vector<Finding>& findings) {
       << "      \"tool\": {\n"
       << "        \"driver\": {\n"
       << "          \"name\": \"seg-lint\",\n"
-      << "          \"version\": \"2.0.0\",\n"
+      << "          \"version\": \"3.0.0\",\n"
       << "          \"informationUri\": \"docs/static-analysis.md\",\n"
       << "          \"rules\": [";
   std::size_t rule_index = 0;

@@ -83,12 +83,6 @@ bool is_function_heading(const Tokens& toks, std::size_t name, std::size_t open)
   return false;
 }
 
-namespace {
-
-bool contains(const std::vector<std::string>& haystack, std::string_view needle) {
-  return std::find(haystack.begin(), haystack.end(), needle) != haystack.end();
-}
-
 // Skips a balanced template-argument list starting at `open` (which must
 // point at `<`). Returns the index just past the matching `>`, or `open`
 // when the angle bracket never closes in a plausible span (then it was a
@@ -115,6 +109,12 @@ std::size_t skip_template_args(const Tokens& toks, std::size_t open) {
 bool is_unordered_container(std::string_view id) {
   return id == "unordered_map" || id == "unordered_set" ||
          id == "unordered_multimap" || id == "unordered_multiset";
+}
+
+namespace {
+
+bool contains(const std::vector<std::string>& haystack, std::string_view needle) {
+  return std::find(haystack.begin(), haystack.end(), needle) != haystack.end();
 }
 
 // --- R-DET1 ---------------------------------------------------------------
@@ -222,11 +222,139 @@ void rule_mem1(const FileInfo& info, const Tokens& toks, std::vector<Finding>& o
   }
 }
 
+// --- R-WIRE1 --------------------------------------------------------------
+//
+// The dns/wire parsers take untrusted bytes straight off the network, so
+// every bounds check must live in one place: dns/wire/bytes.h::ByteCursor.
+// On the wire surface (info.wire_scope), subscripting a raw byte buffer
+// with a computed index, or doing pointer arithmetic on a raw byte pointer,
+// is a finding. Literal-index subscripts (rdata[0] ... rdata[3]) are
+// fixed-lane extraction from an already bounds-checked take() and stay
+// legal; the ByteCursor implementation itself is allowlisted.
+
+// True when the template argument list starting at `open` (pointing at `<`)
+// spells a byte element type: `unsigned char`, `uint8_t`, or `byte`.
+bool byte_template_args(const Tokens& toks, std::size_t open, std::size_t past) {
+  for (std::size_t j = open + 1; j + 1 < past; ++j) {
+    if (toks[j].kind != TokKind::kIdentifier) {
+      continue;
+    }
+    if (toks[j].text == "uint8_t" || toks[j].text == "byte") {
+      return true;
+    }
+    if (toks[j].text == "unsigned" && j + 1 < past && is_id(toks[j + 1], "char")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void rule_wire1(const FileInfo& info, const Tokens& toks, std::vector<Finding>& out) {
+  if (!info.wire_scope || info.wire_allowed) {
+    return;
+  }
+  std::vector<std::string> buffers;   // span-typed / take()-derived views
+  std::vector<std::string> pointers;  // raw byte pointers
+  const auto record = [&](std::size_t at, std::vector<std::string>& into) {
+    std::size_t j = at;
+    while (j < toks.size() &&
+           (is_punct(toks[j], "&") || is_punct(toks[j], "*") ||
+            is_punct(toks[j], "&&") || is_id(toks[j], "const"))) {
+      ++j;
+    }
+    if (j < toks.size() && toks[j].kind == TokKind::kIdentifier &&
+        !contains(into, toks[j].text)) {
+      into.emplace_back(toks[j].text);
+    }
+  };
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const auto& t = toks[i];
+    if (t.kind != TokKind::kIdentifier) {
+      continue;
+    }
+    // `span<const unsigned char> name` (params, locals, members).
+    if (t.text == "span" && i + 1 < toks.size() && is_punct(toks[i + 1], "<")) {
+      const std::size_t past = skip_template_args(toks, i + 1);
+      if (past != i + 1 && byte_template_args(toks, i + 1, past)) {
+        record(past, buffers);
+      }
+      continue;
+    }
+    // `const unsigned char* p` / `const uint8_t* p`.
+    if ((t.text == "char" && i >= 1 && is_id(toks[i - 1], "unsigned")) ||
+        t.text == "uint8_t") {
+      if (i + 2 < toks.size() && is_punct(toks[i + 1], "*") &&
+          toks[i + 2].kind == TokKind::kIdentifier) {
+        record(i + 1, pointers);
+      }
+      continue;
+    }
+    // `name = <expr>.take(...)` / `name = <expr>.buffer(...)`: the result
+    // views raw parser bytes.
+    if ((t.text == "take" || t.text == "buffer") && i >= 1 &&
+        is_punct(toks[i - 1], ".") && i + 1 < toks.size() &&
+        is_punct(toks[i + 1], "(") && i >= 4 && is_punct(toks[i - 3], "=") &&
+        toks[i - 4].kind == TokKind::kIdentifier) {
+      if (!contains(buffers, toks[i - 4].text)) {
+        buffers.emplace_back(toks[i - 4].text);
+      }
+    }
+  }
+  if (buffers.empty() && pointers.empty()) {
+    return;
+  }
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdentifier) {
+      continue;
+    }
+    const bool is_buffer = contains(buffers, toks[i].text);
+    const bool is_pointer = contains(pointers, toks[i].text);
+    if (!is_buffer && !is_pointer) {
+      continue;
+    }
+    // Declarations re-match their own name; only uses matter, and a use is
+    // never directly preceded by a type-ish token.
+    if (i >= 1 && (toks[i - 1].kind == TokKind::kIdentifier ||
+                   is_punct(toks[i - 1], ">") || is_punct(toks[i - 1], "*"))) {
+      continue;
+    }
+    if (i + 1 < toks.size() && is_punct(toks[i + 1], "[")) {
+      const std::size_t close = skip_balanced(toks, i + 1);
+      const bool literal_index =
+          close == i + 4 && toks[i + 2].kind == TokKind::kNumber;
+      if (!literal_index) {
+        out.push_back(Finding{
+            info.path, toks[i].line, "R-WIRE1",
+            "computed subscript on raw parser bytes '" + std::string(toks[i].text) +
+                "[...]': index through dns/wire/bytes.h ByteCursor (u8_at/"
+                "view_at) so every bounds check on untrusted input lives in "
+                "one place"});
+      }
+      continue;
+    }
+    if (is_pointer && i + 1 < toks.size() &&
+        (is_punct(toks[i + 1], "++") || is_punct(toks[i + 1], "--") ||
+         is_punct(toks[i + 1], "+=") || is_punct(toks[i + 1], "-=") ||
+         is_punct(toks[i + 1], "+") || is_punct(toks[i + 1], "-"))) {
+      out.push_back(Finding{
+          info.path, toks[i].line, "R-WIRE1",
+          "pointer arithmetic on raw parser bytes '" + std::string(toks[i].text) +
+              "': advance a dns/wire/bytes.h ByteCursor instead so the bounds "
+              "check cannot be skipped"});
+    }
+  }
+}
+
 // --- R-DET2 ---------------------------------------------------------------
 
 void rule_det2(const FileInfo& info, const Tokens& toks, const UnorderedDecls& decls,
                std::vector<Finding>& out) {
-  if (!info.emission) {
+  // In whole-program mode the interprocedural R-DET3 pass (dataflow.h)
+  // supersedes this file-local heuristic: it sees through returns,
+  // out-params, and callbacks, so it both catches more and false-positives
+  // less. R-DET2 stays on for the one-file/stdin drivers, which have no
+  // call graph to lean on.
+  if (!info.emission || info.whole_program) {
     return;
   }
   for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
@@ -924,17 +1052,23 @@ bool suppression_covers(std::string_view directive_rule, std::string_view rule) 
 }
 
 std::vector<Finding> apply_suppressions(std::vector<Finding> findings,
-                                        const std::vector<Suppression>& suppressions) {
+                                        const std::vector<Suppression>& suppressions,
+                                        std::vector<char>* used) {
   std::vector<Finding> kept;
   kept.reserve(findings.size());
   for (auto& finding : findings) {
     bool suppressed = false;
-    for (const auto& s : suppressions) {
-      if (!suppression_covers(s.rule, finding.rule)) {
+    for (std::size_t s = 0; s < suppressions.size(); ++s) {
+      const auto& directive = suppressions[s];
+      if (!suppression_covers(directive.rule, finding.rule)) {
         continue;
       }
-      if (s.whole_file || finding.line == s.line || finding.line == s.line + 1) {
+      if (directive.whole_file || finding.line == directive.line ||
+          finding.line == directive.line + 1) {
         suppressed = true;
+        if (used != nullptr) {
+          (*used)[s] = 1;
+        }
         break;
       }
     }
@@ -947,11 +1081,13 @@ std::vector<Finding> apply_suppressions(std::vector<Finding> findings,
 
 std::vector<Finding> run_rules(const FileInfo& info, const LexResult& lex,
                                const UnorderedDecls& decls,
-                               const DeprecatedDecls& deprecated) {
+                               const DeprecatedDecls& deprecated,
+                               std::vector<char>* suppression_used) {
   std::vector<Finding> findings;
   rule_det1(info, lex.tokens, findings);
   rule_obs1(info, lex.tokens, findings);
   rule_mem1(info, lex.tokens, findings);
+  rule_wire1(info, lex.tokens, findings);
   rule_det2(info, lex.tokens, decls, findings);
   rule_race1(info, lex.tokens, findings);
   rule_race2(info, lex.tokens, findings);
@@ -959,7 +1095,8 @@ std::vector<Finding> run_rules(const FileInfo& info, const LexResult& lex,
   rule_life1(info, lex.tokens, findings);
   rule_headers(info, lex.tokens, findings);
 
-  std::vector<Finding> kept = apply_suppressions(std::move(findings), lex.suppressions);
+  std::vector<Finding> kept =
+      apply_suppressions(std::move(findings), lex.suppressions, suppression_used);
   std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
     return a.line != b.line ? a.line < b.line : a.rule < b.rule;
   });

@@ -74,6 +74,14 @@ struct FileInfo {
   /// File is the mmap wrapper itself and may issue raw mapping syscalls
   /// (R-MEM1 exempt).
   bool mmap_allowed = false;
+  /// File is on the wire-parsing surface (R-WIRE1 scope): raw byte-buffer
+  /// subscripts and pointer arithmetic must stay inside ByteCursor.
+  bool wire_scope = false;
+  /// File is the ByteCursor implementation itself (R-WIRE1 exempt).
+  bool wire_allowed = false;
+  /// Set by the whole-program driver: file-local R-DET2 is superseded there
+  /// by the interprocedural R-DET3 pass (dataflow.h), so run_rules skips it.
+  bool whole_program = false;
 };
 
 /// Identifiers known (from this file and its reachable project headers) to
@@ -111,10 +119,14 @@ void collect_deprecated_decls(const LexResult& lex, DeprecatedDecls& decls);
 
 /// Runs every rule over one file's token stream. `decls` and `deprecated`
 /// should already contain the header-derived declarations. Suppressed
-/// findings are dropped before returning.
+/// findings are dropped before returning. When `suppression_used` is
+/// non-null it must be sized to `lex.suppressions.size()`; entries whose
+/// directive dropped at least one finding are set to 1 (stale-suppression
+/// detection, R-SUP1).
 std::vector<Finding> run_rules(const FileInfo& info, const LexResult& lex,
                                const UnorderedDecls& decls,
-                               const DeprecatedDecls& deprecated);
+                               const DeprecatedDecls& deprecated,
+                               std::vector<char>* suppression_used = nullptr);
 
 /// Token-stream structural helpers, shared with the cross-TU passes in
 /// project_model.cpp / symbol_index.cpp.
@@ -125,6 +137,13 @@ bool non_type_keyword(std::string_view id);
 /// Index just past the token matching the opener at `open` (one of `([{`),
 /// or toks.size() when unbalanced.
 std::size_t skip_balanced(const std::vector<Token>& toks, std::size_t open);
+/// Index just past the `>` matching the `<` at `open`, or `open` when the
+/// angle bracket never closes in a plausible span (then it was a
+/// comparison). `>>` closes two levels.
+std::size_t skip_template_args(const std::vector<Token>& toks, std::size_t open);
+/// True for unordered_map / unordered_set / unordered_multimap /
+/// unordered_multiset (the R-DET2/R-DET3 source containers).
+bool is_unordered_container(std::string_view id);
 /// Argument/parameter count of the parenthesized list opening at `open`.
 std::size_t paren_list_arity(const std::vector<Token>& toks, std::size_t open);
 /// True when the parenthesized list at `open` belongs to a function
@@ -139,8 +158,19 @@ bool suppression_covers(std::string_view directive_rule, std::string_view rule);
 
 /// Drops findings covered by a suppression on their own line or the line
 /// above, or by an allow-file directive. Shared by the per-file driver and
-/// the whole-program passes in project_model.h.
+/// the whole-program passes in project_model.h. When `used` is non-null it
+/// must be sized to `suppressions.size()`; directives that dropped at least
+/// one finding are marked 1.
 std::vector<Finding> apply_suppressions(std::vector<Finding> findings,
-                                        const std::vector<Suppression>& suppressions);
+                                        const std::vector<Suppression>& suppressions,
+                                        std::vector<char>* used = nullptr);
+
+/// Per-model-file record of which suppression directives covered a finding:
+/// `used[file_index][suppression_index]`. The whole-program driver threads
+/// one instance through every pass, then reports directives that never
+/// fired as R-SUP1 stale-suppression findings.
+struct SuppressionUsage {
+  std::vector<std::vector<char>> used;
+};
 
 }  // namespace seg::lint

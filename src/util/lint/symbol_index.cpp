@@ -113,7 +113,7 @@ struct Scope {
 
 }  // namespace
 
-void SymbolIndex::add_file(const ProjectFile& file) {
+void SymbolIndex::add_file(const ProjectFile& file, std::size_t file_index) {
   collect_deprecated_decls(file.lex, deprecated_);
 
   const Tokens& toks = file.lex.tokens;
@@ -299,9 +299,13 @@ void SymbolIndex::add_file(const ProjectFile& file) {
         record.is_inline = pending_inline || pending_template || in_class;
         record.internal = pending_static || in_anon;
         record.in_header = file.is_header;
+        record.file_index = file_index;
+        record.param_open = i + 1;
         if (has_body) {
           const std::size_t body_end = skip_balanced(toks, after);
           record.body_hash = hash_tokens(toks, after + 1, body_end - 1);
+          record.body_begin = after;
+          record.body_end = body_end;
           i = body_end;
         } else {
           i = after + 1;
@@ -320,15 +324,29 @@ void SymbolIndex::add_file(const ProjectFile& file) {
   }
 }
 
+void SymbolIndex::add_cached(const std::vector<SymbolRecord>& records,
+                             const std::vector<DeprecatedDecls::Decl>& deprecated,
+                             std::size_t file_index, const std::string& path) {
+  for (SymbolRecord record : records) {
+    record.file = path;
+    record.file_index = file_index;
+    records_.push_back(std::move(record));
+  }
+  for (const auto& decl : deprecated) {
+    deprecated_.decls.push_back(decl);
+  }
+}
+
 SymbolIndex SymbolIndex::build(const ProjectModel& model) {
   SymbolIndex index;
-  for (const auto& file : model.files()) {
-    index.add_file(file);
+  for (std::size_t f = 0; f < model.files().size(); ++f) {
+    index.add_file(model.files()[f], f);
   }
   return index;
 }
 
-std::vector<Finding> check_odr(const SymbolIndex& index, const ProjectModel& model) {
+std::vector<Finding> check_odr(const SymbolIndex& index, const ProjectModel& model,
+                               SuppressionUsage* usage) {
   // How many .cpp translation units (transitively) include each file — the
   // evidence for case (c), a non-inline definition in a shared header.
   std::vector<std::size_t> tu_count(model.files().size(), 0);
@@ -435,7 +453,8 @@ std::vector<Finding> check_odr(const SymbolIndex& index, const ProjectModel& mod
       std::vector<Finding> one;
       one.push_back(std::move(finding));
       one = apply_suppressions(std::move(one),
-                               model.files()[file_index].lex.suppressions);
+                               model.files()[file_index].lex.suppressions,
+                               usage ? &usage->used[file_index] : nullptr);
       if (!one.empty()) {
         kept.push_back(std::move(one.front()));
       }

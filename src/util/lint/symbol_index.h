@@ -48,6 +48,16 @@ struct SymbolRecord {
   bool in_header = false;
   /// FNV-1a fingerprint of the definition's body tokens (0 when !has_body).
   std::uint64_t body_hash = 0;
+  /// Index of the owning file in the project model (npos for records added
+  /// through the bare test entry point).
+  std::size_t file_index = static_cast<std::size_t>(-1);
+  /// Token index of the parameter list's `(` in the owning file's stream.
+  std::size_t param_open = 0;
+  /// Token range of the definition body: `body_begin` points at the `{`,
+  /// `body_end` one past the matching `}`. Both 0 when !has_body. These let
+  /// the call graph and dataflow passes re-enter the body without re-lexing.
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
 };
 
 class SymbolIndex {
@@ -63,7 +73,17 @@ class SymbolIndex {
   const DeprecatedDecls& deprecated() const { return deprecated_; }
 
   /// Exposed for tests: scans one file's tokens into `records_`.
-  void add_file(const ProjectFile& file);
+  /// `file_index` is the file's position in the owning model (npos when the
+  /// caller has no model).
+  void add_file(const ProjectFile& file,
+                std::size_t file_index = static_cast<std::size_t>(-1));
+
+  /// Reuses a cached per-file scan (analysis_cache.h): appends `records`
+  /// with file/file_index patched to this model's view, and merges the
+  /// file's deprecated-tag contribution.
+  void add_cached(const std::vector<SymbolRecord>& records,
+                  const std::vector<DeprecatedDecls::Decl>& deprecated,
+                  std::size_t file_index, const std::string& path);
 
  private:
   std::vector<SymbolRecord> records_;
@@ -71,7 +91,10 @@ class SymbolIndex {
 };
 
 /// R-ODR1 over the index (see header comment). `model` supplies the include
-/// graph for case (c) and per-file suppressions.
-std::vector<Finding> check_odr(const SymbolIndex& index, const ProjectModel& model);
+/// graph for case (c) and per-file suppressions. When `usage` is non-null,
+/// suppressions that drop a finding are marked used (stale-suppression
+/// detection).
+std::vector<Finding> check_odr(const SymbolIndex& index, const ProjectModel& model,
+                               SuppressionUsage* usage = nullptr);
 
 }  // namespace seg::lint

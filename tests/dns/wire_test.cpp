@@ -18,6 +18,7 @@
 
 #include "dns/query_log.h"
 #include "dns/trace_source.h"
+#include "dns/wire/dns_message.h"
 #include "dns/wire/dnstap.h"
 #include "dns/wire/pcap.h"
 #include "util/require.h"
@@ -398,6 +399,167 @@ TEST_F(WireTest, PcapSkipsSnaplenTruncatedAndNonDnsPackets) {
   EXPECT_EQ(record, trace.records[0]);
   EXPECT_FALSE(reader.next(record));
   EXPECT_EQ(reader.skipped(), 2u);
+}
+
+// --- EDNS0 OPT pseudo-RRs (RFC 6891) ---------------------------------------
+
+// OPT RR wire bytes: root name, type 41, UDP size 4096, zero extended
+// rcode/flags, `rdlength` with that many zero rdata bytes appended.
+std::vector<unsigned char> opt_rr(std::uint16_t rdlength) {
+  std::vector<unsigned char> rr = {0x00, 0x00, 0x29, 0x10, 0x00,
+                                   0x00, 0x00, 0x00, 0x00};
+  rr.push_back(static_cast<unsigned char>(rdlength >> 8));
+  rr.push_back(static_cast<unsigned char>(rdlength & 0xff));
+  rr.insert(rr.end(), rdlength, 0x00);
+  return rr;
+}
+
+// Patches the header's arcount (bytes 10-11) and appends `tail` as the
+// additional section.
+std::vector<unsigned char> with_additional(std::vector<unsigned char> message,
+                                           std::uint16_t arcount,
+                                           const std::vector<unsigned char>& tail) {
+  message[10] = static_cast<unsigned char>(arcount >> 8);
+  message[11] = static_cast<unsigned char>(arcount & 0xff);
+  message.insert(message.end(), tail.begin(), tail.end());
+  return message;
+}
+
+TEST_F(WireTest, SummarizeCountsWellFormedOptRecords) {
+  const std::vector<IpV4> ips = {IpV4::from_octets(10, 1, 2, 3)};
+  auto tail = opt_rr(0);
+  const auto second = opt_rr(6);
+  tail.insert(tail.end(), second.begin(), second.end());
+  const auto message =
+      with_additional(wire::encode_response("cc.example.com", ips), 2, tail);
+
+  const auto summary = wire::summarize(message);
+  EXPECT_EQ(summary.qname, "cc.example.com");
+  ASSERT_EQ(summary.a_records.size(), 1u);
+  EXPECT_EQ(summary.opt_records, 2u);
+  EXPECT_EQ(summary.opt_skipped, 0u);
+}
+
+TEST_F(WireTest, SummarizeToleratesSnaplenTruncatedOpt) {
+  const std::vector<IpV4> ips = {IpV4::from_octets(10, 1, 2, 3)};
+  const auto base = wire::encode_response("cc.example.com", ips);
+
+  // Cut right after the OPT's name + type: nothing left for the fixed
+  // header. The message still summarizes — answers intact, OPT counted as
+  // skipped.
+  const auto after_type = with_additional(base, 1, {0x00, 0x00, 0x29});
+  auto summary = wire::summarize(after_type);
+  ASSERT_EQ(summary.a_records.size(), 1u);
+  EXPECT_EQ(summary.opt_records, 0u);
+  EXPECT_EQ(summary.opt_skipped, 1u);
+
+  // rdlength promises more rdata than the capture holds.
+  auto lying = opt_rr(6);
+  lying.resize(lying.size() - 6);
+  summary = wire::summarize(with_additional(base, 1, lying));
+  ASSERT_EQ(summary.a_records.size(), 1u);
+  EXPECT_EQ(summary.opt_records, 0u);
+  EXPECT_EQ(summary.opt_skipped, 1u);
+
+  // A truncated OPT ends the additional section: a second record behind it
+  // is never reached, and that is leniency, not an error.
+  auto pair = opt_rr(6);
+  pair.resize(pair.size() - 6);
+  summary = wire::summarize(with_additional(base, 2, pair));
+  EXPECT_EQ(summary.opt_records, 0u);
+  EXPECT_EQ(summary.opt_skipped, 1u);
+}
+
+TEST_F(WireTest, SummarizeKeepsNonOptAdditionalStrict) {
+  const std::vector<IpV4> ips = {IpV4::from_octets(10, 1, 2, 3)};
+  const auto base = wire::encode_response("cc.example.com", ips);
+
+  // arcount lies outright: no additional bytes at all. The name read fails
+  // before the OPT leniency can apply.
+  EXPECT_THROW(wire::summarize(with_additional(base, 1, {})), util::ParseError);
+
+  // A truncated non-OPT additional record (root name, type A, partial
+  // class) stays a hard parse error.
+  EXPECT_THROW(
+      wire::summarize(with_additional(base, 1, {0x00, 0x00, 0x01, 0x00})),
+      util::ParseError);
+}
+
+// One UDP/53 response packet (Ethernet + IPv4 + UDP) carrying `dns`,
+// appended as a pcap packet record — the same layout write_pcap_trace
+// emits, for captures whose DNS payload it cannot produce.
+void append_udp53_packet(std::vector<unsigned char>& capture, Day day,
+                         const std::string& machine,
+                         const std::vector<unsigned char>& dns) {
+  std::vector<unsigned char> packet;
+  const auto p8 = [&packet](std::uint8_t v) { packet.push_back(v); };
+  const auto p16 = [&packet](std::uint16_t v) {
+    packet.push_back(static_cast<unsigned char>(v >> 8));
+    packet.push_back(static_cast<unsigned char>(v & 0xff));
+  };
+  const auto p32 = [&packet](std::uint32_t v) {
+    packet.push_back(static_cast<unsigned char>(v >> 24));
+    packet.push_back(static_cast<unsigned char>((v >> 16) & 0xff));
+    packet.push_back(static_cast<unsigned char>((v >> 8) & 0xff));
+    packet.push_back(static_cast<unsigned char>(v & 0xff));
+  };
+  for (int i = 0; i < 12; ++i) {
+    p8(static_cast<std::uint8_t>(i < 6 ? 0x02 : 0x04));
+  }
+  p16(0x0800);  // IPv4
+  const auto udp_len = static_cast<std::uint16_t>(8 + dns.size());
+  p8(0x45);
+  p8(0);
+  p16(static_cast<std::uint16_t>(20 + udp_len));
+  p16(0);   // id
+  p16(0);   // flags/fragment
+  p8(64);   // ttl
+  p8(17);   // UDP
+  p16(0);   // checksum
+  p32(IpV4::from_octets(10, 0, 0, 53).value());
+  p32(wire::machine_address(machine).value());
+  p16(53);
+  p16(40000);
+  p16(udp_len);
+  p16(0);
+  packet.insert(packet.end(), dns.begin(), dns.end());
+
+  append_le32(capture, static_cast<std::uint32_t>(static_cast<std::int64_t>(day) * 86400));
+  append_le32(capture, 0);
+  append_le32(capture, static_cast<std::uint32_t>(packet.size()));
+  append_le32(capture, static_cast<std::uint32_t>(packet.size()));
+  capture.insert(capture.end(), packet.begin(), packet.end());
+}
+
+TEST_F(WireTest, PcapAccumulatesOptCountsAcrossMessages) {
+  const auto trace = wire_trace(2);
+  const auto dns0 = with_additional(
+      wire::encode_response(trace.records[0].qname, trace.records[0].resolved_ips),
+      1, opt_rr(4));
+  const auto dns1 = with_additional(
+      wire::encode_response(trace.records[1].qname, trace.records[1].resolved_ips),
+      1, {0x00, 0x00, 0x29});  // snaplen ate the OPT header
+
+  std::vector<unsigned char> capture;
+  append_le32(capture, 0xa1b2c3d4);
+  append_le32(capture, 0x00040002);
+  append_le32(capture, 0);
+  append_le32(capture, 0);
+  append_le32(capture, wire::kMaxPcapPacketBytes);
+  append_le32(capture, 1);  // Ethernet
+  append_udp53_packet(capture, trace.day, trace.records[0].machine, dns0);
+  append_udp53_packet(capture, trace.day, trace.records[1].machine, dns1);
+
+  wire::PcapReader reader(capture);
+  QueryRecord record;
+  ASSERT_TRUE(reader.next(record));
+  EXPECT_EQ(record, trace.records[0]);
+  ASSERT_TRUE(reader.next(record));
+  EXPECT_EQ(record, trace.records[1]);
+  EXPECT_FALSE(reader.next(record));
+  EXPECT_EQ(reader.skipped(), 0u);
+  EXPECT_EQ(reader.opt_records(), 1u);
+  EXPECT_EQ(reader.opt_skipped(), 1u);
 }
 
 TEST_F(WireTest, PcapReadsSwappedByteOrderHeaders) {

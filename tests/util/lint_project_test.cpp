@@ -1,16 +1,23 @@
-// Whole-program seg-lint v2 tests: project model, layering, include
-// cycles, cross-TU symbol index / ODR, and the report/baseline layer.
+// Whole-program seg-lint tests: project model, layering, include cycles,
+// cross-TU symbol index / ODR, the report/baseline layer, and the v3
+// interprocedural passes (call graph, R-DET3 dataflow, R-EXC1, R-SUP1,
+// the analysis cache, and thread-count determinism).
 #include "util/lint/project_model.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "util/lint/analysis_cache.h"
+#include "util/lint/call_graph.h"
+#include "util/lint/dataflow.h"
 #include "util/lint/report.h"
 #include "util/lint/symbol_index.h"
+#include "util/parallel.h"
 
 namespace seg::lint {
 namespace {
@@ -357,7 +364,7 @@ TEST(Report, SarifGoldenDocument) {
       "tool": {
         "driver": {
           "name": "seg-lint",
-          "version": "2.0.0",
+          "version": "3.0.0",
           "informationUri": "docs/static-analysis.md",
           "rules": [
             {"id": "R-ARCH2", "shortDescription": {"text": "the quoted-include graph must stay acyclic"}}
@@ -389,6 +396,446 @@ TEST(Report, EmptyFindingsProduceValidDocuments) {
   write_sarif(sarif, {});
   EXPECT_NE(sarif.str().find("\"results\": []"), std::string::npos);
   EXPECT_NE(sarif.str().find("\"rules\": []"), std::string::npos);
+}
+
+// --- seg-lint v3: call graph ----------------------------------------------
+
+// Whole-program lint over an in-memory tree, filtered to the rules under
+// test so unrelated per-file rules cannot leak into the assertions.
+std::vector<Finding> lint_tree(const Files& files, std::vector<std::string> only) {
+  const auto model = ProjectModel::from_memory(files, test_layers());
+  LintOptions options;
+  options.only_rules = std::move(only);
+  return lint_model(model, options);
+}
+
+const SymbolRecord* record_named(const SymbolIndex& index, std::string_view name,
+                                 std::size_t arity) {
+  for (const auto& record : index.records()) {
+    if (record.name == name && record.arity == arity && record.has_body) {
+      return &record;
+    }
+  }
+  return nullptr;
+}
+
+TEST(CallGraph, ResolvesOverloadsByArity) {
+  const Files files = {{"src/core/cg.cpp", R"cpp(
+int pick(int a) { return a; }
+int pick(int a, int b) { return a + b; }
+int caller() { return pick(1) + pick(1, 2); }
+)cpp"}};
+  const auto model = ProjectModel::from_memory(files, test_layers());
+  const auto index = SymbolIndex::build(model);
+  const auto graph = CallGraph::build(index, model);
+
+  const auto one = graph.resolve("pick", 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(index.records()[one[0]].arity, 1u);
+  const auto two = graph.resolve("pick", 2);
+  ASSERT_EQ(two.size(), 1u);
+  EXPECT_EQ(index.records()[two[0]].arity, 2u);
+  // No arity matches: conservative fallback to every same-name definition.
+  EXPECT_EQ(graph.resolve("pick", 5).size(), 2u);
+  EXPECT_TRUE(graph.resolve("ghost", 0).empty());
+
+  // The caller's callee list reaches both overloads, one per call site.
+  const auto* caller = record_named(index, "caller", 0);
+  ASSERT_NE(caller, nullptr);
+  const std::size_t caller_at =
+      static_cast<std::size_t>(caller - index.records().data());
+  EXPECT_EQ(graph.callees()[caller_at].size(), 2u);
+}
+
+TEST(CallGraph, TemplatesAndExternCDefinitionsAreNodes) {
+  const Files files = {{"src/core/shapes.cpp", R"cpp(
+template <typename T>
+T ident(T value) { return value; }
+extern "C" int c_entry(int value) { return ident(value); }
+)cpp"}};
+  const auto model = ProjectModel::from_memory(files, test_layers());
+  const auto index = SymbolIndex::build(model);
+  const auto graph = CallGraph::build(index, model);
+
+  const auto* tmpl = record_named(index, "ident", 1);
+  ASSERT_NE(tmpl, nullptr) << "template definitions must be indexed";
+  const auto* centry = record_named(index, "c_entry", 1);
+  ASSERT_NE(centry, nullptr) << "extern \"C\" definitions must be indexed";
+  const std::size_t centry_at =
+      static_cast<std::size_t>(centry - index.records().data());
+  const std::size_t tmpl_at =
+      static_cast<std::size_t>(tmpl - index.records().data());
+  const auto& callees = graph.callees()[centry_at];
+  EXPECT_NE(std::find(callees.begin(), callees.end(), tmpl_at), callees.end())
+      << "the extern \"C\" body calls the template";
+}
+
+// --- seg-lint v3: R-DET3 interprocedural determinism ----------------------
+
+TEST(Det3, DirectUnorderedIterationIntoStreamIsFlagged) {
+  const Files files = {{"src/core/emit.cpp", R"cpp(
+void dump(const std::unordered_map<std::string, int>& counts) {
+  for (const auto& [name, count] : counts) {
+    std::cout << name << " " << count << "\n";
+  }
+}
+)cpp"}};
+  // Both bindings reach the stream; findings sort by message, 'count' first.
+  const auto findings = lint_tree(files, {"R-DET3"});
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "R-DET3");
+  EXPECT_EQ(findings[0].file, "src/core/emit.cpp");
+  EXPECT_NE(findings[0].message.find("'count'"), std::string::npos);
+  EXPECT_NE(findings[1].message.find("'name'"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("reaches output stream 'cout'"),
+            std::string::npos);
+}
+
+TEST(Det3, SortBeforeEmitIsClean) {
+  const Files files = {{"src/core/sorted.cpp", R"cpp(
+void dump(const std::unordered_map<std::string, int>& counts) {
+  std::vector<std::string> names;
+  for (const auto& [name, count] : counts) {
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  for (const auto& name : names) {
+    std::cout << name << "\n";
+  }
+}
+)cpp"}};
+  EXPECT_TRUE(lint_tree(files, {"R-DET3"}).empty());
+}
+
+TEST(Det3, CollectIntoOrderedMapIsClean) {
+  const Files files = {{"src/core/ordered.cpp", R"cpp(
+void dump(const std::unordered_map<std::string, int>& counts) {
+  std::map<std::string, int> sorted;
+  for (const auto& [name, count] : counts) {
+    sorted.emplace(name, count);
+  }
+  for (const auto& [name, count] : sorted) {
+    std::cout << name << " " << count << "\n";
+  }
+}
+)cpp"}};
+  EXPECT_TRUE(lint_tree(files, {"R-DET3"}).empty());
+}
+
+TEST(Det3, TaintedReturnTracksThroughHelperIntoCaller) {
+  const Files files = {{"src/core/chain.cpp", R"cpp(
+std::vector<std::string> collect(const std::unordered_set<std::string>& pool) {
+  std::vector<std::string> out;
+  for (const auto& name : pool) {
+    out.push_back(name);
+  }
+  return out;
+}
+void emit(const std::unordered_set<std::string>& pool) {
+  const auto names = collect(pool);
+  for (const auto& name : names) {
+    std::cout << name << "\n";
+  }
+}
+)cpp"}};
+  const auto findings = lint_tree(files, {"R-DET3"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/core/chain.cpp");
+  // The finding anchors in the caller and names the helper's provenance.
+  EXPECT_NE(findings[0].message.find("collect"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("reaches output stream 'cout'"),
+            std::string::npos);
+}
+
+TEST(Det3, TaintedReturnNeutralizedBySortInCaller) {
+  const Files files = {{"src/core/chain_sorted.cpp", R"cpp(
+std::vector<std::string> collect(const std::unordered_set<std::string>& pool) {
+  std::vector<std::string> out;
+  for (const auto& name : pool) {
+    out.push_back(name);
+  }
+  return out;
+}
+void emit(const std::unordered_set<std::string>& pool) {
+  auto names = collect(pool);
+  std::sort(names.begin(), names.end());
+  for (const auto& name : names) {
+    std::cout << name << "\n";
+  }
+}
+)cpp"}};
+  EXPECT_TRUE(lint_tree(files, {"R-DET3"}).empty());
+}
+
+TEST(Det3, TaintedOutParamTracksAcrossFiles) {
+  const Files files = {
+      {"src/core/fill.h", R"cpp(
+#pragma once
+inline void fill(const std::unordered_set<std::string>& pool,
+                 std::vector<std::string>& sink) {
+  for (const auto& name : pool) {
+    sink.push_back(name);
+  }
+}
+)cpp"},
+      {"src/core/use.cpp", R"cpp(
+#include "core/fill.h"
+void emit(const std::unordered_set<std::string>& pool) {
+  std::vector<std::string> names;
+  fill(pool, names);
+  for (const auto& name : names) {
+    std::cout << name << "\n";
+  }
+}
+)cpp"},
+  };
+  const auto findings = lint_tree(files, {"R-DET3"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/core/use.cpp");
+  EXPECT_NE(findings[0].message.find("reaches output stream 'cout'"),
+            std::string::npos);
+}
+
+TEST(Det3, CallbackVisitPatternReachesLambdaSink) {
+  const Files files = {{"src/core/visit.cpp", R"cpp(
+struct Index {
+  std::unordered_map<std::string, int> table;
+  void visit(const std::function<void(const std::string&)>& fn) const {
+    for (const auto& [key, value] : table) {
+      fn(key);
+    }
+  }
+};
+void report(const Index& index) {
+  index.visit([&](const std::string& key) { std::cout << key << "\n"; });
+}
+)cpp"}};
+  const auto findings = lint_tree(files, {"R-DET3"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/core/visit.cpp");
+  EXPECT_NE(findings[0].message.find("'key'"), std::string::npos);
+}
+
+TEST(Det3, SuppressibleAtTheAnchorLine) {
+  const Files files = {{"src/core/allowed.cpp", R"cpp(
+void dump(const std::unordered_map<std::string, int>& counts) {
+  for (const auto& [name, count] : counts) {
+    // seg-lint: allow(R-DET3) -- diagnostic dump, order irrelevant
+    std::cout << name << "\n";
+  }
+}
+)cpp"}};
+  EXPECT_TRUE(lint_tree(files, {"R-DET3"}).empty());
+}
+
+// --- seg-lint v3: R-WIRE1 --------------------------------------------------
+
+TEST(Wire1, ComputedSubscriptOnWireSurfaceIsFlagged) {
+  const Files files = {{"src/dns/wire/raw.cpp", R"cpp(
+unsigned char peek(const unsigned char* data, std::size_t i) {
+  const unsigned char value = data[i];
+  return value;
+}
+)cpp"}};
+  const auto findings = lint_tree(files, {"R-WIRE1"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "R-WIRE1");
+  EXPECT_NE(findings[0].message.find("computed subscript"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("ByteCursor"), std::string::npos);
+}
+
+TEST(Wire1, LiteralSubscriptAllowlistAndNonWirePathsAreClean) {
+  // Fixed-lane extraction from an already bounds-checked span stays legal.
+  const Files literal = {{"src/dns/wire/lanes.cpp", R"cpp(
+unsigned int lane(std::span<const unsigned char> rdata) {
+  return rdata[0];
+}
+)cpp"}};
+  EXPECT_TRUE(lint_tree(literal, {"R-WIRE1"}).empty());
+
+  // The ByteCursor implementation itself is where the checks live.
+  const Files cursor = {{"src/dns/wire/bytes.h", R"cpp(
+#pragma once
+inline unsigned char at(std::span<const unsigned char> data, std::size_t i) {
+  return data[i];
+}
+)cpp"}};
+  EXPECT_TRUE(lint_tree(cursor, {"R-WIRE1"}).empty());
+
+  // Off the wire surface the rule does not apply at all.
+  const Files elsewhere = {{"src/core/buffer.cpp", R"cpp(
+unsigned char peek(const unsigned char* data, std::size_t i) {
+  const unsigned char value = data[i];
+  return value;
+}
+)cpp"}};
+  EXPECT_TRUE(lint_tree(elsewhere, {"R-WIRE1"}).empty());
+}
+
+TEST(Wire1, PointerArithmeticOnWireBytesIsFlagged) {
+  const Files files = {{"src/dns/wire/walk.cpp", R"cpp(
+void walk(const unsigned char* p, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    consume(*p);
+    p += 1;
+  }
+}
+)cpp"}};
+  const auto findings = lint_tree(files, {"R-WIRE1"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("pointer arithmetic"), std::string::npos);
+}
+
+// --- seg-lint v3: R-EXC1 ---------------------------------------------------
+
+TEST(Exc1, BareThreadLambdaIsFlagged) {
+  const Files files = {{"src/core/spawn.cpp", R"cpp(
+void spawn() {
+  std::thread worker([] { do_work(); });
+  worker.join();
+}
+)cpp"}};
+  const auto findings = lint_tree(files, {"R-EXC1"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "R-EXC1");
+  EXPECT_NE(findings[0].message.find("std::terminate"), std::string::npos);
+}
+
+TEST(Exc1, CatchAllWithCurrentExceptionRoutes) {
+  const Files files = {{"src/core/spawn_ok.cpp", R"cpp(
+void spawn(std::exception_ptr& error) {
+  std::thread worker([&] {
+    try {
+      do_work();
+    } catch (...) {
+      error = std::current_exception();
+    }
+  });
+  worker.join();
+}
+)cpp"}};
+  EXPECT_TRUE(lint_tree(files, {"R-EXC1"}).empty());
+}
+
+TEST(Exc1, NamedEntryPointJudgedThroughTheCallGraph) {
+  const Files routed = {{"src/core/pool.cpp", R"cpp(
+void run_loop(std::exception_ptr& error) {
+  try {
+    work();
+  } catch (...) {
+    error = std::current_exception();
+  }
+}
+void spawn(std::exception_ptr& error) {
+  std::thread t(run_loop, std::ref(error));
+  t.join();
+}
+)cpp"}};
+  EXPECT_TRUE(lint_tree(routed, {"R-EXC1"}).empty());
+
+  const Files unrouted = {{"src/core/pool_bad.cpp", R"cpp(
+void run_loop() { work(); }
+void spawn() {
+  std::thread t(run_loop);
+  t.join();
+}
+)cpp"}};
+  const auto findings = lint_tree(unrouted, {"R-EXC1"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("'run_loop'"), std::string::npos);
+}
+
+TEST(Exc1, EmplaceIntoThreadVectorIsASpawnSite) {
+  const Files files = {{"src/core/fleet.cpp", R"cpp(
+void spawn_fleet(std::size_t n) {
+  std::vector<std::thread> fleet;
+  for (std::size_t i = 0; i < n; ++i) {
+    fleet.emplace_back([] { work(); });
+  }
+}
+)cpp"}};
+  const auto findings = lint_tree(files, {"R-EXC1"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "R-EXC1");
+}
+
+// --- seg-lint v3: R-SUP1 stale suppressions --------------------------------
+
+TEST(Sup1, StaleDirectiveIsFlaggedUsedDirectiveIsNot) {
+  const Files stale = {{"src/core/stale.cpp",
+                        "// seg-lint: allow(R-DET1) -- nothing here needs it\n"
+                        "int answer() { return 42; }\n"}};
+  const auto findings = lint_tree(stale, {"R-SUP1"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "R-SUP1");
+  EXPECT_EQ(findings[0].line, 1u);
+  EXPECT_NE(findings[0].message.find("stale suppression"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("allow(R-DET1)"), std::string::npos);
+
+  // A directive that actually covers a finding is used, not stale.
+  const Files used = {{"src/core/seeded.cpp",
+                       "int jitter() {\n"
+                       "  // seg-lint: allow(R-DET1) -- deliberate for the test\n"
+                       "  return rand();\n"
+                       "}\n"}};
+  EXPECT_TRUE(lint_tree(used, {"R-SUP1"}).empty());
+}
+
+// --- seg-lint v3: analysis cache and thread-count determinism --------------
+
+Files generated_tree(std::size_t count) {
+  Files files;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string n = std::to_string(i);
+    files.push_back({"src/core/gen" + n + ".cpp",
+                     "void dump" + n +
+                         "(const std::unordered_map<int, int>& table) {\n"
+                         "  for (const auto& [key, value] : table) {\n"
+                         "    std::cout << key << value;\n"
+                         "  }\n"
+                         "}\n"});
+  }
+  return files;
+}
+
+TEST(Cache, SecondRunReusesScansWithIdenticalFindings) {
+  const auto model = ProjectModel::from_memory(generated_tree(6), test_layers());
+  LintOptions options;
+  AnalysisCache cache;
+  const auto first = lint_model(model, options, &cache);
+  const auto after_first = cache.stats();
+  EXPECT_EQ(after_first.symbol_hits, 0u);
+  EXPECT_EQ(after_first.rule_hits, 0u);
+  EXPECT_EQ(after_first.symbol_misses, 6u);
+  EXPECT_EQ(after_first.rule_misses, 6u);
+
+  const auto second = lint_model(model, options, &cache);
+  const auto after_second = cache.stats();
+  EXPECT_EQ(after_second.symbol_hits, 6u);
+  EXPECT_EQ(after_second.rule_hits, 6u);
+
+  // Byte-identical reports with and without cache reuse.
+  std::ostringstream a, b;
+  write_sarif(a, first);
+  write_sarif(b, second);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_FALSE(first.empty()) << "the fixture must exercise real findings";
+}
+
+TEST(ParallelLint, SarifByteIdenticalAcrossThreadCounts) {
+  const auto model = ProjectModel::from_memory(generated_tree(12), test_layers());
+  LintOptions options;
+  util::set_parallelism(1);
+  const auto serial = lint_model(model, options);
+  util::set_parallelism(8);
+  const auto parallel = lint_model(model, options);
+  util::set_parallelism(0);  // restore the SEG_THREADS / hardware default
+
+  std::ostringstream one, eight;
+  write_sarif(one, serial);
+  write_sarif(eight, parallel);
+  EXPECT_EQ(one.str(), eight.str());
+  EXPECT_FALSE(serial.empty()) << "the fixture must exercise real findings";
 }
 
 }  // namespace

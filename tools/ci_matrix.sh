@@ -7,10 +7,14 @@
 # Usage:
 #   tools/ci_matrix.sh [config ...]   # default: plain thread address undefined lint-diff obs oocore ingest
 #
-# The lint-diff leg runs seg-lint v2 in whole-program diff mode against
+# The lint-diff leg runs seg-lint v3 in whole-program diff mode against
 # origin/main (falls back to HEAD outside a clone with that ref): CI fails
 # only on findings *introduced* by the change under test, and a SARIF
 # artifact lands in ${LOG_DIR}/seg-lint.sarif for code-scanning upload.
+# The leg also checks the checker's own determinism contract — the SARIF
+# document must be byte-identical at SEG_THREADS=1 and SEG_THREADS=8 — and
+# archives the --diff-base analysis-cache hit statistics; both land under
+# ${LOG_DIR}/lint-determinism/.
 #
 # The obs leg runs the two-day CLI example with --trace-out/--metrics-out/
 # --run-report, validates the artifacts with `segugio validate-obs`, and
@@ -55,6 +59,7 @@ run_lint_diff() {
   local log="${LOG_DIR}/lint-diff.log"
   local build_dir="build-plain"
   : > "${log}"
+  mkdir -p "${LOG_DIR}/lint-determinism"
 
   echo "=== [lint-diff] build seg_lint (${build_dir}) ==="
   if ! cmake -B "${build_dir}" -S . >> "${log}" 2>&1 ||
@@ -74,11 +79,26 @@ run_lint_diff() {
     src tools bench tests examples > "${LOG_DIR}/seg-lint.sarif" 2>> "${log}"
   if ! "${seg_lint}" --error-exit --format=json --diff-base "${base}" \
        --layers tools/layers.toml --baseline tools/lint-baseline.json \
-       src tools bench tests examples > "${LOG_DIR}/seg-lint-diff.json" 2>> "${log}"; then
+       src tools bench tests examples > "${LOG_DIR}/seg-lint-diff.json" \
+       2> "${LOG_DIR}/lint-determinism/cache-stats.txt"; then
     echo "    new lint findings vs ${base} (see ${LOG_DIR}/seg-lint-diff.json)"
     cat "${LOG_DIR}/seg-lint-diff.json" >> "${log}"
     return 1
   fi
+  cat "${LOG_DIR}/lint-determinism/cache-stats.txt" >> "${log}"
+
+  echo "=== [lint-diff] SARIF determinism: SEG_THREADS=1 vs SEG_THREADS=8 ==="
+  local det_dir="${LOG_DIR}/lint-determinism"
+  SEG_THREADS=1 "${seg_lint}" --format=sarif --layers tools/layers.toml \
+    src tools bench tests examples > "${det_dir}/seg-lint-serial.sarif" 2>> "${log}"
+  SEG_THREADS=8 "${seg_lint}" --format=sarif --layers tools/layers.toml \
+    src tools bench tests examples > "${det_dir}/seg-lint-parallel.sarif" 2>> "${log}"
+  if ! cmp "${det_dir}/seg-lint-serial.sarif" "${det_dir}/seg-lint-parallel.sarif" \
+       >> "${log}" 2>&1; then
+    echo "    SARIF output differs between 1 and 8 threads (see ${det_dir}/)"
+    return 1
+  fi
+  echo "    byte-identical at 1 and 8 threads; artifacts in ${det_dir}/"
   return 0
 }
 

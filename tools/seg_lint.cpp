@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "util/lint/analysis_cache.h"
 #include "util/lint/linter.h"
 #include "util/lint/report.h"
 
@@ -40,8 +41,9 @@ void print_usage() {
       "usage: seg_lint [--error-exit] [--format text|json|sarif]\n"
       "                [--rule R-XXX]... [--layers FILE] [--baseline FILE]\n"
       "                [--diff-base REV] [--allow-timing SUBSTR]... PATH...\n"
-      "rules: R-DET1 R-DET2 R-RACE1 R-RACE2 R-API1 R-HDR1 R-HDR2 R-ARCH1\n"
-      "       R-ARCH2 R-ODR1 R-LIFE1 R-OBS1\n"
+      "rules: R-DET1 R-DET2 R-DET3 R-RACE1 R-RACE2 R-API1 R-HDR1 R-HDR2\n"
+      "       R-ARCH1 R-ARCH2 R-ODR1 R-LIFE1 R-OBS1 R-MEM1 R-WIRE1 R-EXC1\n"
+      "       R-SUP1\n"
       "mark deprecated entry points with // seg-deprecated above the "
       "declaration\n"
       "suppress one site: // seg-lint: allow(R-XXX)   (same or next line)\n"
@@ -97,6 +99,7 @@ std::string run_capture(const std::string& command) {
 bool collect_diff_base_keys(const std::string& rev,
                             const std::vector<std::string>& roots,
                             const seg::lint::LintOptions& options,
+                            seg::lint::AnalysisCache& cache,
                             std::vector<std::string>& keys) {
   const std::string repo_root = run_capture("git rev-parse --show-toplevel 2>/dev/null");
   if (repo_root.empty()) {
@@ -154,7 +157,7 @@ bool collect_diff_base_keys(const std::string& rev,
   }
 
   const auto old_sources = seg::lint::collect_sources(old_roots);
-  const auto old_findings = seg::lint::lint_project(old_sources, old_options);
+  const auto old_findings = seg::lint::lint_project(old_sources, old_options, &cache);
   for (const auto& finding : old_findings) {
     keys.push_back(seg::lint::finding_key(finding));
   }
@@ -222,7 +225,11 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  auto findings = seg::lint::lint_project(sources, options);
+  // One analysis cache spans the working-tree lint and the --diff-base
+  // lint: files byte-identical between the two reuse their symbol-index
+  // scan and per-file rule findings (analysis_cache.h).
+  seg::lint::AnalysisCache cache;
+  auto findings = seg::lint::lint_project(sources, options, &cache);
   if (!findings.empty() && findings.front().rule == "CONFIG") {
     std::fprintf(stderr, "seg_lint: %s: %s\n", findings.front().file.c_str(),
                  findings.front().message.c_str());
@@ -247,10 +254,16 @@ int main(int argc, char** argv) {
 
   if (!diff_base.empty()) {
     std::vector<std::string> base_keys;
-    if (!collect_diff_base_keys(diff_base, roots, options, base_keys)) {
+    if (!collect_diff_base_keys(diff_base, roots, options, cache, base_keys)) {
       return 2;
     }
     findings = seg::lint::subtract_baseline(std::move(findings), base_keys);
+    const auto stats = cache.stats();
+    std::fprintf(stderr,
+                 "seg_lint: diff-base cache: %zu/%zu symbol scans reused, "
+                 "%zu/%zu rule passes reused\n",
+                 stats.symbol_hits, stats.symbol_hits + stats.symbol_misses,
+                 stats.rule_hits, stats.rule_hits + stats.rule_misses);
   }
 
   if (format == "json") {
