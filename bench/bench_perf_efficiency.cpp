@@ -22,11 +22,15 @@
 #include <thread>
 #include <vector>
 
+#include <sstream>
+
 #include "bench_common.h"
 #include "core/pipeline.h"
 #include "dns/trace_source.h"
 #include "dns/wire/dnstap.h"
 #include "dns/wire/pcap.h"
+#include "util/obs/health.h"
+#include "util/obs/journal.h"
 #include "util/obs/metrics.h"
 #include "util/obs/process.h"
 #include "util/obs/trace.h"
@@ -332,6 +336,132 @@ IngestSection measure_ingest(const StreamingTotals& streaming) {
   return section;
 }
 
+// seg::obs v2 overhead: the same streamed multi-day session (ISP 0, days
+// 10-13, train on day 10, classify every day) run twice — first with every
+// obs surface off, then with the tracer recording, the per-day journal
+// attached, and the health sampler thread running throughout. The wall-time
+// delta is the overhead budget; the score comparison feeds the bit-identity
+// exit gate, making "obs never perturbs scores" a measured invariant here
+// too, not just a unit-test one.
+struct ObsOverheadSection {
+  double off_wall_seconds = 0.0;
+  double on_wall_seconds = 0.0;
+  double journal_append_seconds = 0.0;  ///< summed obs/journal_append spans
+  std::size_t journal_bytes = 0;
+  std::size_t journal_entries = 0;
+  bool journal_valid = false;
+  bool scores_identical = false;
+};
+
+ObsOverheadSection measure_obs_overhead(std::size_t threads) {
+  using namespace seg;
+  util::set_parallelism(threads);
+  auto& world = seg::bench::bench_world();
+  const auto config = seg::bench::bench_config();
+
+  std::vector<dns::DayTrace> traces;
+  std::vector<graph::NameSet> blacklists;
+  for (dns::Day day = 10; day <= 13; ++day) {
+    traces.push_back(world.generate_day(0, day));
+    blacklists.push_back(world.blacklist().as_of(sim::BlacklistKind::kCommercial, day));
+  }
+
+  const auto run_once = [&](std::ostringstream* journal, std::vector<double>& scores) {
+    core::Pipeline pipeline(world.psl(), config);
+    pipeline.absorb_history(world.activity(), world.pdns());
+    if (journal != nullptr) {
+      pipeline.set_journal(journal);
+    }
+    ChainedTraceSource source(traces);
+    bool trained = false;
+    obs::Span wall("bench/obs_overhead_session");
+    pipeline.ingest_stream(
+        source,
+        [&](dns::Day day) -> const graph::NameSet& {
+          return blacklists[static_cast<std::size_t>(day - 10)];
+        },
+        world.whitelist().all(),
+        [&](core::PreparedDay&& prepared) {
+          if (!trained) {
+            pipeline.train(prepared);
+            trained = true;
+          }
+          const auto report = pipeline.classify(prepared);
+          for (const auto& scored : report.scores) {
+            scores.push_back(scored.score);
+          }
+        });
+    pipeline.flush_journal();
+    return wall.close();
+  };
+
+  ObsOverheadSection section;
+  std::vector<double> off_scores;
+  section.off_wall_seconds = run_once(nullptr, off_scores);
+
+  obs::Tracer::instance().clear();
+  obs::Tracer::instance().set_enabled(true);
+  obs::HealthSampler health;
+  health.start();
+  std::ostringstream journal;
+  std::vector<double> on_scores;
+  section.on_wall_seconds = run_once(&journal, on_scores);
+  health.sample_once();
+  health.stop();
+  obs::Tracer::instance().set_enabled(false);
+  for (const auto& record : obs::Tracer::instance().snapshot()) {
+    if (record.name == "obs/journal_append") {
+      section.journal_append_seconds += static_cast<double>(record.dur_ns) * 1e-9;
+    }
+  }
+  obs::Tracer::instance().clear();
+  util::set_parallelism(0);
+
+  const std::string journal_text = std::move(journal).str();
+  section.journal_bytes = journal_text.size();
+  section.journal_valid = obs::validate_obs_journal(journal_text).empty();
+  if (section.journal_valid) {
+    std::istringstream in(journal_text);
+    section.journal_entries = obs::read_journal(in).size();
+  }
+  section.scores_identical = off_scores == on_scores;
+  return section;
+}
+
+void print_obs_overhead(const ObsOverheadSection& s) {
+  std::printf("\n[obs_overhead] streamed 4-day session, obs off vs journal+tracer+health on:\n");
+  std::printf("  obs off                : %8.3f s\n", s.off_wall_seconds);
+  std::printf("  obs on                 : %8.3f s (%.1f%% overhead)\n", s.on_wall_seconds,
+              s.off_wall_seconds > 0.0
+                  ? 100.0 * (s.on_wall_seconds - s.off_wall_seconds) / s.off_wall_seconds
+                  : 0.0);
+  std::printf("  journal append cost    : %8.6f s over %zu entries (%zu bytes, %s)\n",
+              s.journal_append_seconds, s.journal_entries, s.journal_bytes,
+              s.journal_valid ? "validator-clean" : "INVALID");
+  std::printf("  scores bit-identical   : %s\n",
+              s.scores_identical ? "yes" : "NO — OBS PERTURBED SCORES");
+}
+
+void write_obs_overhead_json(std::FILE* out, const ObsOverheadSection& s) {
+  std::fprintf(out,
+               "  \"obs_overhead\": {\n"
+               "    \"session_wall_seconds\": {\n"
+               "      \"obs_off\": %.6f,\n"
+               "      \"obs_on\": %.6f\n"
+               "    },\n"
+               "    \"overhead_ratio\": %.4f,\n"
+               "    \"journal_append_seconds\": %.6f,\n"
+               "    \"journal_bytes\": %zu,\n"
+               "    \"journal_entries\": %zu,\n"
+               "    \"journal_valid\": %s,\n"
+               "    \"scores_bit_identical\": %s\n"
+               "  }",
+               s.off_wall_seconds, s.on_wall_seconds,
+               s.off_wall_seconds > 0.0 ? s.on_wall_seconds / s.off_wall_seconds : 0.0,
+               s.journal_append_seconds, s.journal_bytes, s.journal_entries,
+               s.journal_valid ? "true" : "false", s.scores_identical ? "true" : "false");
+}
+
 void print_ingest(const IngestSection& section) {
   std::printf("\n[ingest] wire replay over %llu records (ISP 0, days 10-13):\n",
               static_cast<unsigned long long>(section.records));
@@ -420,7 +550,8 @@ ObsSection collect_obs_section() {
 
 void write_json(const char* path, const StageTotals& serial, const StageTotals& parallel,
                 const StreamingTotals& streaming, const IngestSection& ingest,
-                const ObsSection& obs_section, std::size_t parallel_threads, bool identical) {
+                const ObsSection& obs_section, const ObsOverheadSection& overhead,
+                std::size_t parallel_threads, bool identical) {
   std::FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "warning: cannot write %s\n", path);
@@ -522,6 +653,8 @@ void write_json(const char* path, const StageTotals& serial, const StageTotals& 
                "    \"rss_peak_kb\": %llu\n  }",
                static_cast<unsigned long long>(obs_section.shard_observations),
                static_cast<unsigned long long>(obs_section.rss_peak_kb));
+  std::fprintf(out, ",\n");
+  write_obs_overhead_json(out, overhead);
   std::fprintf(out, ",\n  \"scores_bit_identical\": %s\n}\n",
                identical ? "true" : "false");
   std::fclose(out);
@@ -573,6 +706,30 @@ int main() {
     return clean ? 0 : 1;
   }
 
+  // SEG_BENCH_OBS_ONLY=1 (the ci_matrix `obs` leg): skip the pipeline legs
+  // and measure only the obs-overhead section on ISP 0, writing a reduced
+  // BENCH_pipeline.json. Fails when obs perturbs scores or the journal
+  // fails validation — the acceptance gate, measured on real bench data.
+  if (const char* env = std::getenv("SEG_BENCH_OBS_ONLY"); env != nullptr && *env == '1') {
+    const auto overhead = measure_obs_overhead(parallel_threads);
+    print_obs_overhead(overhead);
+    if (std::FILE* out = std::fopen("BENCH_pipeline.json", "w")) {
+      std::fprintf(out, "{\n  \"hardware_concurrency\": %u,\n",
+                   std::thread::hardware_concurrency());
+      write_obs_overhead_json(out, overhead);
+      std::fprintf(out, "\n}\n");
+      std::fclose(out);
+      std::printf("\nwrote BENCH_pipeline.json (obs_overhead section only)\n");
+    }
+    if (!overhead.scores_identical) {
+      std::printf("FAIL: obs-on session diverged from obs-off scores\n");
+    }
+    if (!overhead.journal_valid) {
+      std::printf("FAIL: obs journal failed validation\n");
+    }
+    return overhead.scores_identical && overhead.journal_valid ? 0 : 1;
+  }
+
   std::vector<double> serial_scores;
   const auto serial = run_pipeline(1, &serial_scores);
   print_totals("1 thread", serial);
@@ -586,6 +743,7 @@ int main() {
   const auto obs_section = collect_obs_section();
 
   const auto streaming = run_streaming(parallel_threads, seg::bench::bench_world().isp_count());
+  const auto overhead = measure_obs_overhead(parallel_threads);
   seg::util::set_parallelism(0);
   const auto ingest = measure_ingest(streaming);
 
@@ -623,13 +781,18 @@ int main() {
               "paper's 60min-vs-3min split (about 20x).\n",
               parallel.learning_seconds() / parallel.classify_seconds);
   print_ingest(ingest);
+  print_obs_overhead(overhead);
 
   write_json("BENCH_pipeline.json", serial, parallel, streaming, ingest, obs_section,
-             parallel_threads, identical);
+             overhead, parallel_threads, identical);
   const bool queue_clean =
       ingest.queue.dropped_batches == 0 && ingest.queue.dropped_records == 0;
   if (!queue_clean) {
     std::printf("FAIL: blocking ingest queue dropped data\n");
   }
-  return identical && queue_clean ? 0 : 1;
+  const bool obs_clean = overhead.scores_identical && overhead.journal_valid;
+  if (!obs_clean) {
+    std::printf("FAIL: obs-on session perturbed scores or wrote an invalid journal\n");
+  }
+  return identical && queue_clean && obs_clean ? 0 : 1;
 }

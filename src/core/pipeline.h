@@ -42,6 +42,8 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/segugio.h"
@@ -49,6 +51,8 @@
 #include "dns/trace_source.h"
 #include "graph/name_cache.h"
 #include "util/ingest_queue.h"
+#include "util/obs/drift.h"
+#include "util/obs/journal.h"
 
 namespace seg::core {
 
@@ -80,6 +84,30 @@ struct IngestOptions {
   /// When false, the source is parsed inline on the caller thread with no
   /// producer thread and no queue (the adapter path; also handy in tests).
   bool use_queue = true;
+  /// kCountAndDrop only: shed overload as a uniform per-record sample
+  /// instead of whole contiguous batches (see util::IngestQueueOptions).
+  /// Irrelevant under the default kBlock policy, which never drops.
+  bool sampled_admission = true;
+};
+
+/// Tuning for the per-day obs journal (Pipeline::set_journal()). All of it
+/// is telemetry configuration: none of these fields can change a score.
+struct JournalOptions {
+  /// Alert trip points for the drift gauges.
+  obs::DriftThresholds drift;
+  /// FP budget for the calibration gauges journaled on train() days.
+  double calibration_max_fpr = 0.01;
+  /// Journal threshold calibration on train() days (costs one hidden-label
+  /// scoring pass over the day's known domains).
+  bool calibrate = true;
+  /// Include wall-clock/RSS extras in a "runtime" sub-object. Off by
+  /// default: without it a journal is byte-identical across thread counts
+  /// and machines for the same inputs.
+  bool include_runtime = false;
+  /// Score-histogram resolution over [0, 1].
+  std::size_t score_bins = 20;
+  /// Drift baseline day; -1 pins the first day that was classified.
+  std::int64_t baseline_day = -1;
 };
 
 /// What one ingest_stream() call observed.
@@ -167,6 +195,29 @@ class Pipeline {
   /// input (there is no legacy session format).
   void load_session(std::istream& in);
 
+  /// Attaches (or, with nullptr, detaches) a per-day obs journal: one
+  /// `segf1 obsjournal 1` JSONL entry per ingested day, written to `out`
+  /// at each day rollover. The entry for a day collects that day's
+  /// graph/prune/carry counters at preparation time, calibration gauges
+  /// when train() runs on it, and the score/feature histograms plus drift
+  /// gauges when classify() runs on it; it is appended when the next day
+  /// opens (or on flush_journal()/set_journal()). `out` must outlive the
+  /// journaling session. Attaching a journal never perturbs scores or
+  /// serialized artifacts — the same obs contract as spans and metrics.
+  void set_journal(std::ostream* out, JournalOptions options = {});
+
+  /// Appends the pending day's entry, if any. Idempotent; call at session
+  /// end so the last day is not lost.
+  void flush_journal();
+
+  bool journal_enabled() const { return journal_writer_ != nullptr; }
+
+  /// The pinned drift baseline entry (first classified day, or
+  /// JournalOptions::baseline_day); nullptr until one is captured.
+  const obs::JournalEntry* journal_baseline() const {
+    return journal_baseline_ ? &*journal_baseline_ : nullptr;
+  }
+
   const Segugio& detector() const { return detector_; }
   Segugio& detector() { return detector_; }
   const SegugioConfig& config() const { return detector_.config(); }
@@ -180,12 +231,26 @@ class Pipeline {
   PreparedDay prepare_one_day(const dns::DayTrace& trace, const graph::NameSet& cc_blacklist,
                               const graph::NameSet& e2ld_whitelist);
 
+  /// Opens the journal entry for a freshly prepared day (flushing the
+  /// previous one — the rollover write).
+  void journal_open_day(const PreparedDay& day, std::size_t records, double ingest_seconds);
+
+  /// Folds the day's score/feature histograms and drift gauges into the
+  /// pending entry. Const because classify() is; the journal members are
+  /// mutable telemetry (like Segugio's timings).
+  void journal_annotate_classify(const PreparedDay& day, const DetectionReport& report) const;
+
   const dns::PublicSuffixList* psl_;
   Segugio detector_;
   graph::NameCache cache_;
   dns::ShardedActivityIndex activity_;
   dns::ShardedPassiveDnsDb pdns_;
   StreamingStats stats_;
+
+  JournalOptions journal_options_;
+  std::unique_ptr<obs::JournalWriter> journal_writer_;
+  mutable std::optional<obs::JournalEntry> journal_pending_;
+  mutable std::optional<obs::JournalEntry> journal_baseline_;
 };
 
 }  // namespace seg::core

@@ -26,6 +26,29 @@ FeatureGroup feature_group(std::size_t index) {
   return FeatureGroup::kIpAbuse;
 }
 
+const std::vector<double>& feature_histogram_bounds(std::size_t index) {
+  util::require(index < kNumFeatures, "feature_histogram_bounds: index out of range");
+  static const std::vector<double> fraction_bounds = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                                      0.6, 0.7, 0.8, 0.9, 1.0};
+  static const std::vector<double> day_bounds = {0.0, 1.0, 2.0, 3.0, 5.0, 7.0, 10.0, 14.0};
+  static const std::vector<double> count_bounds = {0.0,  1.0,  2.0,   4.0,   8.0,  16.0,
+                                                   32.0, 64.0, 128.0, 256.0, 512.0, 1024.0};
+  switch (index) {
+    case kInfectedFraction:
+    case kUnknownFraction:
+    case kIpMalwareFraction:
+    case kPrefixMalwareFraction:
+      return fraction_bounds;
+    case kFqdnActiveDays:
+    case kFqdnConsecutiveDays:
+    case kE2ldActiveDays:
+    case kE2ldConsecutiveDays:
+      return day_bounds;
+    default:
+      return count_bounds;
+  }
+}
+
 std::vector<std::size_t> feature_indices_for(std::initializer_list<FeatureGroup> groups) {
   std::vector<std::size_t> indices;
   for (std::size_t i = 0; i < kNumFeatures; ++i) {

@@ -53,6 +53,13 @@ const std::vector<std::string>& feature_names();
 /// Group of each feature index.
 FeatureGroup feature_group(std::size_t index);
 
+/// Summary-histogram bucket upper bounds for each feature, used by the
+/// per-day obs journal (see docs/observability.md). Fraction-valued
+/// features get 10 uniform bins over [0, 1]; day counts bin over the
+/// F2 activity window; machine/IP counts get doubling buckets. Fixed
+/// across runs so journaled histograms are comparable day over day.
+const std::vector<double>& feature_histogram_bounds(std::size_t index);
+
 /// Feature indices belonging to the given groups (for ablation experiments,
 /// Section IV-B). Order follows FeatureIndex.
 std::vector<std::size_t> feature_indices_for(std::initializer_list<FeatureGroup> groups);

@@ -17,6 +17,17 @@
 //   kCountAndDrop push() on a full queue drops the batch and counts it.
 //                 For live capture where freshness beats completeness; the
 //                 drop counter is the operator's signal to add capacity.
+//                 With `sampled_admission` on, sustained drops additionally
+//                 engage probabilistic per-record admission: an EWMA of
+//                 push outcomes drives an admit probability (mirrored as
+//                 the `<prefix>_drop_rate` / `<prefix>_admit_permille`
+//                 gauges), and incoming batches are thinned record-by-
+//                 record with a deterministic LCG before enqueueing, so
+//                 overload sheds a *uniform sample* of the stream instead
+//                 of whole contiguous batches. Whole-batch drop remains
+//                 the last resort when the queue is full. The ledger stays
+//                 exact: offered records ==
+//                 pushed_records + dropped_records + sampled_out_records.
 //
 // Both policies are observable through seg::obs: construction registers
 // counters/gauges under `metrics_prefix` (see stats() for the catalog), so
@@ -65,6 +76,7 @@ struct IngestQueueStats {
   std::uint64_t popped_batches = 0;   ///< batches handed to the consumer
   std::uint64_t dropped_batches = 0;  ///< rejected under kCountAndDrop
   std::uint64_t dropped_records = 0;  ///< records inside rejected batches
+  std::uint64_t sampled_out_records = 0;  ///< thinned by sampled admission
   std::uint64_t blocked_pushes = 0;   ///< pushes that had to wait (kBlock)
   std::size_t max_depth = 0;          ///< high-water mark of queued batches
   std::size_t depth = 0;              ///< batches queued right now
@@ -76,9 +88,23 @@ struct IngestQueueOptions {
   /// When non-empty, queue counters are mirrored into the seg::obs
   /// registry as `<prefix>_{pushed,dropped}_batches_total`,
   /// `<prefix>_{pushed,dropped}_records_total`,
+  /// `<prefix>_sampled_out_records_total`,
   /// `<prefix>_blocked_pushes_total`, and gauges `<prefix>_depth` /
-  /// `<prefix>_max_depth`.
+  /// `<prefix>_max_depth` / `<prefix>_drop_rate` /
+  /// `<prefix>_admit_permille`.
   std::string metrics_prefix;
+  /// kCountAndDrop only: thin incoming batches per-record once drops are
+  /// observed, instead of shedding only whole batches (see the header
+  /// comment). Requires Batch to support begin()/end()/erase(); silently
+  /// ignored otherwise.
+  bool sampled_admission = false;
+  /// EWMA smoothing for the per-push drop-rate estimate behind sampled
+  /// admission (1 = react to the last push only).
+  double drop_rate_alpha = 0.2;
+  /// Floor of the admit probability, in permille: even under total
+  /// overload at least this fraction of records is kept, so the consumer
+  /// always sees a trickle of fresh data.
+  std::uint32_t min_admit_permille = 100;
 };
 
 /// Bounded multi-producer single-consumer queue of batches. `Batch` must
@@ -100,7 +126,7 @@ class IngestQueue {
   /// when it was dropped (kCountAndDrop on a full queue) or the queue was
   /// closed/cancelled. Safe from any number of producer threads.
   bool push(Batch batch) {
-    const std::size_t records = batch.size();
+    std::size_t records = batch.size();
     std::unique_lock<std::mutex> lock(mutex_);
     if (options_.policy == BackpressurePolicy::kBlock) {
       if (queue_.size() >= options_.capacity && !closed_) {
@@ -110,11 +136,27 @@ class IngestQueue {
                     [&] { return queue_.size() < options_.capacity || closed_; });
       }
     } else if (queue_.size() >= options_.capacity && !closed_) {
+      // Whole-batch drop: the last resort even under sampled admission.
+      note_push_outcome(true);
       ++stats_.dropped_batches;
       stats_.dropped_records += records;
       bump("_dropped_batches_total", 1);
       bump("_dropped_records_total", records);
       return false;
+    } else if (!closed_) {
+      note_push_outcome(false);
+      if (options_.sampled_admission && admit_permille_ < 1000 && records > 0) {
+        thin_batch(batch);
+        const std::size_t removed = records - batch.size();
+        if (removed > 0) {
+          stats_.sampled_out_records += removed;
+          bump("_sampled_out_records_total", removed);
+        }
+        records = batch.size();
+        if (records == 0) {
+          return true;  // fully sampled out, but nothing was *dropped*
+        }
+      }
     }
     if (closed_) {
       return false;  // close()/cancel() won the race; the batch is refused
@@ -203,6 +245,37 @@ class IngestQueue {
     }
   }
 
+  // Folds one push outcome (dropped or admitted) into the drop-rate EWMA
+  // and recomputes the admit probability. Called with mutex_ held, on the
+  // kCountAndDrop path only.
+  void note_push_outcome(bool dropped) {
+    drop_rate_ = options_.drop_rate_alpha * (dropped ? 1.0 : 0.0) +
+                 (1.0 - options_.drop_rate_alpha) * drop_rate_;
+    double admit = 1000.0 * (1.0 - drop_rate_);
+    if (admit < static_cast<double>(options_.min_admit_permille)) {
+      admit = static_cast<double>(options_.min_admit_permille);
+    }
+    admit_permille_ = static_cast<std::uint32_t>(admit);
+    set_gauge("_drop_rate", drop_rate_);
+    set_gauge("_admit_permille", static_cast<double>(admit_permille_));
+  }
+
+  // Keeps each record independently with probability admit_permille_/1000,
+  // driven by a fixed-seed LCG so a given (push sequence, drop pattern)
+  // thins reproducibly. Compiled out for batch types without erase().
+  void thin_batch(Batch& batch) {
+    if constexpr (requires(Batch& b) { b.erase(b.begin()); }) {
+      for (auto it = batch.begin(); it != batch.end();) {
+        sample_state_ = sample_state_ * 6364136223846793005ull + 1442695040888963407ull;
+        if ((sample_state_ >> 33) % 1000 < admit_permille_) {
+          ++it;
+        } else {
+          it = batch.erase(it);
+        }
+      }
+    }
+  }
+
   IngestQueueOptions options_;
   mutable std::mutex mutex_;
   std::condition_variable ready_;  ///< consumer waits: queue non-empty or closed
@@ -210,6 +283,9 @@ class IngestQueue {
   std::deque<Batch> queue_;
   IngestQueueStats stats_;
   bool closed_ = false;
+  double drop_rate_ = 0.0;               ///< EWMA of push outcomes (1 = dropped)
+  std::uint32_t admit_permille_ = 1000;  ///< derived admit probability
+  std::uint64_t sample_state_ = 0x9e3779b97f4a7c15ull;  ///< LCG state
 };
 
 }  // namespace seg::util

@@ -1,0 +1,78 @@
+// Deterministic drift gauges between journal entries.
+//
+// Segugio's deployment story is day-over-day tracking; the dominant
+// operational failure mode is the trained model's input distribution
+// drifting away from its training day (ground-truth decay). This module
+// compares a pinned baseline journal entry against the current day's
+// entry and produces:
+//
+//   - PSI and KS statistics over the "scores" histogram;
+//   - per-feature PSI for every shared histogram (the f1_/f2_/f3_ feature
+//     histograms the pipeline journals), plus per-group mean PSI;
+//   - calibration drift: |threshold_now - threshold_baseline| from the
+//     "calibration_threshold" gauge;
+//   - structured JournalAlert events for every gauge that trips its
+//     configured threshold.
+//
+// Everything here is a pure serial function of two entries: no clocks, no
+// randomness, no shared state — the same pair of entries yields the same
+// gauges on every run and thread count. export_drift() then mirrors the
+// result into the process-wide Registry (thread-sharded like every other
+// metric) for Prometheus exposition.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/obs/journal.h"
+
+namespace seg::obs {
+
+/// Trip points for drift alerts. The defaults follow common industry
+/// practice for PSI (0.1 watch / 0.2 act) and are deliberately
+/// conservative; deployments tune them per network.
+struct DriftThresholds {
+  double score_psi = 0.2;          ///< PSI over the score histogram
+  double score_ks = 0.15;          ///< KS statistic over the score histogram
+  double feature_psi = 0.25;       ///< mean PSI per feature group (f1/f2/f3)
+  double calibration_delta = 0.05; ///< |calibrated threshold - baseline|
+};
+
+/// Drift gauges (unprefixed names, insertion-ordered) and tripped alerts.
+/// Gauge names: "score_psi", "score_ks", "psi_<feature>", "group_psi_<g>",
+/// "calibration_delta". The journal prefixes them with "drift_"; the
+/// registry with "seg_drift_".
+struct DriftResult {
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<JournalAlert> alerts;
+
+  const double* find_gauge(std::string_view name) const;
+};
+
+/// Population stability index between two histograms over the same bounds
+/// (PreconditionError on mismatched shapes). Proportions are smoothed with
+/// a 0.5 pseudo-count per bucket so empty buckets stay finite; two
+/// identical histograms score exactly 0.
+double psi(const JournalHistogram& baseline, const JournalHistogram& current);
+
+/// Two-sample Kolmogorov-Smirnov statistic over the binned CDFs (an upper
+/// bound of the unbinned statistic at the shared bucket edges). 0 when
+/// either histogram is empty.
+double ks_statistic(const JournalHistogram& baseline, const JournalHistogram& current);
+
+/// Compares `current` against `baseline` and returns every computable
+/// drift gauge plus alerts for those exceeding `thresholds`. Histograms
+/// and gauges present in only one entry are skipped (a day without scores
+/// simply has no score drift).
+DriftResult compute_drift(const JournalEntry& baseline, const JournalEntry& current,
+                          const DriftThresholds& thresholds = {});
+
+/// Mirrors a DriftResult into the metrics Registry: gauges as
+/// `<prefix>_<name>`, plus `<prefix>_alerts_total` incremented by the
+/// number of tripped alerts. Each alert is also logged (rate-unlimited:
+/// one line per tripped gauge per day is the intended volume).
+void export_drift(const DriftResult& result, std::string_view prefix = "seg_drift");
+
+}  // namespace seg::obs

@@ -1,0 +1,91 @@
+// Live health surface for streaming ingest sessions.
+//
+// A HealthSampler is a low-frequency background thread that periodically
+// derives operator-facing gauges from telemetry the pipeline already
+// publishes (it reads only the obs Registry and the process, never
+// pipeline state — so it cannot perturb scores or artifacts):
+//
+//   <prefix>_records_per_sec_ewma  smoothed ingest rate, from the queue's
+//                                  pushed-records counter
+//   <prefix>_queue_depth           mirrored IngestQueue depth gauge
+//   <prefix>_queue_drop_rate       mirrored IngestQueue drop-rate EWMA
+//   <prefix>_day_lag               seg_ingest_current_day minus
+//                                  seg_ingest_day_watermark (days parsed
+//                                  but not yet prepared)
+//   <prefix>_rss_now_kb/_rss_peak_kb   resident set via process.h
+//   <prefix>_uptime_seconds        process uptime
+//   <prefix>_samples_total         counter of completed samples
+//
+// The sampler thread routes exceptions through std::current_exception and
+// rethrows them from stop() (the R-EXC1 contract); sample_once() is public
+// so tests drive sampling deterministically without the thread.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace seg::obs {
+
+struct HealthOptions {
+  /// Wall-clock period between samples (background thread only).
+  std::chrono::milliseconds interval{1000};
+  /// EWMA smoothing factor for the records/s rate (1 = instantaneous).
+  double ewma_alpha = 0.3;
+  /// Counter whose growth rate is the ingest rate.
+  std::string records_counter = "seg_ingest_queue_pushed_records_total";
+  /// Prefix of the mirrored IngestQueue gauges (`_depth`, `_drop_rate`).
+  std::string queue_prefix = "seg_ingest_queue";
+  /// Gauges holding the newest parsed day and the last prepared day.
+  std::string current_day_gauge = "seg_ingest_current_day";
+  std::string watermark_gauge = "seg_ingest_day_watermark";
+  /// Prefix of every gauge/counter the sampler itself publishes.
+  std::string gauge_prefix = "seg_health";
+};
+
+class HealthSampler {
+ public:
+  explicit HealthSampler(HealthOptions options = {});
+  ~HealthSampler();  // stops the thread; a pending sampler exception is dropped
+
+  HealthSampler(const HealthSampler&) = delete;
+  HealthSampler& operator=(const HealthSampler&) = delete;
+
+  /// Launches the background thread (PreconditionError when already
+  /// running).
+  void start();
+
+  /// Stops and joins the thread, then rethrows any exception the sampler
+  /// body raised. Idempotent: stopping a stopped sampler is a no-op.
+  void stop();
+
+  bool running() const;
+
+  /// Takes one sample on the calling thread. Used by the background loop
+  /// and directly by tests/benches that want deterministic sampling.
+  void sample_once();
+
+  const HealthOptions& options() const { return options_; }
+
+ private:
+  void run_loop();
+
+  HealthOptions options_;
+  std::thread thread_;
+  mutable std::mutex mutex_;       ///< guards stop_requested_/error_
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::exception_ptr error_;
+
+  std::mutex sample_mutex_;        ///< guards the EWMA state below
+  bool has_last_ = false;
+  std::int64_t last_ns_ = 0;
+  std::uint64_t last_records_ = 0;
+  double ewma_rate_ = 0.0;
+};
+
+}  // namespace seg::obs

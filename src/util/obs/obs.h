@@ -1,9 +1,14 @@
 // Umbrella header for the seg::obs observability runtime: span tracing
 // (trace.h), metrics registry (metrics.h), process sampling (process.h),
-// and the run-report exporter (export.h). See docs/observability.md.
+// the run-report exporter (export.h), and the longitudinal v2 surface —
+// per-day journal (journal.h), drift gauges (drift.h), and the live
+// health sampler (health.h). See docs/observability.md.
 #pragma once
 
+#include "util/obs/drift.h"
 #include "util/obs/export.h"
+#include "util/obs/health.h"
+#include "util/obs/journal.h"
 #include "util/obs/metrics.h"
 #include "util/obs/process.h"
 #include "util/obs/trace.h"

@@ -272,7 +272,9 @@ TEST_F(PipelineStreamTest, QueueTuningNeverChangesTheGraph) {
 
 TEST_F(PipelineStreamTest, CountAndDropKeepsTheLedgerBalanced) {
   // kCountAndDrop trades completeness for freshness; what it may never do
-  // is lose records *silently*. Accepted + dropped must equal the source.
+  // is lose records *silently*. With drop-rate-aware sampling on (the
+  // pipeline default for this policy), every source record is accounted
+  // for exactly once: admitted, dropped whole-batch, or sampled out.
   auto& w = world();
   const auto config = fast_config();
   const auto trace = w.generate_day(0, 9);
@@ -289,10 +291,22 @@ TEST_F(PipelineStreamTest, CountAndDropKeepsTheLedgerBalanced) {
       source, [&](dns::Day) -> const graph::NameSet& { return blacklist; },
       w.whitelist().all(), [&](PreparedDay&& day) { prepared = std::move(day); }, options);
 
-  EXPECT_EQ(stats.queue.pushed_records + stats.queue.dropped_records,
+  EXPECT_EQ(stats.queue.pushed_records + stats.queue.dropped_records +
+                stats.queue.sampled_out_records,
             trace.records.size());
   EXPECT_EQ(stats.records, stats.queue.pushed_records);
   EXPECT_GT(stats.records, 0u);
+
+  // And with sampling explicitly off, the legacy two-way ledger holds.
+  Pipeline coarse(w.psl(), w.activity(), w.pdns(), config);
+  dns::DayTraceSource replay(trace);
+  options.sampled_admission = false;
+  const auto coarse_stats = coarse.ingest_stream(
+      replay, [&](dns::Day) -> const graph::NameSet& { return blacklist; },
+      w.whitelist().all(), [&](PreparedDay&& day) { prepared = std::move(day); }, options);
+  EXPECT_EQ(coarse_stats.queue.sampled_out_records, 0u);
+  EXPECT_EQ(coarse_stats.queue.pushed_records + coarse_stats.queue.dropped_records,
+            trace.records.size());
 }
 
 TEST_F(PipelineStreamTest, BackwardDaysThrowThroughTheQueue) {

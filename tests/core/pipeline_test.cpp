@@ -191,6 +191,115 @@ TEST_F(PipelineTest, ObservabilityNeverPerturbsScoresOrArtifacts) {
     EXPECT_EQ(plain.scores[i].first, observed.scores[i].first);
     EXPECT_EQ(plain.scores[i].second, observed.scores[i].second);
   }
+
+  // The v2 surfaces uphold the same contract: a session with the journal
+  // attached, drift computed against a pinned baseline, and the health
+  // sampler thread running concurrently must still emit bit-identical
+  // scores and artifacts.
+  obs::Registry::instance().reset();
+  obs::HealthSampler health;
+  health.start();
+  std::ostringstream journal_blob;
+  Artifacts journaled;
+  {
+    Pipeline pipeline(w.psl(), w.activity(), w.pdns(), config);
+    pipeline.set_journal(&journal_blob);
+    const auto train_day = pipeline.ingest_day(train_trace, train_blacklist, whitelist);
+    pipeline.train(train_day);
+    const auto test_day = pipeline.ingest_day(test_trace, test_blacklist, whitelist);
+    const auto report = pipeline.classify(test_day);
+    pipeline.flush_journal();
+    journaled.graph = graph_bytes(test_day.graph);
+    std::ostringstream model_blob;
+    pipeline.detector().save(model_blob);
+    journaled.model = std::move(model_blob).str();
+    std::ostringstream session_blob;
+    pipeline.save_session(session_blob);
+    journaled.session = std::move(session_blob).str();
+    for (const auto& score : report.scores) {
+      journaled.scores.emplace_back(score.name, score.score);
+    }
+  }
+  health.sample_once();
+  health.stop();
+
+  EXPECT_EQ(obs::validate_obs_journal(journal_blob.str()), "");
+  EXPECT_GE(obs::Registry::instance().counter("seg_health_samples_total").value(), 1u);
+  EXPECT_EQ(plain.graph, journaled.graph);
+  EXPECT_EQ(plain.model, journaled.model);
+  EXPECT_EQ(plain.session, journaled.session);
+  ASSERT_EQ(plain.scores.size(), journaled.scores.size());
+  for (std::size_t i = 0; i < plain.scores.size(); ++i) {
+    EXPECT_EQ(plain.scores[i].first, journaled.scores[i].first);
+    EXPECT_EQ(plain.scores[i].second, journaled.scores[i].second);
+  }
+}
+
+TEST_F(PipelineTest, JournalAndDriftGaugesAreByteIdenticalAcrossThreadCounts) {
+  // The obs journal is part of the deterministic surface: a multi-day
+  // train+classify session journaled at 1 worker thread and at 8 must
+  // produce the same bytes, and every seg_drift_* gauge must carry the
+  // same value. (Runtime extras stay opt-in precisely so this holds.)
+  auto& w = world();
+  const auto config = fast_config();
+  std::vector<dns::DayTrace> traces;
+  std::vector<graph::NameSet> blacklists;
+  for (dns::Day day = 0; day < 3; ++day) {
+    traces.push_back(w.generate_day(0, day));
+    blacklists.push_back(w.blacklist().as_of(sim::BlacklistKind::kCommercial, day));
+  }
+  const auto whitelist = w.whitelist().all();
+
+  const auto run_journaled = [&] {
+    obs::Registry::instance().reset();
+    Pipeline pipeline(w.psl(), w.activity(), w.pdns(), config);
+    std::ostringstream journal_blob;
+    pipeline.set_journal(&journal_blob);
+    bool trained = false;
+    for (dns::Day day = 0; day < 3; ++day) {
+      const auto prepared =
+          pipeline.ingest_day(traces[static_cast<std::size_t>(day)],
+                              blacklists[static_cast<std::size_t>(day)], whitelist);
+      if (!trained) {
+        pipeline.train(prepared);
+        trained = true;
+      }
+      pipeline.classify(prepared);
+    }
+    pipeline.flush_journal();
+    std::vector<std::pair<std::string, double>> drift_gauges;
+    for (const obs::Gauge* gauge : obs::Registry::instance().gauges()) {
+      if (gauge->name().rfind("seg_drift_", 0) == 0) {
+        drift_gauges.emplace_back(gauge->name(), gauge->value());
+      }
+    }
+    return std::make_pair(std::move(journal_blob).str(), std::move(drift_gauges));
+  };
+
+  util::set_parallelism(1);
+  const auto [serial_journal, serial_gauges] = run_journaled();
+  util::set_parallelism(8);
+  const auto [parallel_journal, parallel_gauges] = run_journaled();
+  util::set_parallelism(0);
+
+  EXPECT_EQ(obs::validate_obs_journal(serial_journal), "");
+  EXPECT_EQ(serial_journal, parallel_journal)
+      << "journal bytes diverge across thread counts";
+  ASSERT_FALSE(serial_gauges.empty()) << "expected drift gauges after day 1+";
+  ASSERT_EQ(serial_gauges.size(), parallel_gauges.size());
+  for (std::size_t i = 0; i < serial_gauges.size(); ++i) {
+    EXPECT_EQ(serial_gauges[i].first, parallel_gauges[i].first);
+    EXPECT_EQ(serial_gauges[i].second, parallel_gauges[i].second)
+        << "drift gauge " << serial_gauges[i].first;
+  }
+
+  // The journal recorded all three days, and days 1+ carry drift gauges
+  // against the pinned day-0 baseline.
+  std::istringstream journal_in{std::string(serial_journal)};
+  const auto entries = obs::read_journal(journal_in);
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_NE(entries[0].find_histogram("scores"), nullptr);
+  EXPECT_NE(entries[2].find_gauge("drift_score_psi"), nullptr);
 }
 
 TEST_F(PipelineTest, ReportAttributionMatchesGraphLookup) {

@@ -55,4 +55,31 @@ if "$CLI" validate-obs --run-report "$DIR/bad-report.json" 2>/dev/null; then
   exit 1
 fi
 
+# seg::obs v2: a streamed two-day session with --journal writes one
+# validator-clean obsjournal entry per day, is invisible in the classify
+# output, and renders through `segugio status --journal`.
+cat "$DIR/day0.bin" "$DIR/day1.bin" > "$DIR/stream.bin"
+STREAM_ARGS=(--input "$DIR/stream.bin" --model "$DIR/model.txt"
+  --blacklist "$DIR/blacklist-day1.txt" --whitelist "$DIR/whitelist.txt"
+  --activity "$DIR/activity.txt" --pdns "$DIR/pdns.txt" --threshold 0.5)
+"$CLI" classify "${STREAM_ARGS[@]}" > "$DIR/stream-plain.out" 2>/dev/null
+"$CLI" classify "${STREAM_ARGS[@]}" --journal "$DIR/journal.jsonl" \
+  --health-interval 50 > "$DIR/stream-journaled.out" 2>/dev/null
+cmp "$DIR/stream-plain.out" "$DIR/stream-journaled.out"
+
+head -n 1 "$DIR/journal.jsonl" | grep -q "segf1 obsjournal 1"
+test "$(wc -l < "$DIR/journal.jsonl")" -eq 3  # header + one entry per day
+"$CLI" validate-obs --journal "$DIR/journal.jsonl" | grep -q "journal"
+
+"$CLI" status --journal "$DIR/journal.jsonl" > "$DIR/status.txt"
+grep -q "day" "$DIR/status.txt"
+grep -q "2 day(s)" "$DIR/status.txt"
+
+# validate-obs rejects a truncated journal line.
+{ head -n 1 "$DIR/journal.jsonl"; echo '{"day": 0'; } > "$DIR/bad-journal.jsonl"
+if "$CLI" validate-obs --journal "$DIR/bad-journal.jsonl" 2>/dev/null; then
+  echo "expected failure on malformed journal" >&2
+  exit 1
+fi
+
 echo "obs cli ok"

@@ -212,6 +212,89 @@ TEST(IngestQueueTest, MultiProducerDeliversEveryBatchOnceInPerProducerOrder) {
   EXPECT_LE(stats.max_depth, 4u);
 }
 
+TEST(IngestQueueTest, SampledAdmissionKeepsEverythingWhileNothingDrops) {
+  IngestQueueOptions options;
+  options.capacity = 4;
+  options.policy = BackpressurePolicy::kCountAndDrop;
+  options.sampled_admission = true;
+  IngestQueue<Batch> queue(options);
+  // No drop has ever been observed, so the admit probability stays at
+  // 1000 permille and batches pass through untouched.
+  EXPECT_TRUE(queue.push(make_batch(0, 4)));
+  EXPECT_TRUE(queue.push(make_batch(10, 4)));
+  EXPECT_EQ(*queue.pop(), make_batch(0, 4));
+  EXPECT_EQ(*queue.pop(), make_batch(10, 4));
+  EXPECT_EQ(queue.stats().sampled_out_records, 0u);
+}
+
+TEST(IngestQueueTest, SampledAdmissionThinsAfterDropsAndBalancesTheLedger) {
+  IngestQueueOptions options;
+  options.capacity = 1;
+  options.policy = BackpressurePolicy::kCountAndDrop;
+  options.sampled_admission = true;
+  options.drop_rate_alpha = 0.5;  // react fast so the test engages sampling
+  IngestQueue<Batch> queue(options);
+
+  std::uint64_t offered = 0;
+  std::uint64_t consumed = 0;
+  // Overload: each round offers two batches to a capacity-1 queue, so the
+  // second is always dropped and the drop-rate EWMA climbs; after the
+  // first drop every admitted batch is thinned probabilistically.
+  for (int round = 0; round < 20; ++round) {
+    queue.push(make_batch(round * 100, 10));
+    offered += 10;
+    queue.push(make_batch(round * 100 + 50, 10));
+    offered += 10;
+    while (true) {
+      const auto stats = queue.stats();
+      if (stats.depth == 0) {
+        break;
+      }
+      consumed += queue.pop()->size();
+    }
+  }
+  queue.close();
+  while (auto batch = queue.pop()) {
+    consumed += batch->size();
+  }
+
+  const auto stats = queue.stats();
+  EXPECT_GT(stats.dropped_records, 0u);
+  EXPECT_GT(stats.sampled_out_records, 0u);
+  // The three-way ledger is exact: every offered record was either
+  // admitted, dropped whole-batch, or sampled out.
+  EXPECT_EQ(stats.pushed_records + stats.dropped_records + stats.sampled_out_records,
+            offered);
+  EXPECT_EQ(stats.pushed_records, consumed);
+}
+
+TEST(IngestQueueTest, SampledAdmissionMirrorsRateGaugesIntoObsRegistry) {
+  obs::Registry::instance().reset();
+  IngestQueueOptions options;
+  options.capacity = 1;
+  options.policy = BackpressurePolicy::kCountAndDrop;
+  options.sampled_admission = true;
+  options.metrics_prefix = "test_sampled_queue";
+  IngestQueue<Batch> queue(options);
+  EXPECT_TRUE(queue.push(make_batch(0, 5)));
+  EXPECT_FALSE(queue.push(make_batch(10, 5)));  // full: whole-batch drop
+
+  auto& registry = obs::Registry::instance();
+  EXPECT_GT(registry.gauge("test_sampled_queue_drop_rate").value(), 0.0);
+  EXPECT_LT(registry.gauge("test_sampled_queue_admit_permille").value(), 1000.0);
+
+  queue.pop();
+  // The next admitted push decays the drop rate again and thins the batch
+  // against the lowered admit probability; whatever is removed is counted.
+  queue.push(make_batch(20, 1000));
+  const auto stats = queue.stats();
+  EXPECT_EQ(stats.sampled_out_records,
+            registry.counter("test_sampled_queue_sampled_out_records_total").value());
+  EXPECT_EQ(stats.pushed_records + stats.dropped_records + stats.sampled_out_records,
+            1010u);
+  obs::Registry::instance().reset();
+}
+
 TEST(IngestQueueTest, NamedQueueMirrorsCountersIntoObsRegistry) {
   obs::Registry::instance().reset();
   IngestQueueOptions options;

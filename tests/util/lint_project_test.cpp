@@ -759,6 +759,36 @@ void spawn_fleet(std::size_t n) {
   EXPECT_EQ(findings[0].rule, "R-EXC1");
 }
 
+TEST(Exc1, HealthSamplerStyleThreadBodyRoutesThroughParkedPointer) {
+  // Mirrors obs::HealthSampler::start(): the sampler thread wraps its whole
+  // run loop in catch(...) and parks the exception for stop() to rethrow.
+  const Files routed = {{"src/util/obs/sampler.cpp", R"cpp(
+void start(std::exception_ptr& error) {
+  std::thread sampler([&] {
+    try {
+      run_loop();
+    } catch (...) {
+      error = std::current_exception();
+    }
+  });
+  sampler.join();
+}
+)cpp"}};
+  EXPECT_TRUE(lint_tree(routed, {"R-EXC1"}).empty());
+
+  // Dropping the routing — a bare run_loop() in the thread body — is the
+  // std::terminate hazard R-EXC1 exists to catch, obs layer or not.
+  const Files unrouted = {{"src/util/obs/sampler_bad.cpp", R"cpp(
+void start() {
+  std::thread sampler([] { run_loop(); });
+  sampler.join();
+}
+)cpp"}};
+  const auto findings = lint_tree(unrouted, {"R-EXC1"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "R-EXC1");
+}
+
 // --- seg-lint v3: R-SUP1 stale suppressions --------------------------------
 
 TEST(Sup1, StaleDirectiveIsFlaggedUsedDirectiveIsNot) {

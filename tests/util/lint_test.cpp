@@ -92,6 +92,21 @@ TEST(RObs1, ObsLayerIsExempt) {
   EXPECT_FALSE(has_rule(findings, "R-OBS1"));
 }
 
+TEST(RObs1, HealthSamplerClockUseIsExemptOnlyUnderObs) {
+  // The health sampler's cadence clock (wait_for deadlines, EWMA deltas)
+  // lives in util/obs/health.cpp and rides the same allowlist as trace.cpp;
+  // the identical code outside the obs layer stays a finding.
+  const auto allowed = run("src/util/obs/health.cpp", R"cpp(
+    auto deadline = std::chrono::steady_clock::now() + interval;
+  )cpp");
+  EXPECT_FALSE(has_rule(allowed, "R-OBS1"));
+
+  const auto flagged = run("src/core/health.cpp", R"cpp(
+    auto deadline = std::chrono::steady_clock::now() + interval;
+  )cpp");
+  EXPECT_TRUE(has_rule(flagged, "R-OBS1"));
+}
+
 TEST(RObs1, SuppressionComment) {
   const auto findings = run("src/core/score.cpp", R"cpp(
     // seg-lint: allow(R-OBS1)

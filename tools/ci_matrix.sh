@@ -19,7 +19,12 @@
 # The obs leg runs the two-day CLI example with --trace-out/--metrics-out/
 # --run-report, validates the artifacts with `segugio validate-obs`, and
 # archives them under ${LOG_DIR}/obs/ (load the trace in Perfetto when a
-# perf regression needs triage; see docs/observability.md).
+# perf regression needs triage; see docs/observability.md). It then streams
+# a 4-day session with --journal at SEG_THREADS=1 and 8 (the journal and
+# the classify output must be byte-identical, and journal-on must match
+# journal-off), validates the journal, renders `segugio status --journal`,
+# soaks the health sampler under tsan, and archives the obs-overhead
+# benchmark section (SEG_BENCH_OBS_ONLY=1).
 #
 # The oocore leg reuses the asan tree and re-runs the pipeline, graph, and
 # mmap-backing suites with SEG_GRAPH_BACKING=mmap, so the zero-copy
@@ -161,6 +166,110 @@ run_obs() {
       return 1
     fi
   done
+
+  echo "=== [obs] multi-day journal: 4-day streamed session, 1 vs 8 threads ==="
+  local jdata_dir
+  jdata_dir="$(mktemp -d)"
+  # shellcheck disable=SC2064
+  trap "rm -rf '${data_dir}' '${jdata_dir}'" RETURN
+  if ! "${cli}" simgen --out "${jdata_dir}" --days 4 --isp 0 --format binlog \
+       >> "${log}" 2>&1; then
+    echo "    simgen (journal leg) FAILED (see ${log})"
+    return 1
+  fi
+  cat "${jdata_dir}"/day0.bin "${jdata_dir}"/day1.bin \
+      "${jdata_dir}"/day2.bin "${jdata_dir}"/day3.bin > "${jdata_dir}/stream.bin"
+  if ! "${cli}" train --input "${jdata_dir}/day0.bin" \
+       --blacklist "${jdata_dir}/blacklist-day0.txt" \
+       --whitelist "${jdata_dir}/whitelist.txt" \
+       --activity "${jdata_dir}/activity.txt" --pdns "${jdata_dir}/pdns.txt" \
+       --model "${jdata_dir}/model.txt" --trees 20 >> "${log}" 2>&1; then
+    echo "    train (journal leg) FAILED (see ${log})"
+    return 1
+  fi
+  # The journal (and the health sampler riding along) must be deterministic
+  # across thread counts and invisible in the classify output.
+  local journal_classify=(classify --input "${jdata_dir}/stream.bin"
+    --model "${jdata_dir}/model.txt"
+    --blacklist "${jdata_dir}/blacklist-day3.txt"
+    --whitelist "${jdata_dir}/whitelist.txt"
+    --activity "${jdata_dir}/activity.txt" --pdns "${jdata_dir}/pdns.txt"
+    --threshold 0.5)
+  if ! SEG_THREADS=1 "${cli}" "${journal_classify[@]}" \
+       --journal "${obs_dir}/journal-serial.jsonl" \
+       --metrics-out "${obs_dir}/stream-metrics.prom" --health-interval 50 \
+       > "${obs_dir}/stream-scores-serial.txt" 2>> "${log}"; then
+    echo "    journaled classify (1 thread) FAILED (see ${log})"
+    return 1
+  fi
+  if ! SEG_THREADS=8 "${cli}" "${journal_classify[@]}" \
+       --journal "${obs_dir}/journal-parallel.jsonl" --health-interval 50 \
+       > "${obs_dir}/stream-scores-parallel.txt" 2>> "${log}"; then
+    echo "    journaled classify (8 threads) FAILED (see ${log})"
+    return 1
+  fi
+  if ! cmp "${obs_dir}/journal-serial.jsonl" "${obs_dir}/journal-parallel.jsonl" \
+       >> "${log}" 2>&1; then
+    echo "    journal differs between 1 and 8 threads (see ${obs_dir}/)"
+    return 1
+  fi
+  if ! cmp "${obs_dir}/stream-scores-serial.txt" "${obs_dir}/stream-scores-parallel.txt" \
+       >> "${log}" 2>&1; then
+    echo "    classify output differs between 1 and 8 threads (see ${obs_dir}/)"
+    return 1
+  fi
+  if ! "${cli}" "${journal_classify[@]}" > "${obs_dir}/stream-scores-plain.txt" \
+       2>> "${log}"; then
+    echo "    journal-off classify FAILED (see ${log})"
+    return 1
+  fi
+  if ! cmp "${obs_dir}/stream-scores-plain.txt" "${obs_dir}/stream-scores-serial.txt" \
+       >> "${log}" 2>&1; then
+    echo "    journal-on classify output differs from journal-off (see ${obs_dir}/)"
+    return 1
+  fi
+  if ! "${cli}" validate-obs --journal "${obs_dir}/journal-serial.jsonl" \
+       --metrics "${obs_dir}/stream-metrics.prom" >> "${log}" 2>&1; then
+    echo "    validate-obs --journal FAILED (see ${log})"
+    return 1
+  fi
+  if ! "${cli}" status --journal "${obs_dir}/journal-serial.jsonl" \
+       > "${obs_dir}/status.txt" 2>> "${log}"; then
+    echo "    status --journal FAILED (see ${log})"
+    return 1
+  fi
+  if ! grep -q "day" "${obs_dir}/status.txt"; then
+    echo "    status --journal printed no day table (see ${obs_dir}/status.txt)"
+    return 1
+  fi
+  echo "    journal byte-identical at 1 and 8 threads; classify output unperturbed"
+
+  echo "=== [obs] health sampler under tsan ==="
+  if ! cmake -B build-tsan -S . -DSEG_SANITIZE=thread >> "${log}" 2>&1 ||
+     ! cmake --build build-tsan -j "${JOBS}" --target util_test >> "${log}" 2>&1; then
+    echo "    tsan build FAILED (see ${log})"
+    return 1
+  fi
+  if ! build-tsan/tests/util_test --gtest_filter='Health*' --gtest_repeat=5 \
+       >> "${log}" 2>&1; then
+    echo "    health sampler FAILED under tsan (see ${log})"
+    return 1
+  fi
+
+  echo "=== [obs] overhead benchmark (SEG_BENCH_OBS_ONLY=1) ==="
+  if ! cmake --build "${build_dir}" -j "${JOBS}" --target bench_perf_efficiency \
+       >> "${log}" 2>&1; then
+    echo "    bench build FAILED (see ${log})"
+    return 1
+  fi
+  # The bench exits non-zero when the obs-on session perturbs scores or
+  # writes an invalid journal — the acceptance gate on real bench data.
+  if ! (cd "${build_dir}" && SEG_BENCH_OBS_ONLY=1 ./bench/bench_perf_efficiency) \
+       >> "${log}" 2>&1; then
+    echo "    obs overhead benchmark FAILED (see ${log})"
+    return 1
+  fi
+  cp "${build_dir}/BENCH_pipeline.json" "${obs_dir}/BENCH_pipeline.json"
   echo "    artifacts archived in ${obs_dir}/"
   return 0
 }
@@ -300,6 +409,21 @@ run_config() {
   return 0
 }
 
+# Every leg archives whatever BENCH_pipeline.json its build trees hold, so
+# the machine-readable perf trajectory survives the run no matter which leg
+# produced it (ingest/obs write fresh numbers; other legs re-archive the
+# tree's last run).
+archive_bench_json() {
+  local config="$1" d
+  for d in build-plain build-tsan build-asan build-ubsan; do
+    if [ -f "${d}/BENCH_pipeline.json" ]; then
+      mkdir -p "${LOG_DIR}/${config}"
+      cp "${d}/BENCH_pipeline.json" \
+         "${LOG_DIR}/${config}/BENCH_pipeline-${d#build-}.json"
+    fi
+  done
+}
+
 for config in "${CONFIGS[@]}"; do
   if run_config "${config}"; then
     RESULTS[${config}]="ok"
@@ -307,6 +431,7 @@ for config in "${CONFIGS[@]}"; do
     RESULTS[${config}]="FAILED"
     FAILED=1
   fi
+  archive_bench_json "${config}"
 done
 
 echo

@@ -37,21 +37,35 @@
 //       Prints the model card: classifier, windows, pruning, importances.
 //
 //   segugio validate-obs [--trace FILE] [--run-report FILE] [--metrics FILE]
+//                        [--journal FILE]
 //       Validates obs exporter output: the JSONs parse, trace spans are
-//       well-nested, the run report carries every required section. Used
-//       by the ci_matrix `obs` leg.
+//       well-nested, the run report carries every required section, the
+//       obs journal passes its byte-level validator. Used by the
+//       ci_matrix `obs` leg.
+//
+//   segugio status --journal FILE [--last N]
+//       Renders a per-day obs journal as a human-readable health table:
+//       records, unknown domains, score mean, drift gauges (PSI/KS),
+//       calibrated threshold, and tripped alerts per day.
 //
 // Observability (train/classify/report): --trace-out FILE writes a Chrome
 // trace_event JSON of the run, --metrics-out FILE the Prometheus text
 // exposition, --run-report FILE the structured RunReport JSON (see
 // docs/observability.md). Tracing is enabled automatically when --trace-out
 // or --run-report is given; scores are bit-identical either way.
+// classify/report additionally take --journal FILE (write one `segf1
+// obsjournal 1` entry per streamed day, with each day classified as it
+// completes so score/drift gauges land in its entry) and
+// --health-interval MS (run the live health sampler during the session;
+// its seg_health_* gauges land in --metrics-out).
 //
 // All file formats are the plain-text formats of the library (see
 // dns/query_log.h, dns/activity_index.h, dns/pdns.h, core/segugio.h).
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -68,6 +82,7 @@
 #include "util/obs/obs.h"
 #include "util/require.h"
 #include "util/strings.h"
+#include "util/table.h"
 
 namespace {
 
@@ -262,18 +277,49 @@ DayRun run_day(const util::Args& args) {
   core::Pipeline pipeline(psl, activity, pdns, segugio.config());
   pipeline.detector() = std::move(segugio);
 
+  // Optional longitudinal obs: a per-day journal and/or the live health
+  // sampler. Neither can perturb the scores (obs contract).
+  std::ofstream journal_out;
+  const bool journaling = args.has("journal");
+  if (journaling) {
+    const auto journal_path = args.get("journal");
+    journal_out.open(journal_path);
+    util::require_data(journal_out.is_open(), "cannot create '" + journal_path + "'");
+    pipeline.set_journal(&journal_out);
+  }
+  std::optional<obs::HealthSampler> health;
+  if (const int health_ms = args.get_int_or("health-interval", 0); health_ms > 0) {
+    obs::HealthOptions health_options;
+    health_options.interval = std::chrono::milliseconds(health_ms);
+    health.emplace(health_options);
+    health->start();
+  }
+
   dns::FileTraceSource source(path, input_format(args, path));
   core::PreparedDay last;
+  core::DetectionReport journaled_report;
   std::size_t days = 0;
   pipeline.ingest_stream(
       source, [&blacklist](dns::Day) -> const graph::NameSet& { return blacklist; },
       whitelist,
       [&](core::PreparedDay&& day) {
+        if (journaling) {
+          // Classify every streamed day while its journal entry is still
+          // pending, so each day's entry carries score/drift gauges; the
+          // last day's report doubles as the command output (classify()
+          // is pure per day, so the scores match the non-journal path).
+          journaled_report = pipeline.classify(day);
+        }
         last = std::move(day);
         ++days;
       });
   util::require_data(days > 0, "'" + path + "' holds no records to classify");
-  auto report = pipeline.classify(last);
+  if (health) {
+    health->sample_once();  // final snapshot for --metrics-out
+    health->stop();
+  }
+  auto report = journaling ? std::move(journaled_report) : pipeline.classify(last);
+  pipeline.flush_journal();
   return {std::move(last.graph), std::move(report)};
 }
 
@@ -369,9 +415,59 @@ std::string validate_prometheus_text(const std::string& text) {
   return {};
 }
 
+// One row per journaled day: counters, score summary, drift, alerts.
+int cmd_status(const util::Args& args) {
+  const auto path = args.get("journal");
+  const std::string text = read_file(path);
+  if (const auto problem = obs::validate_obs_journal(text); !problem.empty()) {
+    std::fprintf(stderr, "status: %s: %s\n", path.c_str(), problem.c_str());
+    return 1;
+  }
+  std::istringstream in(text);
+  const auto entries = obs::read_journal(in);
+
+  const auto format_double = [](const double* value, const char* format) {
+    if (value == nullptr) {
+      return std::string("-");
+    }
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, format, *value);
+    return std::string(buffer);
+  };
+  const auto format_count = [](const std::uint64_t* value) {
+    return value == nullptr ? std::string("-") : std::to_string(*value);
+  };
+
+  const auto last = static_cast<std::size_t>(args.get_int_or("last", 0));
+  const std::size_t first =
+      (last > 0 && entries.size() > last) ? entries.size() - last : 0;
+  util::TextTable table(
+      {"day", "records", "unknown", "score_mean", "psi", "ks", "calib", "alerts"});
+  std::size_t total_alerts = 0;
+  for (std::size_t i = first; i < entries.size(); ++i) {
+    const obs::JournalEntry& entry = entries[i];
+    const obs::JournalHistogram* scores = entry.find_histogram("scores");
+    const double mean = scores != nullptr ? scores->mean : 0.0;
+    total_alerts += entry.alerts.size();
+    table.add_row({std::to_string(entry.day), format_count(entry.find_counter("records")),
+                   format_count(entry.find_counter("unknown_domains")),
+                   scores != nullptr ? format_double(&mean, "%.4f") : "-",
+                   format_double(entry.find_gauge("drift_score_psi"), "%.4f"),
+                   format_double(entry.find_gauge("drift_score_ks"), "%.4f"),
+                   format_double(entry.find_gauge("calibration_threshold"), "%.4f"),
+                   std::to_string(entry.alerts.size())});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("journal %s: %zu day(s), %zu alert(s)\n", path.c_str(), entries.size(),
+              total_alerts);
+  return 0;
+}
+
 int cmd_validate_obs(const util::Args& args) {
-  util::require_data(args.has("trace") || args.has("run-report") || args.has("metrics"),
-                     "validate-obs: pass at least one of --trace/--run-report/--metrics");
+  util::require_data(args.has("trace") || args.has("run-report") || args.has("metrics") ||
+                         args.has("journal"),
+                     "validate-obs: pass at least one of "
+                     "--trace/--run-report/--metrics/--journal");
   if (args.has("trace")) {
     const auto path = args.get("trace");
     std::string error;
@@ -408,6 +504,14 @@ int cmd_validate_obs(const util::Args& args) {
     }
     std::printf("metrics %s: ok\n", path.c_str());
   }
+  if (args.has("journal")) {
+    const auto path = args.get("journal");
+    if (const auto problem = obs::validate_obs_journal(read_file(path)); !problem.empty()) {
+      std::fprintf(stderr, "validate-obs: %s: %s\n", path.c_str(), problem.c_str());
+      return 1;
+    }
+    std::printf("journal %s: ok\n", path.c_str());
+  }
   return 0;
 }
 
@@ -436,8 +540,10 @@ void write_obs_outputs(const std::string& command, const util::Args& args) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: segugio <simgen|train|classify|report|inspect|validate-obs> [options]\n"
+               "usage: segugio <simgen|train|classify|report|inspect|status|validate-obs> "
+               "[options]\n"
                "observability: --trace-out FILE --metrics-out FILE --run-report FILE\n"
+               "               --journal FILE --health-interval MS\n"
                "see the header of tools/segugio_cli.cpp for the full option list\n");
   return 2;
 }
@@ -453,6 +559,9 @@ int main(int argc, char** argv) {
     const util::Args args(argc - 2, argv + 2, {"machines", "no-prober-filter", "binary"});
     if (command == "validate-obs") {
       return cmd_validate_obs(args);
+    }
+    if (command == "status") {
+      return cmd_status(args);
     }
     // Spans are recorded only when a trace-consuming output was requested;
     // metrics are always counted (exporting them costs nothing extra).
